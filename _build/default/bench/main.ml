@@ -1,0 +1,320 @@
+(** Benchmark harness: regenerates every table and figure of the
+    paper's evaluation (Section 5), then times the pipeline stages with
+    Bechamel.
+
+    Sections:
+    - {b Table 1} — StateAlyzer variable categorization of the Figure-1
+      load balancer.
+    - {b Figure 6} — the NFactor output for [balance] (both configs).
+    - {b Table 2} — LoC / slicing time / execution paths / symbolic-
+      execution time, original vs slice, for the paper's two NFs and
+      the extended corpus.
+    - {b Accuracy} — 1000 random packets through program and model.
+    - {b Path equivalence} — symbolic path sets of slice vs model.
+    - {b Bechamel micro-benchmarks} — per-stage timings plus ablations
+      (loop bound, slicing on/off).
+
+    Absolute numbers differ from the paper (different machine, a
+    reimplemented toolchain instead of LLVM/KLEE); the shapes are the
+    reproduction target: slices are a few percent of the original,
+    path counts collapse, symbolic execution on the slice is orders of
+    magnitude faster than on the original. *)
+
+open Bechamel
+open Toolkit
+
+let section title =
+  Fmt.pr "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+let corpus_entry name = Option.get (Nfs.Corpus.find name)
+
+let extract name =
+  let e = corpus_entry name in
+  Nfactor.Extract.run ~name (e.Nfs.Corpus.program ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: NFactor variable categorization (load balancer)";
+  let p = Nfl.Transform.canonicalize (Nfs.Lb.program ()) in
+  let t = Statealyzer.Varclass.analyze p in
+  Fmt.pr "%-12s | %-10s | per-feature@." "variable" "category";
+  Fmt.pr "-------------+------------+----------------------------------------@.";
+  List.iter
+    (fun (v, c) ->
+      match c with
+      | Statealyzer.Varclass.Local -> ()
+      | _ ->
+          let f = List.assoc v t.Statealyzer.Varclass.features in
+          Fmt.pr "%-12s | %-10s | persistent=%b top-level=%b updateable=%b output-impacting=%b@." v
+            (Statealyzer.Varclass.category_to_string c)
+            f.Statealyzer.Varclass.persistent f.Statealyzer.Varclass.top_level
+            f.Statealyzer.Varclass.updateable f.Statealyzer.Varclass.output_impacting)
+    t.Statealyzer.Varclass.categories
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let figure6 () =
+  section "Figure 6: NFactor output for balance";
+  let ex = extract "balance" in
+  Fmt.pr "%a" Nfactor.Model.pp ex.Nfactor.Extract.model
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2: NFactor on the corpus (snort & balance are the paper's subjects)";
+  print_endline Nfactor.Report.header;
+  List.iter
+    (fun (e : Nfs.Corpus.entry) ->
+      let _, row =
+        Nfactor.Report.measure ~se_budget:1000 ~name:e.Nfs.Corpus.name
+          ~source:(e.Nfs.Corpus.source ()) (e.Nfs.Corpus.program ())
+      in
+      print_endline (Nfactor.Report.row_to_string row))
+    Nfs.Corpus.all;
+  Fmt.pr "@.(LoC = non-comment source lines; slice/path = statement counts;@.";
+  Fmt.pr " EP = execution paths; '>N' = budget exhausted, as the paper's '>1000'.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Accuracy                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accuracy () =
+  section "Accuracy: 1000 random packets, program vs model (paper Section 5)";
+  Fmt.pr "%-12s %-8s %-10s %s@." "NF" "trials" "mismatches" "verdict";
+  List.iter
+    (fun name ->
+      let ex = extract name in
+      let v = Nfactor.Equiv.random_testing ~seed:2016 ~trials:1000 ex in
+      Fmt.pr "%-12s %-8d %-10d %s@." name v.Nfactor.Equiv.trials
+        (List.length v.Nfactor.Equiv.mismatches)
+        (if Nfactor.Equiv.ok v then "outputs identical" else "MISMATCH"))
+    Nfs.Corpus.names;
+  Fmt.pr "@.flow-structured traffic (stateful entries):@.";
+  List.iter
+    (fun name ->
+      let ex = extract name in
+      let v = Nfactor.Equiv.flow_testing ~seed:7 ~flows:40 ~data_pkts:3 ex in
+      Fmt.pr "%-12s %-8d %-10d %s@." name v.Nfactor.Equiv.trials
+        (List.length v.Nfactor.Equiv.mismatches)
+        (if Nfactor.Equiv.ok v then "outputs identical" else "MISMATCH"))
+    Nfs.Corpus.names
+
+let path_equivalence () =
+  section "Path-set equivalence: slice paths vs model entries";
+  List.iter
+    (fun name ->
+      let ex = extract name in
+      Fmt.pr "%-12s %d path(s) — %s@." name
+        (List.length ex.Nfactor.Extract.paths)
+        (if Nfactor.Equiv.paths_match ex then "path sets identical" else "DIFFER"))
+    Nfs.Corpus.names
+
+(* ------------------------------------------------------------------ *)
+(* Section-4 applications                                             *)
+(* ------------------------------------------------------------------ *)
+
+let applications () =
+  section "Applications (paper Section 4): composition, testing, FSMs, reachability";
+  (* Service-chain composition: the paper's {FW, IDS} x {LB}. *)
+  let model name = (extract name).Nfactor.Extract.model in
+  Fmt.pr "composition {FW, IDS} x {LB}:@.";
+  List.iter
+    (fun r -> Fmt.pr "  %a@." Verify.Chain.pp_ranking r)
+    (Verify.Chain.compose_chains
+       [ ("fw", model "firewall"); ("ids", model "snort") ]
+       [ ("lb", model "lb") ]);
+  (* Model-driven test generation coverage. *)
+  Fmt.pr "@.test generation (entries fired / total, compliance replay):@.";
+  List.iter
+    (fun name ->
+      let ex = extract name in
+      let c = Verify.Testgen.cover ex in
+      let v = Verify.Testgen.compliance ex c in
+      Fmt.pr "  %-12s %d/%d entries, %d packet(s), replay %s@." name
+        (List.length c.Verify.Testgen.covered)
+        (Nfactor.Model.entry_count ex.Nfactor.Extract.model)
+        (List.length c.Verify.Testgen.pkts)
+        (if Nfactor.Equiv.ok v then "ok" else "MISMATCH"))
+    Nfs.Corpus.names;
+  (* Per-flow FSMs. *)
+  Fmt.pr "@.per-flow FSMs (abstract states / transitions):@.";
+  List.iter
+    (fun name ->
+      let fsm = Nfactor.Fsm.of_extraction (extract name) in
+      Fmt.pr "  %-12s %d state(s), %d transition(s)@." name (Nfactor.Fsm.state_count fsm)
+        (Nfactor.Fsm.transition_count fsm))
+    Nfs.Corpus.names;
+  (* Symbolic end-to-end classes. *)
+  Fmt.pr "@.header-space classes (symbolic reachability, initial state):@.";
+  List.iter
+    (fun name ->
+      let ex = extract name in
+      let classes =
+        Verify.Symreach.classes
+          [ (name, ex.Nfactor.Extract.model, Nfactor.Model_interp.initial_store ex) ]
+      in
+      Fmt.pr "  %-12s %d forwarding class(es)@." name (List.length classes))
+    Nfs.Corpus.names
+
+(* ------------------------------------------------------------------ *)
+(* Scaling ablation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The cause behind the paper's snort row: original-program path
+   explosion scales with the ruleset, the forwarding slice does not.
+   This sweep regenerates the effect as a curve. *)
+let scaling () =
+  section "Scaling ablation: snort ruleset size vs path explosion (slice is flat)";
+  Fmt.pr "%8s | %10s %12s | %8s %12s@." "rules" "EP orig" "SE orig (ms)" "EP slice" "SE slice (ms)";
+  List.iter
+    (fun rules ->
+      let p = Nfs.Snort_lite.program_with ~rules () in
+      let ex = Nfactor.Extract.run ~name:"snort" p in
+      let budget = { Symexec.Explore.default_config with Symexec.Explore.max_paths = 1000 } in
+      let (_, orig_stats), orig_t =
+        Nfactor.Report.time (fun () -> Nfactor.Report.explore_original ~config:budget ex)
+      in
+      let (_, slice_stats), slice_t =
+        Nfactor.Report.time (fun () -> Nfactor.Report.explore_slice ex)
+      in
+      let ep_orig =
+        if orig_stats.Symexec.Explore.overflowed then
+          Printf.sprintf ">%d" orig_stats.Symexec.Explore.paths
+        else string_of_int orig_stats.Symexec.Explore.paths
+      in
+      Fmt.pr "%8d | %10s %12.2f | %8d %12.2f@." rules ep_orig (orig_t *. 1e3)
+        slice_stats.Symexec.Explore.paths (slice_t *. 1e3))
+    [ 0; 1; 2; 4; 8; 16; 64; 300 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let slice_only program () =
+  let p = Nfl.Transform.canonicalize program in
+  ignore (Statealyzer.Varclass.analyze p)
+
+let explore_orig ex config () = ignore (Nfactor.Report.explore_original ~config ex)
+
+let micro_tests () =
+  let lb = corpus_entry "lb" and snort = corpus_entry "snort" and balance = corpus_entry "balance" in
+  let lb_p = lb.Nfs.Corpus.program () in
+  let snort_p = snort.Nfs.Corpus.program () in
+  let balance_p = balance.Nfs.Corpus.program () in
+  let lb_ex = extract "lb" in
+  let small_budget b = { Symexec.Explore.default_config with Symexec.Explore.max_paths = b } in
+  (* Pre-extract for the exploration benches so only the measured stage
+     runs inside the staged closure. *)
+  let balance_ex = extract "balance" in
+  let snort_ex = extract "snort" in
+  let differential_100 =
+    let pkts = Packet.Traffic.random_stream ~seed:9 ~n:100 () in
+    fun () -> ignore (Nfactor.Equiv.differential lb_ex ~pkts)
+  in
+  Test.make_grouped ~name:"nfactor"
+    [
+      (* Table 1 *)
+      Test.make ~name:"table1/statealyzer:lb" (Staged.stage (fun () -> slice_only lb_p ()));
+      (* Table 2, slicing column *)
+      Test.make ~name:"table2/slicing:snort" (Staged.stage (fun () -> slice_only snort_p ()));
+      Test.make ~name:"table2/slicing:balance" (Staged.stage (fun () -> slice_only balance_p ()));
+      (* Table 2, SE-on-slice column (full extraction includes it) *)
+      Test.make ~name:"table2/extract:snort"
+        (Staged.stage (fun () -> ignore (Nfactor.Extract.run ~name:"snort" snort_p)));
+      Test.make ~name:"table2/extract:balance"
+        (Staged.stage (fun () -> ignore (Nfactor.Extract.run ~name:"balance" balance_p)));
+      (* Table 2, SE-on-original column (budget-capped, like ">1000") *)
+      Test.make ~name:"table2/se-orig:balance"
+        (Staged.stage (explore_orig balance_ex (small_budget 1000)));
+      Test.make ~name:"table2/se-orig:snort-capped64"
+        (Staged.stage (explore_orig snort_ex (small_budget 64)));
+      (* Figure 6 *)
+      Test.make ~name:"fig6/extract+render:balance"
+        (Staged.stage (fun () ->
+             ignore
+               (Nfactor.Model.to_string
+                  (Nfactor.Extract.run ~name:"balance" balance_p).Nfactor.Extract.model)));
+      (* Accuracy *)
+      Test.make ~name:"accuracy/differential-100:lb" (Staged.stage differential_100);
+      (* Section-4 applications *)
+      Test.make ~name:"apps/fsm:balance"
+        (Staged.stage (fun () -> ignore (Nfactor.Fsm.of_extraction balance_ex)));
+      Test.make ~name:"apps/export+import:lb"
+        (Staged.stage (fun () ->
+             ignore
+               (Nfactor.Model_io.of_string
+                  (Nfactor.Model_io.to_string lb_ex.Nfactor.Extract.model))));
+      Test.make ~name:"apps/symreach-classes:snort+firewall"
+        (Staged.stage
+           (let nodes =
+              List.map
+                (fun name ->
+                  let ex = extract name in
+                  (name, ex.Nfactor.Extract.model, Nfactor.Model_interp.initial_store ex))
+                [ "snort"; "firewall" ]
+            in
+            fun () -> ignore (Verify.Symreach.classes nodes)));
+      Test.make ~name:"apps/testgen:firewall"
+        (Staged.stage
+           (let fw_ex = extract "firewall" in
+            fun () -> ignore (Verify.Testgen.cover fw_ex)));
+      (* Ablations: loop bound sensitivity of the slice exploration. *)
+      Test.make ~name:"ablation/loop-bound-1:balance"
+        (Staged.stage (fun () ->
+             ignore
+               (Nfactor.Extract.run
+                  ~config:{ Symexec.Explore.default_config with Symexec.Explore.loop_bound = 1 }
+                  ~name:"balance" balance_p)));
+      Test.make ~name:"ablation/loop-bound-4:balance"
+        (Staged.stage (fun () ->
+             ignore
+               (Nfactor.Extract.run
+                  ~config:{ Symexec.Explore.default_config with Symexec.Explore.loop_bound = 4 }
+                  ~name:"balance" balance_p)));
+    ]
+
+let run_micro () =
+  section "Bechamel micro-benchmarks (per-stage timings and ablations)";
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est = match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Fmt.pr "%-48s %14s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Fmt.pr "%-48s %14s@." name human)
+    rows
+
+let () =
+  table1 ();
+  figure6 ();
+  table2 ();
+  accuracy ();
+  path_equivalence ();
+  applications ();
+  scaling ();
+  run_micro ();
+  Fmt.pr "@.done.@."

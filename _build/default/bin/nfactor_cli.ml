@@ -1,0 +1,316 @@
+(** [nfactor] — command-line front end.
+
+    Subcommands mirror the pipeline stages: [list]/[show] browse the
+    corpus, [classify] prints the StateAlyzer table, [slice] renders
+    the packet+state slice over the source, [extract] prints the
+    synthesized model, [paths] the exploration statistics, [report]
+    the Table-2 metrics, [accuracy] runs the differential experiment
+    and [testgen] emits a model-covering packet sequence. NF arguments
+    are corpus names or paths to [.nfl] source files. *)
+
+open Cmdliner
+
+let load_nf arg =
+  match Nfs.Corpus.find arg with
+  | Some e -> Ok (arg, e.Nfs.Corpus.source (), e.Nfs.Corpus.program ())
+  | None -> (
+      if Sys.file_exists arg then
+        let ic = open_in arg in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        match Nfl.Parser.program src with
+        | p -> Ok (Filename.remove_extension (Filename.basename arg), src, p)
+        | exception Nfl.Parser.Error (m, pos) ->
+            Error (Printf.sprintf "%s:%d:%d: %s" arg pos.Nfl.Ast.line pos.Nfl.Ast.col m)
+        | exception Nfl.Lexer.Error (m, pos) ->
+            Error (Printf.sprintf "%s:%d:%d: %s" arg pos.Nfl.Ast.line pos.Nfl.Ast.col m)
+      else
+        Error
+          (Printf.sprintf "unknown NF %S (corpus: %s)" arg
+             (String.concat ", " Nfs.Corpus.names)))
+
+let nf_arg =
+  let doc = "NF to analyze: a corpus name or a path to an .nfl file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+
+let with_nf f arg =
+  match load_nf arg with
+  | Ok (name, src, p) -> f name src p
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "%-12s %-18s %-8s %s@." "NAME" "STRUCTURE" "IN-PAPER" "DESCRIPTION";
+    List.iter
+      (fun (e : Nfs.Corpus.entry) ->
+        Fmt.pr "%-12s %-18s %-8s %s@." e.Nfs.Corpus.name e.Nfs.Corpus.structure
+          (if e.Nfs.Corpus.in_paper then "yes" else "no")
+          e.Nfs.Corpus.description)
+      Nfs.Corpus.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the NF corpus.") Term.(const run $ const ())
+
+let show_cmd =
+  let run = with_nf (fun _ src _ -> print_string src) in
+  Cmd.v (Cmd.info "show" ~doc:"Print an NF's NFL source.") Term.(const run $ nf_arg)
+
+let classify_cmd =
+  let run =
+    with_nf (fun name _ p ->
+        let p = Nfl.Transform.canonicalize p in
+        let t = Statealyzer.Varclass.analyze p in
+        Fmt.pr "StateAlyzer classification for %s:@.%a" name Statealyzer.Varclass.pp t)
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Print the StateAlyzer variable classification (Table 1).")
+    Term.(const run $ nf_arg)
+
+let slice_cmd =
+  let run =
+    with_nf (fun name _ p ->
+        let ex = Nfactor.Extract.run ~name p in
+        Fmt.pr "# packet+state slice of %s (pruned statements commented)@." name;
+        print_string (Nfl.Pretty.program ~slice:ex.Nfactor.Extract.union_slice ex.Nfactor.Extract.program))
+  in
+  Cmd.v
+    (Cmd.info "slice" ~doc:"Render the canonical source with non-slice statements pruned.")
+    Term.(const run $ nf_arg)
+
+let extract_cmd =
+  let run =
+    with_nf (fun name _ p ->
+        let ex = Nfactor.Extract.run ~name p in
+        Fmt.pr "%a" Nfactor.Model.pp ex.Nfactor.Extract.model)
+  in
+  Cmd.v (Cmd.info "extract" ~doc:"Synthesize and print the forwarding model (Figure 6).")
+    Term.(const run $ nf_arg)
+
+let paths_cmd =
+  let run =
+    with_nf (fun name _ p ->
+        let ex = Nfactor.Extract.run ~name p in
+        let s = ex.Nfactor.Extract.stats in
+        Fmt.pr "%s: %d path(s), %d truncated, %d fork(s), %d solver call(s)%s@." name
+          s.Symexec.Explore.paths s.Symexec.Explore.truncated_paths s.Symexec.Explore.forks
+          s.Symexec.Explore.solver_calls
+          (if s.Symexec.Explore.overflowed then " [budget exceeded]" else "");
+        List.iteri
+          (fun i (path : Symexec.Explore.path) ->
+            Fmt.pr "path %d: %d stmt(s), %d literal(s), %s@." i
+              (List.length (List.sort_uniq compare path.Symexec.Explore.trace))
+              (List.length path.Symexec.Explore.pc)
+              (match path.Symexec.Explore.sends with
+              | [] -> "drop"
+              | l -> Printf.sprintf "%d send(s)" (List.length l)))
+          ex.Nfactor.Extract.paths)
+  in
+  Cmd.v (Cmd.info "paths" ~doc:"Show execution paths of the slice union.") Term.(const run $ nf_arg)
+
+let report_cmd =
+  let budget =
+    Arg.(value & opt int 1000 & info [ "se-budget" ] ~doc:"Path budget for the original program.")
+  in
+  let run budget =
+    print_endline Nfactor.Report.header;
+    List.iter
+      (fun (e : Nfs.Corpus.entry) ->
+        let _, row =
+          Nfactor.Report.measure ~se_budget:budget ~name:e.Nfs.Corpus.name
+            ~source:(e.Nfs.Corpus.source ()) (e.Nfs.Corpus.program ())
+        in
+        print_endline (Nfactor.Report.row_to_string row))
+      Nfs.Corpus.all
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Table-2 metrics for the whole corpus.") Term.(const run $ budget)
+
+let accuracy_cmd =
+  let trials = Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Random packets per NF.") in
+  let seed = Arg.(value & opt int 2016 & info [ "seed" ] ~doc:"Traffic seed.") in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Replay a packet trace FILE instead of random traffic.")
+  in
+  let run trials seed trace arg =
+    with_nf
+      (fun name _ p ->
+        let ex = Nfactor.Extract.run ~name p in
+        let v =
+          match trace with
+          | Some file -> Nfactor.Equiv.differential ex ~pkts:(Packet.Codec.load ~file)
+          | None -> Nfactor.Equiv.random_testing ~seed ~trials ex
+        in
+        if Nfactor.Equiv.ok v then
+          Fmt.pr "%s: %d/%d random packets agree (program == model)@." name v.Nfactor.Equiv.trials
+            v.Nfactor.Equiv.trials
+        else begin
+          Fmt.pr "%s: %d mismatch(es) out of %d:@." name
+            (List.length v.Nfactor.Equiv.mismatches)
+            v.Nfactor.Equiv.trials;
+          List.iter (Fmt.pr "%a" Nfactor.Equiv.pp_mismatch) v.Nfactor.Equiv.mismatches;
+          exit 1
+        end)
+      arg
+  in
+  Cmd.v
+    (Cmd.info "accuracy"
+       ~doc:"Differential testing: program vs model on random or replayed traffic.")
+    Term.(const run $ trials $ seed $ trace $ nf_arg)
+
+let gen_trace_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Random packets (ignored with --flows).") in
+  let flows =
+    Arg.(value & opt (some int) None & info [ "flows" ] ~doc:"Generate N full TCP conversations instead.")
+  in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output FILE.") in
+  let run seed n flows out =
+    let pkts =
+      match flows with
+      | Some f -> Packet.Traffic.flow_stream ~seed ~flows:f ~data_pkts:3 ()
+      | None -> Packet.Traffic.random_stream ~seed ~n ()
+    in
+    Packet.Codec.save ~file:out pkts;
+    Fmt.pr "%d packet(s) written to %s@." (List.length pkts) out
+  in
+  Cmd.v (Cmd.info "gen-trace" ~doc:"Generate a reproducible packet trace file.")
+    Term.(const run $ seed $ n $ flows $ out)
+
+let testgen_cmd =
+  let run =
+    with_nf (fun name _ p ->
+        let ex = Nfactor.Extract.run ~name p in
+        let c = Verify.Testgen.cover ex in
+        Fmt.pr "%s: %a@." name Verify.Testgen.pp_coverage c;
+        List.iteri (fun i pk -> Fmt.pr "  #%d %a@." i Packet.Pkt.pp pk) c.Verify.Testgen.pkts;
+        let v = Verify.Testgen.compliance ex c in
+        Fmt.pr "compliance replay: %s@."
+          (if Nfactor.Equiv.ok v then "program matches model on all generated packets" else "MISMATCH"))
+  in
+  Cmd.v (Cmd.info "testgen" ~doc:"Generate model-covering test packets (BUZZ-style).")
+    Term.(const run $ nf_arg)
+
+let fsm_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
+  let run dot arg =
+    with_nf
+      (fun name _ p ->
+        let ex = Nfactor.Extract.run ~name p in
+        let fsm = Nfactor.Fsm.of_extraction ex in
+        if dot then print_string (Nfactor.Fsm.to_dot ~name fsm)
+        else Fmt.pr "per-flow FSM for %s:@.%a" name Nfactor.Fsm.pp fsm)
+      arg
+  in
+  Cmd.v (Cmd.info "fsm" ~doc:"Derive the per-flow finite state machine from the model.")
+    Term.(const run $ dot $ nf_arg)
+
+let export_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write to FILE.")
+  in
+  let run out arg =
+    with_nf
+      (fun name _ p ->
+        let ex = Nfactor.Extract.run ~name p in
+        let text = Nfactor.Model_io.to_string ex.Nfactor.Extract.model in
+        match out with
+        | None -> print_endline text
+        | Some file ->
+            let oc = open_out file in
+            output_string oc text;
+            output_char oc '\n';
+            close_out oc;
+            Fmt.pr "model written to %s@." file)
+      arg
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Serialize the model to the interchange format (what a vendor ships an operator).")
+    Term.(const run $ out $ nf_arg)
+
+let import_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Model file.") in
+  let run file =
+    if not (Sys.file_exists file) then begin
+      Fmt.epr "error: no such file %s@." file;
+      exit 1
+    end;
+    let ic = open_in file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Nfactor.Model_io.of_string (String.trim text) with
+    | m -> Fmt.pr "%a" Nfactor.Model.pp m
+    | exception Nfactor.Model_io.Parse_error msg ->
+        Fmt.epr "error: %s@." msg;
+        exit 1
+  in
+  Cmd.v (Cmd.info "import" ~doc:"Parse and display a serialized model.") Term.(const run $ file)
+
+let classes_cmd =
+  let nfs =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"NF..." ~doc:"Chain of NFs, in order.")
+  in
+  let run names =
+    let nodes =
+      List.map
+        (fun n ->
+          match load_nf n with
+          | Ok (name, _, p) ->
+              let ex = Nfactor.Extract.run ~name p in
+              (name, ex.Nfactor.Extract.model, Nfactor.Model_interp.initial_store ex)
+          | Error msg ->
+              Fmt.epr "error: %s@." msg;
+              exit 1)
+        names
+    in
+    let classes = Verify.Symreach.classes nodes in
+    Fmt.pr "%d end-to-end forwarding class(es) through [%a]:@.@." (List.length classes)
+      Fmt.(list ~sep:(any " -> ") string)
+      names;
+    List.iteri
+      (fun i c ->
+        Fmt.pr "-- class %d --@.%a@." i Verify.Symreach.pp_cls c)
+      classes
+  in
+  Cmd.v
+    (Cmd.info "classes"
+       ~doc:"Header-space style end-to-end forwarding classes of an NF chain.")
+    Term.(const run $ nfs)
+
+let compose_cmd =
+  let nfs =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"NF..." ~doc:"NFs to order.")
+  in
+  let run names =
+    let models =
+      List.map
+        (fun n ->
+          match load_nf n with
+          | Ok (name, _, p) -> (name, (Nfactor.Extract.run ~name p).Nfactor.Extract.model)
+          | Error msg ->
+              Fmt.epr "error: %s@." msg;
+              exit 1)
+        names
+    in
+    Fmt.pr "orders ranked by model-derived interference:@.";
+    List.iter
+      (fun r -> Fmt.pr "  %a@." Verify.Chain.pp_ranking r)
+      (Verify.Chain.rank_orders models)
+  in
+  Cmd.v
+    (Cmd.info "compose" ~doc:"Rank service-chain orders by interference (PGA-style).")
+    Term.(const run $ nfs)
+
+let main =
+  let doc = "Automatic synthesis of NF forwarding models by program analysis (HotNets'16)." in
+  Cmd.group (Cmd.info "nfactor" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; show_cmd; classify_cmd; slice_cmd; extract_cmd; paths_cmd; report_cmd;
+      accuracy_cmd; gen_trace_cmd; testgen_cmd; fsm_cmd; export_cmd; import_cmd; classes_cmd; compose_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

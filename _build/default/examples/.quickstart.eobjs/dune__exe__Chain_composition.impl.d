@@ -1,0 +1,1 @@
+examples/chain_composition.ml: Chain Extract Fmt List Model Network Nfactor Nfs Option Packet Verify

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Equiv Extract Fmt List Model Nfactor Nfl Nfs Statealyzer Symexec

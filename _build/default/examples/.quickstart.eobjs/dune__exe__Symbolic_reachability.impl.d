@@ -1,0 +1,1 @@
+examples/symbolic_reachability.ml: Extract Fmt List Model_interp Nfactor Nfl Nfs Option Packet Sexpr Solver Symexec Symreach Value Verify

@@ -1,0 +1,1 @@
+examples/test_generation.ml: Equiv Extract Fmt List Model Nfactor Nfs Option Packet Printf Testgen Verify

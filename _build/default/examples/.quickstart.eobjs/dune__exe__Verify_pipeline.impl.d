@@ -1,0 +1,1 @@
+examples/verify_pipeline.ml: Extract Fmt List Model Network Nfactor Nfs Option Packet Verify

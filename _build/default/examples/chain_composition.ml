@@ -1,0 +1,63 @@
+(** Service-chain composition (paper Section 4).
+
+    The paper's question: composing policies [{FW, IDS}] and [{LB}] —
+    is the right order [{FW, IDS, LB}] or [{FW, LB, IDS}]? PGA answers
+    with NF models; here the models come from NFactor instead of being
+    written by hand.
+
+    Run with: [dune exec examples/chain_composition.exe] *)
+
+open Nfactor
+open Verify
+
+let model name =
+  let entry = Option.get (Nfs.Corpus.find name) in
+  (Extract.run ~name (entry.Nfs.Corpus.program ())).Extract.model
+
+let () =
+  let fw = ("FW", model "firewall") in
+  let ids = ("IDS", model "snort") in
+  let lb = ("LB", model "lb") in
+
+  Fmt.pr "Per-NF field footprints (from the extracted models):@.";
+  List.iter
+    (fun (name, m) ->
+      Fmt.pr "  %-4s matches {%a}  modifies {%a}@." name
+        Fmt.(list ~sep:(any ", ") string)
+        (Model.matched_fields m)
+        Fmt.(list ~sep:(any ", ") string)
+        (Model.modified_fields m))
+    [ fw; ids; lb ];
+
+  Fmt.pr "@.Composing {FW, IDS} with {LB} — all valid interleavings, ranked:@.";
+  let rankings = Chain.compose_chains [ fw; ids ] [ lb ] in
+  List.iter (fun r -> Fmt.pr "  %a@." Chain.pp_ranking r) rankings;
+
+  let best = List.hd rankings in
+  Fmt.pr "@.Chosen order: %a@." Fmt.(list ~sep:(any " -> ") string) best.Chain.order;
+
+  (* Demonstrate the interference the ranking avoids: behind the LB,
+     the firewall sees rewritten addresses. *)
+  Fmt.pr "@.Why LB-before-FW is wrong, concretely:@.";
+  let mk_chain order =
+    Network.chain
+      (List.map
+         (fun name ->
+           let e = Option.get (Nfs.Corpus.find name) in
+           Network.node_of_extraction name (Extract.run ~name (e.Nfs.Corpus.program ())))
+         order)
+  in
+  let client =
+    Packet.Pkt.make
+      ~ip_src:(Packet.Addr.of_string "10.0.0.7")
+      ~ip_dst:(Packet.Addr.of_string "3.3.3.3")
+      ~sport:1234 ~dport:80 ()
+  in
+  List.iter
+    (fun order ->
+      let c = mk_chain order in
+      let outs, trace = Network.push c client in
+      Fmt.pr "  [%a]: %d packet(s) delivered (%a)@."
+        Fmt.(list ~sep:(any " -> ") string)
+        order (List.length outs) Network.pp_trace trace)
+    [ [ "firewall"; "lb" ]; [ "lb"; "firewall" ] ]

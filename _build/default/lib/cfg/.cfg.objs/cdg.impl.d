@@ -1,0 +1,1 @@
+lib/cfg/cdg.ml: Cfg Dominance Fmt List Option

@@ -1,0 +1,1 @@
+lib/cfg/cdg.mli: Cfg Format

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Fmt List Map Nfl Set

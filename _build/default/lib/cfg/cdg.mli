@@ -1,0 +1,17 @@
+(** Control-dependence graph (Ferrante, Ottenstein & Warren 1987):
+    node [n] is control dependent on branch [b] when one of [b]'s
+    outcomes always leads through [n] while another can avoid it.
+    Computed by walking the post-dominator tree from each branch
+    successor up to the branch's immediate post-dominator. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val deps_of : t -> Cfg.node -> Cfg.Nset.t
+(** Branches controlling a node. *)
+
+val controlled_by : t -> Cfg.node -> Cfg.Nset.t
+(** Nodes a branch controls. *)
+
+val pp : Format.formatter -> t -> unit

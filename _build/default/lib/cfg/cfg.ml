@@ -1,0 +1,163 @@
+(** Statement-level control-flow graph over NFL blocks.
+
+    Nodes are statement ids plus virtual [Entry]/[Exit] nodes. Branch
+    statements ([if]/[while]/[for]) are their own nodes, with labelled
+    true/false out-edges; loop back-edges go to the branch node.
+
+    Conditions are never constant-folded: a [while (true)] still has a
+    false edge to its continuation, so [Exit] stays reachable and
+    post-dominance is well defined even for the canonical infinite
+    packet loop. A pseudo edge [Entry -> Exit] is added, per Ferrante et
+    al., so that top-level statements come out control-dependent on
+    [Entry]. *)
+
+type node = Entry | Exit | Stmt of int
+
+let node_compare (a : node) (b : node) =
+  let rank = function Entry -> -2 | Exit -> -1 | Stmt i -> i in
+  compare (rank a) (rank b)
+
+let node_equal a b = node_compare a b = 0
+
+let node_to_string = function
+  | Entry -> "entry"
+  | Exit -> "exit"
+  | Stmt i -> "s" ^ string_of_int i
+
+let pp_node ppf n = Fmt.string ppf (node_to_string n)
+
+module Nmap = Map.Make (struct
+  type t = node
+
+  let compare = node_compare
+end)
+
+module Nset = Set.Make (struct
+  type t = node
+
+  let compare = node_compare
+end)
+
+(** Edge labels distinguish branch outcomes. *)
+type label = Seq | True | False
+
+type t = {
+  succs : (node * label) list Nmap.t;
+  preds : (node * label) list Nmap.t;
+  stmts : Nfl.Ast.stmt Nmap.t;  (** node -> statement (branch or simple) *)
+  nodes : node list;  (** all nodes, [Entry] and [Exit] included *)
+}
+
+let succs g n = try Nmap.find n g.succs with Not_found -> []
+let preds g n = try Nmap.find n g.preds with Not_found -> []
+let succ_nodes g n = List.map fst (succs g n)
+let pred_nodes g n = List.map fst (preds g n)
+let stmt_of g n = Nmap.find_opt n g.stmts
+let nodes g = g.nodes
+
+(** Number of real (statement) nodes. *)
+let size g = List.length g.nodes - 2
+
+(* Builder with mutable adjacency, sealed into the immutable record. *)
+type builder = {
+  mutable b_succs : (node * label) list Nmap.t;
+  mutable b_preds : (node * label) list Nmap.t;
+  mutable b_stmts : Nfl.Ast.stmt Nmap.t;
+  mutable b_nodes : Nset.t;
+}
+
+let add_node b n = b.b_nodes <- Nset.add n b.b_nodes
+
+let add_edge b src lbl dst =
+  add_node b src;
+  add_node b dst;
+  let push key v m =
+    Nmap.update key
+      (function
+        | None -> Some [ v ]
+        | Some l -> if List.mem v l then Some l else Some (v :: l))
+      m
+  in
+  b.b_succs <- push src (dst, lbl) b.b_succs;
+  b.b_preds <- push dst (src, lbl) b.b_preds
+
+(** Build the CFG of a statement block (typically a whole [main] or a
+    packet-loop body). *)
+let of_block (block : Nfl.Ast.block) =
+  let b =
+    { b_succs = Nmap.empty; b_preds = Nmap.empty; b_stmts = Nmap.empty; b_nodes = Nset.empty }
+  in
+  add_node b Entry;
+  add_node b Exit;
+  (* [stmts ins block] wires [block] after the dangling edges [ins] and
+     returns the new dangling edges. *)
+  let rec stmts ins block =
+    List.fold_left (fun ins s -> stmt ins s) ins block
+  and stmt ins (s : Nfl.Ast.stmt) =
+    let n = Stmt s.Nfl.Ast.sid in
+    b.b_stmts <- Nmap.add n s b.b_stmts;
+    List.iter (fun (src, lbl) -> add_edge b src lbl n) ins;
+    add_node b n;
+    match s.Nfl.Ast.kind with
+    | Nfl.Ast.Assign _ | Nfl.Ast.Expr _ | Nfl.Ast.Delete _ | Nfl.Ast.Pass -> [ (n, Seq) ]
+    | Nfl.Ast.Return _ ->
+        (* Ball–Horwitz pseudo-predicate treatment of jumps: the taken
+           edge goes to [Exit], a (non-executable) false edge falls
+           through. This makes later statements control-dependent on
+           the return, so slices keep drop-path [return]s. *)
+        add_edge b n True Exit;
+        [ (n, False) ]
+    | Nfl.Ast.If (_, b1, b2) ->
+        let t_exits = stmts [ (n, True) ] b1 in
+        let f_exits = stmts [ (n, False) ] b2 in
+        t_exits @ f_exits
+    | Nfl.Ast.While (_, body) | Nfl.Ast.For_in (_, _, body) ->
+        let body_exits = stmts [ (n, True) ] body in
+        List.iter (fun (src, lbl) -> add_edge b src lbl n) body_exits;
+        [ (n, False) ]
+  in
+  let exits = stmts [ (Entry, Seq) ] block in
+  List.iter (fun (src, lbl) -> add_edge b src lbl Exit) exits;
+  (* Ferrante pseudo-edge (unless the block is empty and Entry already
+     flows straight to Exit). *)
+  let entry_to_exit =
+    match Nmap.find_opt Entry b.b_succs with
+    | Some l -> List.exists (fun (n, _) -> node_equal n Exit) l
+    | None -> false
+  in
+  if not entry_to_exit then add_edge b Entry False Exit;
+  {
+    succs = b.b_succs;
+    preds = b.b_preds;
+    stmts = b.b_stmts;
+    nodes = Nset.elements b.b_nodes;
+  }
+
+(** Nodes reachable from [Entry] following successor edges. *)
+let reachable g =
+  let rec go seen = function
+    | [] -> seen
+    | n :: rest ->
+        if Nset.mem n seen then go seen rest
+        else go (Nset.add n seen) (List.rev_append (succ_nodes g n) rest)
+  in
+  go Nset.empty [ Entry ]
+
+(** Branch nodes: more than one distinct successor. *)
+let branches g =
+  List.filter
+    (fun n ->
+      match List.sort_uniq node_compare (succ_nodes g n) with _ :: _ :: _ -> true | _ -> false)
+    g.nodes
+
+let pp ppf g =
+  List.iter
+    (fun n ->
+      let outs = succs g n in
+      if outs <> [] then
+        Fmt.pf ppf "%a -> %a@." pp_node n
+          Fmt.(list ~sep:(any ", ") (fun ppf (m, l) ->
+                   Fmt.pf ppf "%a%s" pp_node m
+                     (match l with Seq -> "" | True -> "[T]" | False -> "[F]")))
+          outs)
+    g.nodes

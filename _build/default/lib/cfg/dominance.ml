@@ -1,0 +1,93 @@
+(** Dominators and post-dominators.
+
+    Straightforward iterative set-based computation: NF loop bodies are
+    a few hundred statements, well inside the range where the O(n²)
+    formulation is both fast and obviously correct. Immediate
+    (post-)dominators are recovered from the full sets. *)
+
+module Nmap = Cfg.Nmap
+module Nset = Cfg.Nset
+
+type dir = Forward | Backward
+
+(* Generic dominance over the chosen direction. Unreachable nodes keep
+   the universal set (standard convention). *)
+let compute dir g =
+  let nodes = Cfg.nodes g in
+  let universe = Nset.of_list nodes in
+  let root, preds =
+    match dir with
+    | Forward -> (Cfg.Entry, Cfg.pred_nodes g)
+    | Backward -> (Cfg.Exit, Cfg.succ_nodes g)
+  in
+  let dom = ref Nmap.empty in
+  List.iter
+    (fun n ->
+      let init = if Cfg.node_equal n root then Nset.singleton root else universe in
+      dom := Nmap.add n init !dom)
+    nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if not (Cfg.node_equal n root) then begin
+          let ps = preds n in
+          let meet =
+            match ps with
+            | [] -> universe
+            | p :: rest ->
+                List.fold_left
+                  (fun acc q -> Nset.inter acc (Nmap.find q !dom))
+                  (Nmap.find p !dom) rest
+          in
+          let next = Nset.add n meet in
+          if not (Nset.equal next (Nmap.find n !dom)) then begin
+            dom := Nmap.add n next !dom;
+            changed := true
+          end
+        end)
+      nodes
+  done;
+  !dom
+
+(** [dominators g] maps each node to the set of its dominators
+    (including itself). *)
+let dominators g = compute Forward g
+
+(** [post_dominators g] maps each node to the set of its
+    post-dominators (including itself). *)
+let post_dominators g = compute Backward g
+
+let dominates dom a b = Nset.mem a (Nmap.find b dom)
+let strictly_dominates dom a b = (not (Cfg.node_equal a b)) && dominates dom a b
+
+(** Immediate (post-)dominator: the strict dominator closest to the
+    node. [None] for the root and unreachable-in-direction nodes. *)
+let immediate dom n =
+  match Nmap.find_opt n dom with
+  | None -> None
+  | Some ds ->
+      let strict = Nset.remove n ds in
+      (* idom = the strict dominator dominated by every other strict
+         dominator. *)
+      Nset.fold
+        (fun cand acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if
+                Nset.for_all
+                  (fun other ->
+                    Cfg.node_equal other cand || Nset.mem other (Nmap.find cand dom))
+                  strict
+              then Some cand
+              else None)
+        strict None
+
+(** Immediate-dominator map for all nodes. *)
+let immediate_all dom g =
+  List.fold_left
+    (fun acc n ->
+      match immediate dom n with Some d -> Nmap.add n d acc | None -> acc)
+    Nmap.empty (Cfg.nodes g)

@@ -1,0 +1,22 @@
+(** Dominators and post-dominators, by iterative set intersection
+    (NF loop bodies are small enough that the O(n²) formulation is
+    fast and obviously correct). *)
+
+module Nmap = Cfg.Nmap
+module Nset = Cfg.Nset
+
+val dominators : Cfg.t -> Nset.t Nmap.t
+(** Each node's dominator set (itself included); unreachable nodes
+    keep the universal set. *)
+
+val post_dominators : Cfg.t -> Nset.t Nmap.t
+(** Same, over the reversed graph from [Exit]. *)
+
+val dominates : Nset.t Nmap.t -> Cfg.node -> Cfg.node -> bool
+val strictly_dominates : Nset.t Nmap.t -> Cfg.node -> Cfg.node -> bool
+
+val immediate : Nset.t Nmap.t -> Cfg.node -> Cfg.node option
+(** Immediate (post-)dominator: the strict dominator closest to the
+    node; [None] for the root. *)
+
+val immediate_all : Nset.t Nmap.t -> Cfg.t -> Cfg.node Nmap.t

@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Explore Extract Fmt Interp List Model Model_interp Nfl Packet Printf Sexpr Solver String Symexec

@@ -1,0 +1,1 @@
+lib/core/extract.ml: Dataflow Explore Interp List Model Nfl Sexpr Slicing Solver Statealyzer String Symexec Value

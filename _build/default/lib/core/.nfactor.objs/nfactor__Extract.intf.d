@@ -1,0 +1,1 @@
+lib/core/extract.mli: Explore Interp Model Nfl Solver Statealyzer Symexec Value

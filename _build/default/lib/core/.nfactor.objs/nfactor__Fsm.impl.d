@@ -1,0 +1,1 @@
+lib/core/fsm.ml: Buffer Extract Fmt List Model Model_interp Option Packet Printf Sexpr Solver String Symexec Value

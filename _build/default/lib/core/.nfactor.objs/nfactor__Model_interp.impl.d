@@ -1,0 +1,1 @@
+lib/core/model_interp.ml: Extract Interp List Map Model Nfl Packet Sexpr Solver String Symexec Value

@@ -1,0 +1,1 @@
+lib/core/model_interp.mli: Extract Map Model Packet Sexpr Solver Symexec Value

@@ -1,0 +1,1 @@
+lib/core/model_io.ml: Buffer Char List Model Nfl Printf Sexpr Solver String Symexec Value

@@ -1,0 +1,1 @@
+lib/core/report.ml: Explore Extract Fmt Interp List Nfl Printf Statealyzer String Symexec Unix

@@ -1,0 +1,109 @@
+(** Equivalence checking between an NF program and its extracted model
+    (paper Section 5, "Accuracy").
+
+    Two checks, as in the paper:
+
+    1. {b Path-set comparison} — symbolically execute both sides and
+       compare the canonicalized sets of (path condition, action)
+       signatures.
+    2. {b Differential (random) testing} — drive the same random packet
+       sequence through the original program (concrete interpreter)
+       and the model (model interpreter) in lock step and compare the
+       emitted packets after every input. *)
+
+open Symexec
+
+(* ------------------------------------------------------------------ *)
+(* Path-set comparison                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical signature of a path/entry: sorted literal strings plus the
+   action rendering. Signatures are compared as sets. *)
+let signature_of_literals (lits : Solver.literal list) =
+  List.map (fun l -> Fmt.str "%a" Solver.pp_literal l) lits |> List.sort compare
+
+let signature_of_sends (sends : (string * Sexpr.t) list list) =
+  List.map
+    (fun snap ->
+      List.sort (fun (a, _) (b, _) -> compare a b) snap
+      |> List.map (fun (f, e) -> Printf.sprintf "%s=%s" f (Sexpr.to_string e))
+      |> String.concat ",")
+    sends
+
+let signature_of_path (p : Explore.path) =
+  (signature_of_literals p.Explore.pc, signature_of_sends p.Explore.sends)
+
+let signature_of_entry (e : Model.entry) =
+  let lits = e.Model.config @ e.Model.flow_match @ e.Model.state_match in
+  let sends =
+    match e.Model.pkt_action with Model.Drop -> [] | Model.Forward snaps -> snaps
+  in
+  (signature_of_literals lits, signature_of_sends sends)
+
+(** Do the model's entries and the slice's execution paths describe the
+    same path set? (The paper's "we use symbolic execution to exercise
+    all possible execution paths on both sides... the two sets of paths
+    are the same".) *)
+let paths_match (ex : Extract.result) =
+  let path_sigs = List.map signature_of_path ex.Extract.paths |> List.sort compare in
+  let entry_sigs =
+    List.map signature_of_entry ex.Extract.model.Model.entries |> List.sort compare
+  in
+  path_sigs = entry_sigs
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing                                               *)
+(* ------------------------------------------------------------------ *)
+
+type mismatch = {
+  index : int;  (** which input packet *)
+  input : Packet.Pkt.t;
+  program_out : Packet.Pkt.t list;
+  model_out : Packet.Pkt.t list;
+}
+
+type verdict = { trials : int; mismatches : mismatch list }
+
+let ok v = v.mismatches = []
+
+(** Lock-step differential run: for each input packet, execute one
+    iteration of the program loop and one model step; compare outputs.
+    Both sides carry their state across packets. *)
+let differential (ex : Extract.result) ~pkts =
+  let p = ex.Extract.program in
+  let _, body, pkt_var = Nfl.Transform.packet_loop p in
+  let prog_store = ref (Interp.initial_state p) in
+  let model_store = ref (Model_interp.initial_store ex) in
+  let mismatches = ref [] in
+  List.iteri
+    (fun index input ->
+      let prog_out, prog_store', _trace =
+        Interp.step_loop_body ~body ~store:!prog_store ~pkt_var ~pkt:input ()
+      in
+      let m = Model_interp.step ex.Extract.model !model_store input in
+      prog_store := prog_store';
+      model_store := m.Model_interp.store;
+      if not (List.length prog_out = List.length m.Model_interp.outputs
+             && List.for_all2 Packet.Pkt.equal prog_out m.Model_interp.outputs)
+      then
+        mismatches :=
+          { index; input; program_out = prog_out; model_out = m.Model_interp.outputs }
+          :: !mismatches)
+    pkts;
+  { trials = List.length pkts; mismatches = List.rev !mismatches }
+
+(** The paper's experiment: [trials] random packets (plus, more
+    demanding than the paper, flow-structured traffic exercising the
+    stateful entries). *)
+let random_testing ?(seed = 42) ?(trials = 1000) (ex : Extract.result) =
+  let pkts = Packet.Traffic.random_stream ~seed ~n:trials () in
+  differential ex ~pkts
+
+let flow_testing ?(seed = 43) ?(flows = 50) ?(data_pkts = 3) (ex : Extract.result) =
+  let pkts = Packet.Traffic.flow_stream ~seed ~flows ~data_pkts () in
+  differential ex ~pkts
+
+let pp_mismatch ppf m =
+  Fmt.pf ppf "packet #%d %a:@." m.index Packet.Pkt.pp m.input;
+  Fmt.pf ppf "  program: %a@." Fmt.(list ~sep:(any "; ") Packet.Pkt.pp) m.program_out;
+  Fmt.pf ppf "  model  : %a@." Fmt.(list ~sep:(any "; ") Packet.Pkt.pp) m.model_out

@@ -1,0 +1,202 @@
+(** Algorithm 1: NF program slicing and model synthesis, end to end.
+
+    {v
+    1-4   packet slice      — backward slices from every send()
+    5     StateAlyzer       — pktVar / cfgVar / oisVar classification
+    6-9   state slice       — backward slices from every oisVar update
+    10    execution paths   — symbolic execution of the slice union
+    11-16 refinement        — path conditions -> config/flow/state match,
+                              path effects    -> packet/state actions
+    v}
+
+    Scalar configuration variables are left symbolic during
+    exploration, so one extraction covers every configuration (the
+    paper's Figure 6 shows both [mode = RR] and [mode = HASH] tables
+    from a single run); structured configuration (lists like the
+    backend pool) stays concrete to keep indexing tractable, mirroring
+    BUZZ's constraint on the number and scope of symbolic variables. *)
+
+open Symexec
+
+type result = {
+  model : Model.t;
+  classes : Statealyzer.Varclass.t;
+  program : Nfl.Ast.program;  (** canonical program the model was extracted from *)
+  pkt_slice : int list;
+  state_slice : int list;
+  union_slice : int list;
+  sliced_body : Nfl.Ast.block;  (** loop body restricted to the slice union *)
+  paths : Explore.path list;
+  stats : Explore.stats;
+}
+
+(* Variables whose initial value should stay concrete even when the
+   classifier calls them configuration: containers and strings are
+   structural. *)
+let scalar_config init name =
+  match Interp.Smap.find_opt name init with
+  | Some (Value.Int _) | Some (Value.Bool _) -> true
+  | _ -> false
+
+(** Symbolic environment for one loop iteration: symbolic packet,
+    symbolic scalar configs, symbolic output-impacting state, concrete
+    everything else. *)
+let symbolic_env ~(classes : Statealyzer.Varclass.t) ~init ~pkt_var =
+  let cat v = Statealyzer.Varclass.category_of classes v in
+  let env =
+    Interp.Smap.fold
+      (fun name v acc ->
+        let sval =
+          match cat name with
+          | Some Statealyzer.Varclass.Cfg_var when scalar_config init name ->
+              Explore.Scalar (Sexpr.Sym name)
+          | Some Statealyzer.Varclass.Ois_var -> (
+              match v with
+              | Value.Dict _ -> Explore.Dictv (Sexpr.dict_base name)
+              | Value.Int _ | Value.Bool _ -> Explore.Scalar (Sexpr.Sym name)
+              | _ -> Explore.sval_of_value v)
+          | _ -> Explore.sval_of_value v
+        in
+        Explore.Smap.add name sval acc)
+      init Explore.Smap.empty
+  in
+  Explore.Smap.add pkt_var (Explore.sym_pkt "pkt") env
+
+(* ------------------------------------------------------------------ *)
+(* Literal classification (Algorithm 1 lines 12-14)                   *)
+(* ------------------------------------------------------------------ *)
+
+type lit_class = L_config | L_flow | L_state | L_other
+
+(* Priority: state predicates may mention packet fields (membership of
+   a flow key in a state table); flow predicates may mention config
+   constants (dport == lb_port); only predicates purely over config
+   variables go to the config field — so Figure 6's tables split on
+   [mode] alone, not on every header test against a config value. *)
+let classify_literal ~cfg_vars ~ois_vars (l : Solver.literal) =
+  let syms = Sexpr.syms l.Solver.atom in
+  let mentions_pkt = Sexpr.Sset.exists (fun s -> String.length s > 4 && String.sub s 0 4 = "pkt.") syms in
+  let mentions v = Sexpr.Sset.mem v syms in
+  if List.exists mentions ois_vars then L_state
+  else if mentions_pkt then L_flow
+  else if List.exists mentions cfg_vars then L_config
+  else L_other
+
+(* ------------------------------------------------------------------ *)
+(* State-update extraction (Algorithm 1 line 15, state side)          *)
+(* ------------------------------------------------------------------ *)
+
+let state_updates_of_path ~ois_vars (path : Explore.path) =
+  List.filter_map
+    (fun v ->
+      match Explore.Smap.find_opt v path.Explore.env with
+      | Some (Explore.Dictv d) ->
+          if d.Sexpr.writes = [] then None
+          else Some (v, Model.Dict_ops (List.rev d.Sexpr.writes))
+      | Some (Explore.Scalar e) ->
+          if Sexpr.equal e (Sexpr.Sym v) then None else Some (v, Model.Set_scalar e)
+      | Some (Explore.Pktv _) | Some (Explore.Listv _) | None -> None)
+    ois_vars
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let distinct_sorted l = List.sort_uniq compare l
+
+(** Normalize to canonical single-loop form unless already there. *)
+let ensure_canonical (p : Nfl.Ast.program) =
+  let is_canonical =
+    p.Nfl.Ast.funcs = []
+    &&
+    match Nfl.Transform.packet_loop p with
+    | _ -> true
+    | exception Nfl.Transform.Not_applicable _ -> false
+  in
+  if is_canonical then p else Nfl.Transform.canonicalize p
+
+(** Run Algorithm 1 on an NF program. The program is canonicalized
+    (structure-normalized and inlined) first, so any of the Figure-4
+    shapes is accepted. *)
+let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
+  let p = ensure_canonical p in
+  let classes = Statealyzer.Varclass.analyze p in
+  let pkt_var = classes.Statealyzer.Varclass.pkt_var in
+  let cfg_vars = Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Cfg_var in
+  let ois_vars = Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Ois_var in
+  (* Lines 1-5: packet slice (computed inside the classifier). *)
+  let pkt_slice = classes.Statealyzer.Varclass.pkt_slice in
+  (* Lines 6-9: state slice — backward slices from every oisVar update. *)
+  let persistent =
+    List.fold_left
+      (fun acc (s : Nfl.Ast.stmt) ->
+        match s.Nfl.Ast.kind with
+        | Nfl.Ast.Assign (Nfl.Ast.L_var x, _) -> Nfl.Ast.Sset.add x acc
+        | _ -> acc)
+      Nfl.Ast.Sset.empty p.Nfl.Ast.globals
+  in
+  let ctx = Slicing.Slice.of_block ~entry_defs:persistent p.Nfl.Ast.main in
+  let ois_update_sids =
+    Slicing.Slice.find_stmts ctx (fun s ->
+        Dataflow.Defs_uses.defs s
+        |> Nfl.Ast.Sset.exists (fun v -> List.mem v ois_vars))
+  in
+  let state_slice =
+    if ois_update_sids = [] then [] else Slicing.Slice.backward_union ctx ~criteria:ois_update_sids
+  in
+  let union_slice = distinct_sorted (pkt_slice @ state_slice) in
+  (* Restrict the program to the slice union. *)
+  let sliced_main = Slicing.Slice.restrict_block union_slice p.Nfl.Ast.main in
+  let sliced_program = { p with Nfl.Ast.main = sliced_main } in
+  let _, sliced_loop_body, _ =
+    Nfl.Transform.packet_loop sliced_program
+  in
+  let body_no_recv =
+    List.filter (fun s -> not (Nfl.Builtins.is_pkt_input_stmt s)) sliced_loop_body
+  in
+  (* Line 10: execution paths over the slice union. *)
+  let init = Interp.initial_state p in
+  let env = symbolic_env ~classes ~init ~pkt_var in
+  let paths, stats = Explore.block ~config ~env body_no_recv in
+  (* Lines 11-16: refinement into model entries. *)
+  let entries =
+    List.map
+      (fun (path : Explore.path) ->
+        let config_l, flow_l, state_l =
+          List.fold_left
+            (fun (c, f, s) l ->
+              match classify_literal ~cfg_vars ~ois_vars l with
+              | L_config -> (l :: c, f, s)
+              | L_flow -> (c, l :: f, s)
+              | L_state -> (c, f, l :: s)
+              | L_other -> (c, f, s))
+            ([], [], []) path.Explore.pc
+        in
+        let pkt_action =
+          match path.Explore.sends with
+          | [] -> Model.Drop
+          | snaps -> Model.Forward (List.map (List.sort (fun (a, _) (b, _) -> compare a b)) snaps)
+        in
+        {
+          Model.config = List.rev config_l;
+          flow_match = List.rev flow_l;
+          state_match = List.rev state_l;
+          pkt_action;
+          state_update = state_updates_of_path ~ois_vars path;
+          path_sids = distinct_sorted path.Explore.trace;
+          truncated = path.Explore.truncated;
+        })
+      paths
+  in
+  let model = { Model.nf_name = name; pkt_var; cfg_vars; ois_vars; entries } in
+  {
+    model;
+    classes;
+    program = p;
+    pkt_slice;
+    state_slice;
+    union_slice;
+    sliced_body = sliced_loop_body;
+    paths;
+    stats;
+  }

@@ -1,0 +1,44 @@
+(** Algorithm 1: NF program slicing and model synthesis, end to end.
+
+    Packet slice (lines 1-4) → StateAlyzer (5) → state slice (6-9) →
+    symbolic path exploration of the slice union (10) → refinement of
+    paths into model entries (11-16). Scalar configuration stays
+    symbolic so one extraction covers every configuration (Figure 6);
+    structured configuration (lists) stays concrete. *)
+
+open Symexec
+
+type result = {
+  model : Model.t;
+  classes : Statealyzer.Varclass.t;
+  program : Nfl.Ast.program;  (** canonical program the model came from *)
+  pkt_slice : int list;
+  state_slice : int list;
+  union_slice : int list;
+  sliced_body : Nfl.Ast.block;  (** loop body restricted to the slice *)
+  paths : Explore.path list;
+  stats : Explore.stats;
+}
+
+val ensure_canonical : Nfl.Ast.program -> Nfl.Ast.program
+(** Normalize to canonical single-loop form unless already there. *)
+
+val symbolic_env :
+  classes:Statealyzer.Varclass.t ->
+  init:Value.t Interp.Smap.t ->
+  pkt_var:string ->
+  Explore.sval Explore.Smap.t
+(** The extraction environment: symbolic packet, symbolic scalar
+    configs and output-impacting state, concrete everything else. *)
+
+type lit_class = L_config | L_flow | L_state | L_other
+
+val classify_literal :
+  cfg_vars:string list -> ois_vars:string list -> Solver.literal -> lit_class
+(** Algorithm 1 lines 12-14: state atoms may mention packet fields,
+    flow atoms may mention config constants; only pure-config atoms
+    split tables. *)
+
+val run : ?config:Explore.config -> name:string -> Nfl.Ast.program -> result
+(** Run the whole pipeline. Accepts any Figure-4 structure (the
+    program is canonicalized first). *)

@@ -1,0 +1,277 @@
+(** Per-flow finite state machine derived from a model (paper
+    Section 2.4: "The state transition logic can be used to build a
+    finite state machine, which is proposed and used in network
+    testing solutions [BUZZ]").
+
+    Abstraction: one flow's life at the NF. An abstract state is the
+    canonical signature of a model entry's state-match predicates (the
+    distinct "situations" the NF distinguishes for a flow: {e unknown},
+    {e mapped}, {e established}, ...). Each model entry becomes a
+    transition: from the abstract state its state-match describes, on
+    the packet class its flow-match describes, to the abstract state
+    implied by its update (identified by which entry would match the
+    same flow afterwards).
+
+    The successor is computed {e semantically}: the entry's state
+    update is applied to a concrete witness flow, and the machine asks
+    which entry's state-match the updated store satisfies. *)
+
+open Symexec
+
+type state_id = int
+
+type state = {
+  id : state_id;
+  label : string;  (** rendered state-match signature *)
+  literals : Solver.literal list;
+}
+
+type transition = {
+  from_state : state_id;
+  to_state : state_id option;  (** [None]: no entry matches afterwards (flow forgotten) *)
+  entry_index : int;
+  guard : string;  (** rendered flow-match *)
+  action : string;  (** rendered packet action *)
+}
+
+type t = {
+  states : state list;
+  transitions : transition list;
+  initial : state_id option;  (** state of a never-seen flow, if identifiable *)
+}
+
+let state_signature (e : Model.entry) =
+  Fmt.str "%a" Model.pp_literals e.Model.state_match
+
+(* A concrete witness packet for an entry under the current store:
+   solver concretization over the flow atoms, laid over a small base
+   palette (the solver cannot decide opaque prefix/port-set atoms, so
+   bases supply plausible address families). The witness must satisfy
+   the entry's config+flow predicates concretely; the first candidate
+   that does wins. *)
+let witness_bases =
+  let addrs =
+    [ Packet.Addr.ip 10 0 0 1; Packet.Addr.ip 192 168 1 5; Packet.Addr.ip 8 8 8 8; Packet.Addr.ip 3 3 3 3 ]
+  in
+  let flags = [ Packet.Headers.ack; Packet.Headers.syn; 0; Packet.Headers.fin; Packet.Headers.rst ] in
+  List.concat_map
+    (fun src ->
+      List.concat_map
+        (fun dst ->
+          if src = dst then []
+          else
+            List.concat_map
+              (fun dport ->
+                List.map
+                  (fun fl ->
+                    Packet.Pkt.make ~ip_src:src ~ip_dst:dst ~sport:40000 ~dport ~tcp_flags:fl ())
+                  flags)
+              [ 80; 443; 9999 ])
+        addrs)
+    addrs
+
+let witness_packet store (e : Model.entry) =
+  let resolve (l : Solver.literal) =
+    { l with Solver.atom = Sexpr.subst (fun n -> Model_interp.Smap.find_opt n store) l.Solver.atom }
+  in
+  let lits = List.map resolve (e.Model.config @ e.Model.flow_match) in
+  match Solver.concretize ~default:1 lits with
+  | None -> None
+  | Some assignment ->
+      let overlay base =
+        Solver.Smap.fold
+          (fun name v pkt ->
+            if String.length name > 4 && String.sub name 0 4 = "pkt." then
+              let f = String.sub name 4 (String.length name - 4) in
+              match v with
+              | Value.Int n when Packet.Headers.is_int_field f ->
+                  Packet.Pkt.set_int pkt f (((n mod 65536) + 65536) mod 65536)
+              | Value.Str s when Packet.Headers.is_str_field f -> Packet.Pkt.set_str pkt f s
+              | _ -> pkt
+            else pkt)
+          assignment base
+      in
+      let flow_holds pkt =
+        List.for_all (Model_interp.literal_holds store pkt) (e.Model.config @ e.Model.flow_match)
+      in
+      let candidates = List.map overlay (List.hd witness_bases :: witness_bases) in
+      (match List.find_opt flow_holds candidates with
+      | Some pkt -> Some pkt
+      | None -> Some (List.hd candidates))
+
+(** Build the per-flow FSM of a model, using the extraction-time
+    initial store for semantic successor computation. *)
+let of_extraction (ex : Extract.result) =
+  let m = ex.Extract.model in
+  let init_store = Model_interp.initial_store ex in
+  (* Distinct abstract states, in entry order. *)
+  let states =
+    List.fold_left
+      (fun acc (e : Model.entry) ->
+        let label = state_signature e in
+        if List.exists (fun s -> s.label = label) acc then acc
+        else
+          acc
+          @ [ { id = List.length acc; label; literals = e.Model.state_match } ])
+      [] m.Model.entries
+  in
+  let state_of_label label = List.find_opt (fun s -> s.label = label) states in
+  (* For each entry: apply its updates to the initial store using a
+     witness flow, then find which entry the same flow matches next —
+     its state signature is the successor abstract state. *)
+  let transitions =
+    List.concat
+      (List.mapi
+         (fun idx (e : Model.entry) ->
+           match witness_packet init_store e with
+           | None -> []
+           | Some pkt -> (
+               let from_label = state_signature e in
+               match state_of_label from_label with
+               | None -> []
+               | Some from_s ->
+                   (* Fire the entry if it actually matches from the
+                      initial store (stateful predecessors need staged
+                      state; approximate by checking matchability and
+                      falling back to a syntactic self-check). *)
+                   let store_after =
+                     if Model_interp.entry_matches init_store pkt e then
+                       (Model_interp.step m init_store pkt).Model_interp.store
+                     else
+                       (* Apply the update list directly. *)
+                       List.fold_left
+                         (fun st (v, upd) ->
+                           match upd with
+                           | Model.Set_scalar expr -> (
+                               match Model_interp.eval st pkt expr with
+                               | value -> Model_interp.Smap.add v value st
+                               | exception _ -> st)
+                           | Model.Dict_ops ops ->
+                               let current =
+                                 match Model_interp.Smap.find_opt v st with
+                                 | Some (Value.Dict kvs) -> kvs
+                                 | _ -> []
+                               in
+                               let updated =
+                                 List.fold_left
+                                   (fun acc (k, op) ->
+                                     match (Model_interp.eval st pkt k, op) with
+                                     | kv, Some value -> (
+                                         match Model_interp.eval st pkt value with
+                                         | vv -> Value.dict_set acc kv vv
+                                         | exception _ -> acc)
+                                     | kv, None -> Value.dict_remove acc kv
+                                     | exception _ -> acc)
+                                   current ops
+                               in
+                               Model_interp.Smap.add v (Value.Dict updated) st)
+                         init_store e.Model.state_update
+                   in
+                   (* Successor abstract state: the most specific state
+                      whose predicates the post-store satisfies for this
+                      flow (decoupled from any particular next packet's
+                      guard, so multi-step protocols progress). *)
+                   let holds (s : state) =
+                     List.for_all (Model_interp.literal_holds store_after pkt) s.literals
+                   in
+                   let specificity (s : state) =
+                     let positives =
+                       List.length (List.filter (fun (l : Solver.literal) -> l.Solver.positive) s.literals)
+                     in
+                     (List.length s.literals, positives)
+                   in
+                   let to_state =
+                     List.filter holds states
+                     |> List.sort (fun a b -> compare (specificity b) (specificity a))
+                     |> function
+                     | s :: _ -> Some s.id
+                     | [] -> None
+                   in
+                   [
+                     {
+                       from_state = from_s.id;
+                       to_state;
+                       entry_index = idx;
+                       guard = Fmt.str "%a" Model.pp_literals e.Model.flow_match;
+                       action = Fmt.str "%a" Model.pp_action e.Model.pkt_action;
+                     };
+                   ]))
+         m.Model.entries)
+  in
+  (* The initial state of a fresh flow: the entry matching a witness
+     from the pristine store. *)
+  let initial =
+    List.find_map
+      (fun (e : Model.entry) ->
+        match witness_packet init_store e with
+        | Some pkt when Model_interp.entry_matches init_store pkt e ->
+            Option.map (fun s -> s.id) (state_of_label (state_signature e))
+        | _ -> None)
+      m.Model.entries
+  in
+  { states; transitions; initial }
+
+let state_count t = List.length t.states
+let transition_count t = List.length t.transitions
+
+(** Self-loop-free reachability: which abstract states can a single
+    flow traverse, starting from [initial]? *)
+let reachable_states t =
+  match t.initial with
+  | None -> []
+  | Some s0 ->
+      let rec go seen frontier =
+        match frontier with
+        | [] -> List.rev seen
+        | s :: rest ->
+            if List.mem s seen then go seen rest
+            else
+              let nexts =
+                List.filter_map
+                  (fun tr -> if tr.from_state = s then tr.to_state else None)
+                  t.transitions
+              in
+              go (s :: seen) (nexts @ rest)
+      in
+      go [] [ s0 ]
+
+let pp ppf t =
+  Fmt.pf ppf "states:@.";
+  List.iter (fun s -> Fmt.pf ppf "  S%d: %s@." s.id s.label) t.states;
+  (match t.initial with
+  | Some s -> Fmt.pf ppf "initial: S%d@." s
+  | None -> Fmt.pf ppf "initial: ?@.");
+  Fmt.pf ppf "transitions:@.";
+  List.iter
+    (fun tr ->
+      Fmt.pf ppf "  S%d --[e%d: %s / %s]--> %s@." tr.from_state tr.entry_index tr.guard tr.action
+        (match tr.to_state with Some s -> Printf.sprintf "S%d" s | None -> "⊥"))
+    t.transitions
+
+(** Graphviz rendering for documentation and debugging. *)
+let to_dot ?(name = "nf_fsm") t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "  S%d [label=%S%s];\n" s.id
+           (Printf.sprintf "S%d: %s" s.id s.label)
+           (if t.initial = Some s.id then ", shape=doublecircle" else "")))
+    t.states;
+  List.iter
+    (fun tr ->
+      match tr.to_state with
+      | Some dst ->
+          Buffer.add_string b
+            (Printf.sprintf "  S%d -> S%d [label=%S];\n" tr.from_state dst
+               (Printf.sprintf "e%d: %s" tr.entry_index tr.action))
+      | None ->
+          Buffer.add_string b
+            (Printf.sprintf "  S%d -> bottom [label=%S, style=dashed];\n" tr.from_state
+               (Printf.sprintf "e%d" tr.entry_index)))
+    t.transitions;
+  if List.exists (fun tr -> tr.to_state = None) t.transitions then
+    Buffer.add_string b "  bottom [label=\"(forgotten)\", shape=plaintext];\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,43 @@
+(** Per-flow finite state machine derived from a model (paper
+    Section 2.4: the state-transition logic "can be used to build a
+    finite state machine", as BUZZ-style testing consumes).
+
+    Abstract states are the distinct state-match signatures of the
+    model's entries (the situations the NF distinguishes for one
+    flow); transitions are entries, with successors computed
+    semantically by applying the entry's update to a witness flow and
+    asking which entry matches afterwards. *)
+
+type state_id = int
+
+type state = {
+  id : state_id;
+  label : string;  (** rendered state-match signature *)
+  literals : Symexec.Solver.literal list;
+}
+
+type transition = {
+  from_state : state_id;
+  to_state : state_id option;  (** [None]: flow forgotten afterwards *)
+  entry_index : int;  (** index into the model's entry list *)
+  guard : string;  (** rendered flow-match *)
+  action : string;  (** rendered packet action *)
+}
+
+type t = {
+  states : state list;
+  transitions : transition list;
+  initial : state_id option;  (** state of a never-seen flow *)
+}
+
+val of_extraction : Extract.result -> t
+val state_count : t -> int
+val transition_count : t -> int
+
+val reachable_states : t -> state_id list
+(** States one flow can traverse from [initial]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?name:string -> t -> string
+(** Graphviz rendering. *)

@@ -1,0 +1,161 @@
+(** The NFactor forwarding model (paper Section 2.3, Figure 2a).
+
+    An OpenFlow-like stateful table: each entry matches on the flow
+    (packet header predicates) and on internal state (predicates over
+    output-impacting state variables), under a configuration
+    (predicates over config variables). Its action both transforms and
+    forwards the packet — or drops it — and transitions the state.
+
+    Entries come from execution paths (one entry per feasible path of
+    the packet/state slice), so match conditions are mutually exclusive
+    by construction and the implicit table-miss action is {e drop}
+    (Section 3.2, "Drop Action"). *)
+
+open Symexec
+
+type pkt_action =
+  | Forward of (string * Sexpr.t) list list
+      (** one field-map snapshot per emitted packet (usually one) *)
+  | Drop
+
+type state_update =
+  | Set_scalar of Sexpr.t  (** new value of a scalar state variable *)
+  | Dict_ops of (Sexpr.t * Sexpr.t option) list
+      (** chronological inserts ([Some v]) and deletes ([None]) *)
+
+type entry = {
+  config : Solver.literal list;  (** predicates over cfgVars *)
+  flow_match : Solver.literal list;  (** predicates over packet fields *)
+  state_match : Solver.literal list;  (** predicates over oisVars *)
+  pkt_action : pkt_action;
+  state_update : (string * state_update) list;  (** per oisVar, absent = unchanged *)
+  path_sids : int list;  (** distinct statement ids of the originating path *)
+  truncated : bool;  (** originating path hit an exploration bound *)
+}
+
+type t = {
+  nf_name : string;
+  pkt_var : string;
+  cfg_vars : string list;
+  ois_vars : string list;
+  entries : entry list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let entry_count m = List.length m.entries
+
+(** Distinct configuration condition sets, in first-appearance order —
+    the "tables" of Figure 2a. *)
+let config_groups m =
+  List.fold_left
+    (fun acc e ->
+      let key = List.map (fun l -> Fmt.str "%a" Solver.pp_literal l) e.config in
+      if List.mem_assoc key acc then acc else acc @ [ (key, e.config) ])
+    [] m.entries
+
+let entries_for_config m config_key =
+  List.filter
+    (fun e -> List.map (fun l -> Fmt.str "%a" Solver.pp_literal l) e.config = config_key)
+    m.entries
+
+(** Packet header fields the model reads (matches on) and writes. *)
+let matched_fields m =
+  let fields = ref [] in
+  let scan_lit (l : Solver.literal) =
+    Sexpr.Sset.iter
+      (fun s ->
+        match String.index_opt s '.' with
+        | Some i when String.sub s 0 i = "pkt" ->
+            let f = String.sub s (i + 1) (String.length s - i - 1) in
+            if not (List.mem f !fields) then fields := f :: !fields
+        | _ -> ())
+      (Sexpr.syms l.Solver.atom)
+  in
+  List.iter
+    (fun e ->
+      List.iter scan_lit e.flow_match;
+      List.iter scan_lit e.state_match)
+    m.entries;
+  List.sort compare !fields
+
+let modified_fields m =
+  let fields = ref [] in
+  List.iter
+    (fun e ->
+      match e.pkt_action with
+      | Drop -> ()
+      | Forward snaps ->
+          List.iter
+            (List.iter (fun (f, v) ->
+                 if (not (Sexpr.equal v (Sexpr.Sym ("pkt." ^ f)))) && not (List.mem f !fields)
+                 then fields := f :: !fields))
+            snaps)
+    m.entries;
+  List.sort compare !fields
+
+let is_stateful m = m.ois_vars <> []
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (Figure 6 style)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pp_literals ppf = function
+  | [] -> Fmt.string ppf "*"
+  | lits -> Fmt.(list ~sep:(any " && ") Solver.pp_literal) ppf lits
+
+let pp_action ppf = function
+  | Drop -> Fmt.string ppf "drop"
+  | Forward snaps ->
+      Fmt.(list ~sep:(any "; "))
+        (fun ppf snap ->
+          let rewrites =
+            List.filter (fun (f, v) -> not (Sexpr.equal v (Sexpr.Sym ("pkt." ^ f)))) snap
+          in
+          if rewrites = [] then Fmt.string ppf "send(pkt)"
+          else
+            Fmt.pf ppf "send(pkt{%a})"
+              Fmt.(list ~sep:(any ", ") (fun ppf (f, v) -> Fmt.pf ppf "%s:=%a" f Sexpr.pp v))
+              rewrites)
+        ppf snaps
+
+let pp_state_update ppf (v, u) =
+  match u with
+  | Set_scalar e -> Fmt.pf ppf "%s := %a" v Sexpr.pp e
+  | Dict_ops ops ->
+      Fmt.(list ~sep:(any ", "))
+        (fun ppf (k, upd) ->
+          match upd with
+          | Some value -> Fmt.pf ppf "%s[%a] := %a" v Sexpr.pp k Sexpr.pp value
+          | None -> Fmt.pf ppf "del %s[%a]" v Sexpr.pp k)
+        ppf ops
+
+let pp_entry ppf e =
+  Fmt.pf ppf "match flow : %a@." pp_literals e.flow_match;
+  Fmt.pf ppf "match state: %a@." pp_literals e.state_match;
+  Fmt.pf ppf "action pkt : %a@." pp_action e.pkt_action;
+  if e.state_update <> [] then
+    Fmt.pf ppf "action st  : %a@." Fmt.(list ~sep:(any "; ") pp_state_update) e.state_update;
+  if e.truncated then Fmt.pf ppf "(truncated path)@."
+
+(** Figure-6 style rendering: one table per configuration group. *)
+let pp ppf m =
+  Fmt.pf ppf "NFactor model for %s (%d entries)@." m.nf_name (entry_count m);
+  Fmt.pf ppf "cfgVars: %a | oisVars: %a@."
+    Fmt.(list ~sep:(any ", ") string)
+    m.cfg_vars
+    Fmt.(list ~sep:(any ", ") string)
+    m.ois_vars;
+  List.iter
+    (fun (key, config) ->
+      Fmt.pf ppf "@.=== config: %a ===@." pp_literals config;
+      List.iteri
+        (fun i e ->
+          Fmt.pf ppf "-- entry %d --@." i;
+          pp_entry ppf e)
+        (entries_for_config m key))
+    (config_groups m)
+
+let to_string m = Fmt.str "%a" pp m

@@ -1,0 +1,63 @@
+(** The NFactor forwarding model (paper Section 2.3, Figure 2a): an
+    OpenFlow-like stateful table whose entries match on flow and
+    internal state under a configuration, transform-and-forward (or
+    drop) the packet, and transition the state. Entries come from
+    execution paths, so matches are mutually exclusive and the
+    table-miss action is drop. *)
+
+open Symexec
+
+type pkt_action =
+  | Forward of (string * Sexpr.t) list list
+      (** one field-map snapshot per emitted packet *)
+  | Drop
+
+type state_update =
+  | Set_scalar of Sexpr.t
+  | Dict_ops of (Sexpr.t * Sexpr.t option) list
+      (** chronological inserts ([Some v]) and deletes ([None]) *)
+
+type entry = {
+  config : Solver.literal list;  (** predicates over cfgVars *)
+  flow_match : Solver.literal list;  (** predicates over packet fields *)
+  state_match : Solver.literal list;  (** predicates over oisVars *)
+  pkt_action : pkt_action;
+  state_update : (string * state_update) list;  (** absent = unchanged *)
+  path_sids : int list;  (** statements of the originating path *)
+  truncated : bool;
+}
+
+type t = {
+  nf_name : string;
+  pkt_var : string;
+  cfg_vars : string list;
+  ois_vars : string list;
+  entries : entry list;
+}
+
+(** {1 Queries} *)
+
+val entry_count : t -> int
+
+val config_groups : t -> (string list * Solver.literal list) list
+(** Distinct configuration condition sets in first-appearance order —
+    the "tables" of Figure 2a. The key is the rendered literal list. *)
+
+val entries_for_config : t -> string list -> entry list
+
+val matched_fields : t -> string list
+(** Packet header fields the model reads (flow and state matches). *)
+
+val modified_fields : t -> string list
+(** Fields some forwarding action rewrites. *)
+
+val is_stateful : t -> bool
+
+(** {1 Rendering (Figure-6 style)} *)
+
+val pp_literals : Format.formatter -> Solver.literal list -> unit
+val pp_action : Format.formatter -> pkt_action -> unit
+val pp_state_update : Format.formatter -> string * state_update -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

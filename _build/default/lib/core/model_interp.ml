@@ -1,0 +1,175 @@
+(** Concrete execution of an extracted model.
+
+    Drives a {!Model.t} the way a stateful switch would: per packet,
+    find the entry whose config/flow/state predicates hold under the
+    current concrete state, emit its (transformed) packets and apply
+    its state transition; no entry matching means the default
+    low-priority {e drop}.
+
+    This is the model half of the paper's accuracy experiment: the
+    original program runs in {!Symexec.Interp}, the model runs here,
+    and outputs are compared packet by packet. *)
+
+open Symexec
+module Smap = Map.Make (String)
+
+exception Unresolved of string
+
+type store = Value.t Smap.t
+(** Concrete valuation of cfgVars and oisVars. *)
+
+(** Initial store for a model: the extraction-time initial values of
+    its config and state variables. *)
+let initial_store (ex : Extract.result) =
+  let init = Interp.initial_state ex.Extract.program in
+  List.fold_left
+    (fun acc v ->
+      match Interp.Smap.find_opt v init with
+      | Some value -> Smap.add v value acc
+      | None -> acc)
+    Smap.empty
+    (ex.Extract.model.Model.cfg_vars @ ex.Extract.model.Model.ois_vars)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic-expression evaluation under a concrete environment        *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_sym store (pkt : Packet.Pkt.t) name =
+  if String.length name > 4 && String.sub name 0 4 = "pkt." then begin
+    let f = String.sub name 4 (String.length name - 4) in
+    if Packet.Headers.is_int_field f then Value.Int (Packet.Pkt.get_int pkt f)
+    else if Packet.Headers.is_str_field f then Value.Str (Packet.Pkt.get_str pkt f)
+    else raise (Unresolved name)
+  end
+  else
+    match Smap.find_opt name store with
+    | Some v -> v
+    | None -> raise (Unresolved name)
+
+let rec eval store pkt (e : Sexpr.t) : Value.t =
+  match e with
+  | Sexpr.Const v -> v
+  | Sexpr.Sym s -> lookup_sym store pkt s
+  | Sexpr.Bin (op, a, b) -> Value.binop op (eval store pkt a) (eval store pkt b)
+  | Sexpr.Not a -> Value.unop Nfl.Ast.Not (eval store pkt a)
+  | Sexpr.Neg a -> Value.unop Nfl.Ast.Neg (eval store pkt a)
+  | Sexpr.Tup es -> Value.Tuple (List.map (eval store pkt) es)
+  | Sexpr.Lst es -> Value.List (List.map (eval store pkt) es)
+  | Sexpr.Get (c, i) -> Value.index (eval store pkt c) (eval store pkt i)
+  | Sexpr.Ufun (f, args) -> Value.apply_pure f (List.map (eval store pkt) args)
+  | Sexpr.Mem (d, k) ->
+      let dict = dict_after_writes store pkt d in
+      Value.mem (eval store pkt k) (Value.Dict dict)
+  | Sexpr.Dget (d, k) -> (
+      let dict = dict_after_writes store pkt d in
+      match Value.dict_get dict (eval store pkt k) with
+      | Some v -> v
+      | None -> raise (Unresolved ("missing key in " ^ d.Sexpr.base)))
+
+(* A dictionary snapshot: the store's value for the base, with the
+   snapshot's (chronological) writes applied. *)
+and dict_after_writes store pkt (d : Sexpr.dict_state) =
+  let base =
+    if d.Sexpr.base = Sexpr.empty_base then []
+    else
+      match Smap.find_opt d.Sexpr.base store with
+      | Some (Value.Dict kvs) -> kvs
+      | Some _ | None -> raise (Unresolved ("dict " ^ d.Sexpr.base))
+  in
+  List.fold_left
+    (fun acc (k, upd) ->
+      let kv = eval store pkt k in
+      match upd with
+      | Some v -> Value.dict_set acc kv (eval store pkt v)
+      | None -> Value.dict_remove acc kv)
+    base
+    (List.rev d.Sexpr.writes)
+
+let literal_holds store pkt (l : Solver.literal) =
+  match eval store pkt l.Solver.atom with
+  | Value.Bool b -> b = l.Solver.positive
+  | Value.Int n -> n <> 0 = l.Solver.positive
+  | _ -> false
+  | exception Value.Type_error _ -> false
+  | exception Unresolved _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Entry matching and application                                     *)
+(* ------------------------------------------------------------------ *)
+
+let entry_matches store pkt (e : Model.entry) =
+  List.for_all (literal_holds store pkt) e.Model.config
+  && List.for_all (literal_holds store pkt) e.Model.flow_match
+  && List.for_all (literal_holds store pkt) e.Model.state_match
+
+let build_packet store pkt snapshot =
+  List.fold_left
+    (fun acc (f, e) ->
+      let v = eval store pkt e in
+      if Packet.Headers.is_int_field f then Packet.Pkt.set_int acc f (Value.as_int v)
+      else
+        match v with
+        | Value.Str s -> Packet.Pkt.set_str acc f s
+        | _ -> raise (Unresolved ("payload field " ^ f)))
+    pkt snapshot
+
+(* Compute the post-value of one state variable. All expressions are
+   evaluated against the pre-state [store], so updates to different
+   variables cannot observe each other. *)
+let computed_update store pkt (v, upd) =
+  match upd with
+  | Model.Set_scalar e -> (v, eval store pkt e)
+  | Model.Dict_ops ops ->
+      let current =
+        match Smap.find_opt v store with
+        | Some (Value.Dict kvs) -> kvs
+        | Some _ | None -> raise (Unresolved ("dict " ^ v))
+      in
+      let updated =
+        List.fold_left
+          (fun acc (k, op) ->
+            let kv = eval store pkt k in
+            match op with
+            | Some value -> Value.dict_set acc kv (eval store pkt value)
+            | None -> Value.dict_remove acc kv)
+          current ops
+      in
+      (v, Value.Dict updated)
+
+type step = {
+  outputs : Packet.Pkt.t list;
+  store : store;
+  matched : int option;  (** index of the entry that fired, [None] = table miss (drop) *)
+}
+
+(** Process one packet: first matching entry fires; all expressions are
+    evaluated against the pre-state, then the state transition commits
+    — matching one iteration of the original loop. *)
+let step (m : Model.t) store pkt =
+  let rec find i = function
+    | [] -> None
+    | e :: rest -> if entry_matches store pkt e then Some (i, e) else find (i + 1) rest
+  in
+  match find 0 m.Model.entries with
+  | None -> { outputs = []; store; matched = None }
+  | Some (i, e) ->
+      let outputs =
+        match e.Model.pkt_action with
+        | Model.Drop -> []
+        | Model.Forward snaps -> List.map (build_packet store pkt) snaps
+      in
+      let updates = List.map (computed_update store pkt) e.Model.state_update in
+      let store' = List.fold_left (fun st (v, value) -> Smap.add v value st) store updates in
+      { outputs; store = store'; matched = Some i }
+
+(** Run a packet sequence through the model, collecting per-packet
+    outputs. *)
+let run (m : Model.t) ~store ~pkts =
+  let final_store, per_pkt_rev =
+    List.fold_left
+      (fun (st, acc) pkt ->
+        let r = step m st pkt in
+        (r.store, r.outputs :: acc))
+      (store, []) pkts
+  in
+  (final_store, List.rev per_pkt_rev)

@@ -1,0 +1,36 @@
+(** Concrete execution of an extracted model: per packet, the first
+    entry whose config/flow/state predicates hold under the current
+    state fires; its expressions are evaluated against the pre-state
+    and its state transition then commits. Table miss = drop. *)
+
+open Symexec
+module Smap : Map.S with type key = string
+
+exception Unresolved of string
+(** An expression referenced a symbol/key absent from the environment
+    (indicates a malformed model or store). *)
+
+type store = Value.t Smap.t
+(** Concrete valuation of cfgVars and oisVars. *)
+
+val initial_store : Extract.result -> store
+(** Extraction-time initial values of the model's variables. *)
+
+val eval : store -> Packet.Pkt.t -> Sexpr.t -> Value.t
+(** Evaluate a symbolic expression under a concrete store and packet;
+    dictionary snapshots resolve against the store with their write
+    lists replayed. *)
+
+val literal_holds : store -> Packet.Pkt.t -> Solver.literal -> bool
+val entry_matches : store -> Packet.Pkt.t -> Model.entry -> bool
+
+type step = {
+  outputs : Packet.Pkt.t list;
+  store : store;
+  matched : int option;  (** entry index fired; [None] = drop by miss *)
+}
+
+val step : Model.t -> store -> Packet.Pkt.t -> step
+
+val run : Model.t -> store:store -> pkts:Packet.Pkt.t list -> store * Packet.Pkt.t list list
+(** Fold {!step} over a packet sequence; per-packet outputs. *)

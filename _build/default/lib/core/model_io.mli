@@ -1,0 +1,38 @@
+(** Model serialization — the vendor-to-operator interchange format
+    from the paper's deployment story ("run [NFactor] on their
+    proprietary code and provide only the resultant models").
+    S-expression based, versioned, with a total parser. *)
+
+open Symexec
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse_error of string
+
+(** {1 Generic s-expressions} *)
+
+val sexp_to_string : sexp -> string
+
+val parse_sexp : string -> sexp
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Component encoders (exposed for testing and tooling)} *)
+
+val sexp_of_value : Value.t -> sexp
+val value_of_sexp : sexp -> Value.t
+val sexp_of_expr : Sexpr.t -> sexp
+val expr_of_sexp : sexp -> Sexpr.t
+val sexp_of_literal : Solver.literal -> sexp
+val literal_of_sexp : sexp -> Solver.literal
+val sexp_of_entry : Model.entry -> sexp
+val entry_of_sexp : sexp -> Model.entry
+
+(** {1 Whole models} *)
+
+val version : int
+
+val to_string : Model.t -> string
+(** Serialize to the interchange text. *)
+
+val of_string : string -> Model.t
+(** @raise Parse_error on malformed or wrong-version input. *)

@@ -1,0 +1,1 @@
+lib/dataflow/defs_uses.ml: Cfg Nfl

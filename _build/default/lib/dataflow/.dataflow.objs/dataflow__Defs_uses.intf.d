@@ -1,0 +1,1 @@
+lib/dataflow/defs_uses.mli: Cfg Nfl

@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Cfg Defs_uses Nfl Worklist

@@ -1,0 +1,1 @@
+lib/dataflow/reaching.ml: Cfg Defs_uses Fmt Nfl Set Worklist

@@ -1,0 +1,1 @@
+lib/dataflow/worklist.ml: Cfg List Queue

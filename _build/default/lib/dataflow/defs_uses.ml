@@ -1,0 +1,56 @@
+(** Per-statement definitions and uses.
+
+    The def/use conventions encode NFL's aliasing-free value semantics:
+
+    - [d[k] = e] and [del d[k]] are *weak* updates: they define the
+      container [d] but also use it (the rest of the dictionary flows
+      through), plus the key and value expressions.
+    - [p.f = e] likewise defines and uses the packet variable [p].
+    - branch statements use their condition; [for x in e] additionally
+      defines the loop variable.
+
+    These are exactly the dependencies backward slicing follows, so
+    getting them conservative-but-tight controls slice quality. *)
+
+module Sset = Nfl.Ast.Sset
+
+let uses (s : Nfl.Ast.stmt) =
+  let ev = Nfl.Ast.expr_vars in
+  match s.Nfl.Ast.kind with
+  | Nfl.Ast.Assign (lv, e) ->
+      let lv_uses =
+        match lv with
+        | Nfl.Ast.L_var _ -> Sset.empty
+        | Nfl.Ast.L_index (d, k) -> Sset.add d (ev k)
+        | Nfl.Ast.L_field (p, _) -> Sset.singleton p
+      in
+      Sset.union lv_uses (ev e)
+  | Nfl.Ast.If (c, _, _) | Nfl.Ast.While (c, _) | Nfl.Ast.For_in (_, c, _) -> ev c
+  | Nfl.Ast.Return (Some e) | Nfl.Ast.Expr e -> ev e
+  | Nfl.Ast.Delete (d, k) -> Sset.add d (ev k)
+  | Nfl.Ast.Return None | Nfl.Ast.Pass -> Sset.empty
+
+let defs (s : Nfl.Ast.stmt) =
+  match s.Nfl.Ast.kind with
+  | Nfl.Ast.Assign (lv, _) -> (
+      match lv with
+      | Nfl.Ast.L_var x | Nfl.Ast.L_index (x, _) | Nfl.Ast.L_field (x, _) -> Sset.singleton x)
+  | Nfl.Ast.For_in (x, _, _) -> Sset.singleton x
+  | Nfl.Ast.Delete (d, _) -> Sset.singleton d
+  | Nfl.Ast.If _ | Nfl.Ast.While _ | Nfl.Ast.Return _ | Nfl.Ast.Expr _ | Nfl.Ast.Pass ->
+      Sset.empty
+
+(** A definition is *strong* when it completely replaces the previous
+    value ([x = e]); weak updates ([d[k] = e], [p.f = e], [del]) must
+    not kill earlier reaching definitions of the same variable. *)
+let is_strong_def (s : Nfl.Ast.stmt) =
+  match s.Nfl.Ast.kind with
+  | Nfl.Ast.Assign (Nfl.Ast.L_var _, _) -> true
+  | Nfl.Ast.For_in _ -> true
+  | Nfl.Ast.Assign (Nfl.Ast.L_index _, _) | Nfl.Ast.Assign (Nfl.Ast.L_field _, _)
+  | Nfl.Ast.Delete _ | Nfl.Ast.If _ | Nfl.Ast.While _ | Nfl.Ast.Return _ | Nfl.Ast.Expr _
+  | Nfl.Ast.Pass ->
+      false
+
+let node_uses g n = match Cfg.stmt_of g n with Some s -> uses s | None -> Sset.empty
+let node_defs g n = match Cfg.stmt_of g n with Some s -> defs s | None -> Sset.empty

@@ -1,0 +1,16 @@
+(** Per-statement definitions and uses, encoding NFL's value
+    semantics: container writes ([d[k] = e], [p.f = e], [del]) are
+    weak updates that also use the container, so dependency chains
+    through dictionary history arise naturally. *)
+
+module Sset = Nfl.Ast.Sset
+
+val uses : Nfl.Ast.stmt -> Sset.t
+val defs : Nfl.Ast.stmt -> Sset.t
+
+val is_strong_def : Nfl.Ast.stmt -> bool
+(** True when the definition completely replaces the previous value
+    ([x = e], [for]-binders); weak updates must not kill. *)
+
+val node_uses : Cfg.t -> Cfg.node -> Sset.t
+val node_defs : Cfg.t -> Cfg.node -> Sset.t

@@ -1,0 +1,35 @@
+(** Live-variable analysis.
+
+    Used by StateAlyzer's *top-level* feature (is a persistent variable
+    actually consumed during packet processing?) and as a second client
+    of the worklist framework to keep it honest. *)
+
+module Sset = Nfl.Ast.Sset
+
+type solution = { live_in : Cfg.node -> Sset.t; live_out : Cfg.node -> Sset.t }
+
+(** [solve ?live_at_exit g]: variables in [live_at_exit] are considered
+    live after [Exit] (e.g. persistent state read by the next loop
+    iteration when analyzing one iteration in isolation). *)
+let solve ?(live_at_exit = Sset.empty) g =
+  let transfer n fact =
+    match Cfg.stmt_of g n with
+    | None -> if Cfg.node_equal n Cfg.Exit then Sset.union fact live_at_exit else fact
+    | Some s ->
+        let kills =
+          if Defs_uses.is_strong_def s then Defs_uses.defs s else Sset.empty
+        in
+        Sset.union (Defs_uses.uses s) (Sset.diff fact kills)
+  in
+  let sol =
+    Worklist.solve g
+      {
+        Worklist.direction = Worklist.Backward;
+        init = live_at_exit;
+        bottom = Sset.empty;
+        transfer;
+        join = Sset.union;
+        equal = Sset.equal;
+      }
+  in
+  { live_in = sol.Worklist.inf; live_out = sol.Worklist.outf }

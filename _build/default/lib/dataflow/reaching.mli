@@ -1,0 +1,20 @@
+(** Reaching definitions. A definition is (variable, statement id);
+    the pseudo-id 0 denotes "defined before this region". Weak updates
+    generate but do not kill. *)
+
+module Def : sig
+  type t = { var : string; sid : int }
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Dset : Set.S with type elt = Def.t
+
+type solution = { reach_in : Cfg.node -> Dset.t; reach_out : Cfg.node -> Dset.t }
+
+val solve : ?entry_defs:Nfl.Ast.Sset.t -> Cfg.t -> solution
+(** [entry_defs] are considered defined at [Entry] with id 0. *)
+
+val defs_reaching : solution -> Cfg.node -> string -> Dset.t
+(** Definitions of one variable reaching a node's entry. *)

@@ -1,0 +1,21 @@
+(** Generic monotone-framework worklist solver, parameterized over the
+    fact lattice. Termination needs [join] monotone and finite lattice
+    height (all client facts are finite sets). *)
+
+type direction = Forward | Backward
+
+type 'fact problem = {
+  direction : direction;
+  init : 'fact;  (** fact at the boundary (entry or exit) *)
+  bottom : 'fact;  (** initial value for interior points *)
+  transfer : Cfg.node -> 'fact -> 'fact;
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+}
+
+type 'fact solution = {
+  inf : Cfg.node -> 'fact;  (** fact flowing into the node (execution order) *)
+  outf : Cfg.node -> 'fact;  (** fact flowing out of the node *)
+}
+
+val solve : Cfg.t -> 'fact problem -> 'fact solution

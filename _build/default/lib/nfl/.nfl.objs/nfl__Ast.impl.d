@@ -1,0 +1,1 @@
+lib/nfl/ast.ml: List Set String

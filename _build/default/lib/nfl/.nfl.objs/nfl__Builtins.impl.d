@@ -1,0 +1,1 @@
+lib/nfl/builtins.ml: Ast List

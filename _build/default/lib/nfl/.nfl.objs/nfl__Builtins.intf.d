@@ -1,0 +1,1 @@
+lib/nfl/builtins.mli: Ast

@@ -1,0 +1,1 @@
+lib/nfl/check.ml: Ast Builtins Fmt List Packet Printf String

@@ -1,0 +1,1 @@
+lib/nfl/check.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/nfl/inline.ml: Ast List Option Printf

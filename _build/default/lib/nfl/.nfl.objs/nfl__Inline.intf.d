@@ -1,0 +1,1 @@
+lib/nfl/inline.mli: Ast

@@ -1,0 +1,1 @@
+lib/nfl/lexer.ml: Ast Buffer List Packet Printf String

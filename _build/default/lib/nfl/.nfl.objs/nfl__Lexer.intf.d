@@ -1,0 +1,1 @@
+lib/nfl/lexer.mli: Ast

@@ -1,0 +1,1 @@
+lib/nfl/parser.ml: Array Ast Lexer List Printf

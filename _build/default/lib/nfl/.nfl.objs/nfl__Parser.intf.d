@@ -1,0 +1,1 @@
+lib/nfl/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/nfl/pretty.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/nfl/pretty.mli: Ast

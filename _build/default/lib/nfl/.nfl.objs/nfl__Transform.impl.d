@@ -1,0 +1,1 @@
+lib/nfl/transform.ml: Ast Builtins Inline List Parser Pretty Printf String

@@ -1,0 +1,1 @@
+lib/nfl/transform.mli: Ast

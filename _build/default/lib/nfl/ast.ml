@@ -1,0 +1,224 @@
+(** Abstract syntax of NFL, the NF source language.
+
+    NFL is the small imperative language the corpus NFs are written in;
+    it plays the role C played in the paper. Design constraints came
+    from the analyses that consume it:
+
+    - every statement carries a unique integer id ([sid]) so that CFG
+      nodes, slices, traces and model actions can all be plain sets of
+      ids;
+    - expressions are side-effect free (all effects — assignment, packet
+      I/O, dictionary update — are statements), which keeps def/use
+      extraction and symbolic evaluation one-pass;
+    - the value domain (ints, bools, strings, tuples, lists, dicts,
+      packets) matches what middlebox code actually manipulates, per the
+      paper's Figure 1 running example. *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Band
+  | Bor
+  | Shl
+  | Shr
+
+type unop = Not | Neg
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Var of string
+  | Tuple of expr list
+  | List_lit of expr list
+  | Dict_lit  (** [{}] — dictionaries start empty and grow by assignment *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Index of expr * expr  (** [e[k]] — dict lookup, list/tuple index, string index *)
+  | Field of expr * string  (** [e.f] — packet header field access *)
+  | Call of string * expr list  (** builtin or user function call *)
+  | Mem of expr * expr  (** [k in d] — dictionary / list membership *)
+
+(** Assignment targets. Container targets name the container variable
+    directly (rather than an arbitrary expression) so that def/use
+    extraction is syntactic. *)
+type lvalue =
+  | L_var of string
+  | L_index of string * expr  (** [d[k] = e] *)
+  | L_field of string * string  (** [pkt.f = e] *)
+
+type stmt = { sid : int; pos : pos; kind : kind }
+
+and kind =
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For_in of string * expr * block  (** bounded iteration over a list value *)
+  | Return of expr option
+  | Expr of expr  (** call for effect: [send(p)], [drop()], [log(...)] *)
+  | Delete of string * expr  (** [del d[k]] *)
+  | Pass
+
+and block = stmt list
+
+type func = { fname : string; params : string list; body : block }
+
+type program = {
+  globals : stmt list;  (** top-level assignments; define the persistent variables *)
+  funcs : func list;
+  main : block;
+  next_sid : int;  (** first id not used by any statement; transforms allocate from here *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Statement-id generator used by the parser and by transforms that
+    synthesize new statements. *)
+type idgen = { mutable next : int }
+
+let idgen ?(from = 1) () = { next = from }
+
+let fresh_sid g =
+  let i = g.next in
+  g.next <- i + 1;
+  i
+
+let mk ?(pos = dummy_pos) g kind = { sid = fresh_sid g; pos; kind }
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [iter_stmts f block] applies [f] to every statement in [block],
+    including statements nested in [If]/[While]/[For_in] bodies,
+    pre-order. *)
+let rec iter_stmts f block = List.iter (iter_stmt f) block
+
+and iter_stmt f s =
+  f s;
+  match s.kind with
+  | If (_, b1, b2) ->
+      iter_stmts f b1;
+      iter_stmts f b2
+  | While (_, b) | For_in (_, _, b) -> iter_stmts f b
+  | Assign _ | Return _ | Expr _ | Delete _ | Pass -> ()
+
+let iter_program f (p : program) =
+  iter_stmts f p.globals;
+  List.iter (fun fn -> iter_stmts f fn.body) p.funcs;
+  iter_stmts f p.main
+
+(** All statements of a program, pre-order. *)
+let all_stmts p =
+  let acc = ref [] in
+  iter_program (fun s -> acc := s :: !acc) p;
+  List.rev !acc
+
+(** Number of statements — the LoC metric used in the Table-2
+    reproduction (comments and braces excluded by construction). *)
+let stmt_count_block b =
+  let n = ref 0 in
+  iter_stmts (fun _ -> incr n) b;
+  !n
+
+let stmt_count p = List.length (all_stmts p)
+
+(** [map_block f b] rebuilds [b] bottom-up, applying [f] to each
+    statement after its children have been rewritten. [f] returns a
+    list, so it can delete ([[]]), keep ([[s]]) or expand a statement. *)
+let rec map_block f b = List.concat_map (map_stmt f) b
+
+and map_stmt f s =
+  let s' =
+    match s.kind with
+    | If (c, b1, b2) -> { s with kind = If (c, map_block f b1, map_block f b2) }
+    | While (c, b) -> { s with kind = While (c, map_block f b) }
+    | For_in (x, e, b) -> { s with kind = For_in (x, e, map_block f b) }
+    | Assign _ | Return _ | Expr _ | Delete _ | Pass -> s
+  in
+  f s'
+
+(* ------------------------------------------------------------------ *)
+(* Expression queries                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+(** Free variables of an expression. *)
+let rec expr_vars = function
+  | Int _ | Bool _ | Str _ | Dict_lit -> Sset.empty
+  | Var x -> Sset.singleton x
+  | Tuple es | List_lit es -> List.fold_left (fun a e -> Sset.union a (expr_vars e)) Sset.empty es
+  | Binop (_, a, b) | Index (a, b) | Mem (a, b) -> Sset.union (expr_vars a) (expr_vars b)
+  | Unop (_, e) | Field (e, _) -> expr_vars e
+  | Call (_, es) -> List.fold_left (fun a e -> Sset.union a (expr_vars e)) Sset.empty es
+
+(** Function names called anywhere in an expression. *)
+let rec expr_calls = function
+  | Int _ | Bool _ | Str _ | Dict_lit | Var _ -> []
+  | Tuple es | List_lit es -> List.concat_map expr_calls es
+  | Binop (_, a, b) | Index (a, b) | Mem (a, b) -> expr_calls a @ expr_calls b
+  | Unop (_, e) | Field (e, _) -> expr_calls e
+  | Call (f, es) -> f :: List.concat_map expr_calls es
+
+(** [rename_expr ren e] substitutes variables by name via [ren]. *)
+let rec rename_expr ren = function
+  | (Int _ | Bool _ | Str _ | Dict_lit) as e -> e
+  | Var x -> Var (ren x)
+  | Tuple es -> Tuple (List.map (rename_expr ren) es)
+  | List_lit es -> List_lit (List.map (rename_expr ren) es)
+  | Binop (op, a, b) -> Binop (op, rename_expr ren a, rename_expr ren b)
+  | Unop (op, e) -> Unop (op, rename_expr ren e)
+  | Index (a, b) -> Index (rename_expr ren a, rename_expr ren b)
+  | Field (e, f) -> Field (rename_expr ren e, f)
+  | Call (f, es) -> Call (f, List.map (rename_expr ren) es)
+  | Mem (a, b) -> Mem (rename_expr ren a, rename_expr ren b)
+
+(** Structural equality of expressions (ids don't appear in exprs, so
+    this is plain equality; named for call-site readability). *)
+let expr_equal (a : expr) (b : expr) = a = b
+
+let find_func p name = List.find_opt (fun f -> f.fname = name) p.funcs
+
+(** Renumber every statement so ids are dense in [1..n] and follow
+    source pre-order (a compound statement numbers before its body).
+    Used by the parser and after transformations that drop statements. *)
+let renumber (p : program) =
+  let g = idgen () in
+  let rec stmt s =
+    let sid = fresh_sid g in
+    let kind =
+      match s.kind with
+      | If (c, b1, b2) ->
+          (* Explicit sequencing: argument evaluation order must not
+             decide which branch numbers first. *)
+          let b1' = block b1 in
+          let b2' = block b2 in
+          If (c, b1', b2')
+      | While (c, b) -> While (c, block b)
+      | For_in (x, e, b) -> For_in (x, e, block b)
+      | (Assign _ | Return _ | Expr _ | Delete _ | Pass) as k -> k
+    in
+    { s with sid; kind }
+  and block b = List.map stmt b in
+  let globals = block p.globals in
+  let funcs = List.map (fun f -> { f with body = block f.body }) p.funcs in
+  let main = block p.main in
+  { globals; funcs; main; next_sid = g.next }

@@ -1,0 +1,122 @@
+(** Abstract syntax of NFL, the NF source language.
+
+    Design constraints come from the analyses that consume it: every
+    statement carries a unique integer id ([sid]), expressions are
+    side-effect free, and the value domain matches what middlebox code
+    manipulates (paper Figure 1). *)
+
+type pos = { line : int; col : int }
+
+val dummy_pos : pos
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Band
+  | Bor
+  | Shl
+  | Shr
+
+type unop = Not | Neg
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Var of string
+  | Tuple of expr list
+  | List_lit of expr list
+  | Dict_lit  (** [{}] — dictionaries start empty and grow by assignment *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Index of expr * expr  (** [e[k]] *)
+  | Field of expr * string  (** [e.f] — packet header access *)
+  | Call of string * expr list
+  | Mem of expr * expr  (** [k in d] *)
+
+(** Assignment targets name the container variable directly so def/use
+    extraction is syntactic. *)
+type lvalue =
+  | L_var of string
+  | L_index of string * expr  (** [d[k] = e] *)
+  | L_field of string * string  (** [pkt.f = e] *)
+
+type stmt = { sid : int; pos : pos; kind : kind }
+
+and kind =
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For_in of string * expr * block  (** bounded iteration over a list *)
+  | Return of expr option
+  | Expr of expr  (** call for effect: [send(p)], [drop()], [log(...)] *)
+  | Delete of string * expr  (** [del d[k]] *)
+  | Pass
+
+and block = stmt list
+
+type func = { fname : string; params : string list; body : block }
+
+type program = {
+  globals : stmt list;  (** top-level assignments: the persistent variables *)
+  funcs : func list;
+  main : block;
+  next_sid : int;  (** first unused id; transforms allocate from here *)
+}
+
+(** {1 Construction} *)
+
+(** Statement-id generator used by the parser and transforms. *)
+type idgen = { mutable next : int }
+
+val idgen : ?from:int -> unit -> idgen
+val fresh_sid : idgen -> int
+val mk : ?pos:pos -> idgen -> kind -> stmt
+
+(** {1 Traversals} *)
+
+val iter_stmts : (stmt -> unit) -> block -> unit
+(** Pre-order over a block, nested bodies included. *)
+
+val iter_stmt : (stmt -> unit) -> stmt -> unit
+val iter_program : (stmt -> unit) -> program -> unit
+
+val all_stmts : program -> stmt list
+(** All statements, pre-order. *)
+
+val stmt_count_block : block -> int
+val stmt_count : program -> int
+
+val map_block : (stmt -> stmt list) -> block -> block
+(** Bottom-up rewrite; the callback may delete, keep or expand a
+    statement. *)
+
+val map_stmt : (stmt -> stmt list) -> stmt -> stmt list
+
+(** {1 Expression queries} *)
+
+module Sset : Set.S with type elt = string
+
+val expr_vars : expr -> Sset.t
+(** Free variables. *)
+
+val expr_calls : expr -> string list
+(** Function names called anywhere in the expression. *)
+
+val rename_expr : (string -> string) -> expr -> expr
+val expr_equal : expr -> expr -> bool
+val find_func : program -> string -> func option
+
+val renumber : program -> program
+(** Renumber statements to dense source pre-order ids in [1..n]. *)

@@ -1,0 +1,73 @@
+(** Builtin functions of the NFL runtime.
+
+    The paper's Algorithm 1 keys on two facts about NF code: packets
+    enter through a known input function and leave through a known
+    output function ("NF programs usually use standard library or system
+    functions to exchange packets with the OS kernel"). This module is
+    that knowledge base: it names the packet I/O functions, the socket
+    functions the TCP-unfolding transform rewrites, and the pure
+    builtins ([hash], [len], ...) the interpreter and symbolic executor
+    implement directly. *)
+
+(* Packet I/O — the anchors of Algorithm 1. *)
+let pkt_input = "recv" (* pkt = recv(); *)
+let pkt_output = "send" (* send(pkt); *)
+let pkt_drop = "drop" (* drop(); explicit drop, same as falling off the path *)
+
+(* Callback-style input (Figure 4b): sniff(callback_name). *)
+let sniff = "sniff"
+
+(* Consumer-producer builtins (Figure 4c). *)
+let queue_push = "queue_push"
+let queue_pop = "queue_pop"
+let spawn = "spawn"
+
+(* Socket layer (Figure 4d / Figure 3) — removed by Transform.unfold_sockets. *)
+let sock_listen = "listen"
+let sock_accept = "accept"
+let sock_connect = "connect"
+let sock_recv = "sock_recv"
+let sock_send = "sock_send"
+let sock_close = "sock_close"
+let fork = "fork"
+
+let socket_funcs = [ sock_listen; sock_accept; sock_connect; sock_recv; sock_send; sock_close; fork ]
+
+(* Pure builtins, available to the interpreter and symbolic executor. *)
+let pure = [ "hash"; "len"; "min"; "max"; "abs"; "tuple_get"; "str_contains"; "str_prefix" ]
+
+(* Effectful-but-ignorable builtins: logging and alerting sinks. They
+   take any arguments, return nothing, and never touch a packet — so
+   they are exactly the statements slicing prunes. *)
+let log_sinks = [ "log"; "alert"; "log_pkt"; "perf_counter" ]
+
+let is_pure f = List.mem f pure
+let is_log_sink f = List.mem f log_sinks
+let is_socket f = List.mem f socket_funcs
+
+let is_builtin f =
+  f = pkt_input || f = pkt_output || f = pkt_drop || f = sniff || f = queue_push || f = queue_pop
+  || f = spawn || is_socket f || is_pure f || is_log_sink f
+
+(** Does this statement emit a packet? (Algorithm 1, line 2.) *)
+let is_pkt_output_stmt (s : Ast.stmt) =
+  match s.Ast.kind with
+  | Ast.Expr (Ast.Call (f, _)) -> f = pkt_output
+  | Ast.Assign _ | Ast.If _ | Ast.While _ | Ast.For_in _ | Ast.Return _ | Ast.Expr _
+  | Ast.Delete _ | Ast.Pass ->
+      false
+
+(** Does this statement bind the incoming packet? ([x = recv();]) *)
+let is_pkt_input_stmt (s : Ast.stmt) =
+  match s.Ast.kind with
+  | Ast.Assign (Ast.L_var _, Ast.Call (f, [])) -> f = pkt_input
+  | Ast.Assign _ | Ast.If _ | Ast.While _ | Ast.For_in _ | Ast.Return _ | Ast.Expr _
+  | Ast.Delete _ | Ast.Pass ->
+      false
+
+let pkt_input_var (s : Ast.stmt) =
+  match s.Ast.kind with
+  | Ast.Assign (Ast.L_var x, Ast.Call (f, [])) when f = pkt_input -> Some x
+  | Ast.Assign _ | Ast.If _ | Ast.While _ | Ast.For_in _ | Ast.Return _ | Ast.Expr _
+  | Ast.Delete _ | Ast.Pass ->
+      None

@@ -1,0 +1,61 @@
+(** Builtin functions of the NFL runtime — the knowledge base
+    Algorithm 1 keys on: packet I/O anchors, socket functions the TCP
+    unfolding rewrites, pure builtins, and log sinks. *)
+
+(** {1 Packet I/O (the anchors of Algorithm 1)} *)
+
+val pkt_input : string
+(** ["recv"]: [pkt = recv();]. *)
+
+val pkt_output : string
+(** ["send"]: [send(pkt);]. *)
+
+val pkt_drop : string
+(** ["drop"]: explicit drop (same semantics as no send). *)
+
+val sniff : string
+(** Callback-style input (Figure 4b): [sniff(callback)]. *)
+
+(** {1 Consumer-producer builtins (Figure 4c)} *)
+
+val queue_push : string
+val queue_pop : string
+val spawn : string
+
+(** {1 Socket layer (Figure 4d; removed by socket unfolding)} *)
+
+val sock_listen : string
+val sock_accept : string
+val sock_connect : string
+val sock_recv : string
+val sock_send : string
+val sock_close : string
+val fork : string
+val socket_funcs : string list
+
+(** {1 Pure builtins and log sinks} *)
+
+val pure : string list
+(** [hash], [len], [min], [max], [abs], [tuple_get], [str_contains],
+    [str_prefix] — implemented by the interpreter and symbolic
+    executor. *)
+
+val log_sinks : string list
+(** Effectful-but-ignorable: logging and alerting, never touch a
+    packet — exactly what slicing prunes. *)
+
+val is_pure : string -> bool
+val is_log_sink : string -> bool
+val is_socket : string -> bool
+val is_builtin : string -> bool
+
+(** {1 Statement recognizers} *)
+
+val is_pkt_output_stmt : Ast.stmt -> bool
+(** Does this statement emit a packet? (Algorithm 1, line 2.) *)
+
+val is_pkt_input_stmt : Ast.stmt -> bool
+(** Is this [x = recv();]? *)
+
+val pkt_input_var : Ast.stmt -> string option
+(** The variable bound by [x = recv();], if any. *)

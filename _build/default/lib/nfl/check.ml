@@ -1,0 +1,98 @@
+(** Static sanity checks over NFL programs.
+
+    These are deliberately lightweight — NFL is dynamically typed like
+    the Python-level NF code in the paper — but they catch the mistakes
+    that would otherwise surface as confusing analysis results:
+    references to variables that are never defined, calls to unknown
+    functions, and user calls in positions the inliner rejects. *)
+
+type issue = { pos : Ast.pos; msg : string }
+
+let pp_issue ppf i = Fmt.pf ppf "%d:%d: %s" i.pos.Ast.line i.pos.Ast.col i.msg
+
+module Sset = Ast.Sset
+
+let defined_names (p : Ast.program) =
+  let names = ref Sset.empty in
+  let add x = names := Sset.add x !names in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (Ast.L_var x, _) -> add x
+      | Ast.For_in (x, _, _) -> add x
+      | Ast.Assign _ | Ast.If _ | Ast.While _ | Ast.Return _ | Ast.Expr _ | Ast.Delete _
+      | Ast.Pass ->
+          ())
+    p;
+  List.iter
+    (fun (f : Ast.func) ->
+      List.iter add f.params;
+      (* Function names are valid variable references: callback-style
+         builtins take them as arguments (sniff(cb), spawn(loop)). *)
+      add f.fname)
+    p.funcs;
+  !names
+
+(** All issues found in [p]: unknown functions, unbound variables
+    (modulo dynamic definition order, which we do not model), arity
+    errors against user functions. *)
+let program (p : Ast.program) =
+  let issues = ref [] in
+  let report pos msg = issues := { pos; msg } :: !issues in
+  let defined = defined_names p in
+  let user_funcs = List.map (fun (f : Ast.func) -> (f.Ast.fname, List.length f.Ast.params)) p.funcs in
+  let check_expr pos e =
+    Sset.iter
+      (fun x -> if not (Sset.mem x defined) then report pos ("unbound variable: " ^ x))
+      (Ast.expr_vars e);
+    List.iter
+      (fun f ->
+        match List.assoc_opt f user_funcs with
+        | Some _ -> ()
+        | None -> if not (Builtins.is_builtin f) then report pos ("unknown function: " ^ f))
+      (Ast.expr_calls e)
+  in
+  let check_arity pos e =
+    match e with
+    | Ast.Call (f, args) -> (
+        match List.assoc_opt f user_funcs with
+        | Some n when n <> List.length args ->
+            report pos
+              (Printf.sprintf "%s expects %d argument(s), got %d" f n (List.length args))
+        | Some _ | None -> ())
+    | _ -> ()
+  in
+  Ast.iter_program
+    (fun s ->
+      let pos = s.Ast.pos in
+      match s.Ast.kind with
+      | Ast.Assign (lv, e) ->
+          (match lv with
+          | Ast.L_index (d, k) ->
+              if not (Sset.mem d defined) then report pos ("unbound variable: " ^ d);
+              check_expr pos k
+          | Ast.L_field (v, f) ->
+              if not (Sset.mem v defined) then report pos ("unbound variable: " ^ v);
+              if not (Packet.Headers.is_field f) then report pos ("unknown packet field: " ^ f)
+          | Ast.L_var _ -> ());
+          check_expr pos e;
+          check_arity pos e
+      | Ast.If (c, _, _) | Ast.While (c, _) | Ast.For_in (_, c, _) -> check_expr pos c
+      | Ast.Return (Some e) -> check_expr pos e
+      | Ast.Expr e ->
+          check_expr pos e;
+          check_arity pos e
+      | Ast.Delete (d, k) ->
+          if not (Sset.mem d defined) then report pos ("unbound variable: " ^ d);
+          check_expr pos k
+      | Ast.Return None | Ast.Pass -> ())
+    p;
+  List.rev !issues
+
+(** Raise [Failure] with a readable report if [p] has issues. *)
+let assert_ok p =
+  match program p with
+  | [] -> ()
+  | issues ->
+      let msg = String.concat "\n" (List.map (Fmt.str "%a" pp_issue) issues) in
+      failwith ("NFL check failed:\n" ^ msg)

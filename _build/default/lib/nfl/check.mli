@@ -1,0 +1,13 @@
+(** Static sanity checks over NFL programs: unbound variables, unknown
+    functions and packet fields, arity errors. Deliberately light —
+    NFL is dynamically typed like the paper's Python-level NF code. *)
+
+type issue = { pos : Ast.pos; msg : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val program : Ast.program -> issue list
+(** All issues found, in source order. *)
+
+val assert_ok : Ast.program -> unit
+(** @raise Failure with a readable report if issues exist. *)

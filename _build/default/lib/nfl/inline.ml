@@ -1,0 +1,170 @@
+(** Interprocedural analysis by bounded call-site inlining.
+
+    NF programs have no recursion (the paper's corpus and code-structure
+    taxonomy are loop-plus-helper-functions), so interprocedural slicing
+    reduces to inlining every user-function call and analyzing one flat
+    procedure — the same effect an SDG gives, with far simpler
+    machinery.
+
+    Calls may appear as a statement ([f(args);]) or as a whole
+    right-hand side ([x = f(args);]). Early [return]s are eliminated
+    with the standard live-flag transformation: the callee body runs
+    under a [<pfx>_live] guard that a return clears, and enclosing
+    [while] loops conjoin the flag into their condition so a return also
+    exits the loop. *)
+
+exception Recursive of string
+exception Unsupported_call of string * Ast.pos
+
+module Sset = Ast.Sset
+
+(* Variables assigned anywhere in a block (targets of Assign/For_in/Delete). *)
+let assigned_vars block =
+  let acc = ref Sset.empty in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (Ast.L_var x, _) | Ast.Assign (Ast.L_index (x, _), _)
+      | Ast.Assign (Ast.L_field (x, _), _)
+      | Ast.Delete (x, _) ->
+          acc := Sset.add x !acc
+      | Ast.For_in (x, _, _) -> acc := Sset.add x !acc
+      | Ast.If _ | Ast.While _ | Ast.Return _ | Ast.Expr _ | Ast.Pass -> ())
+    block;
+  !acc
+
+let block_has_return block =
+  let found = ref false in
+  Ast.iter_stmts
+    (fun s -> match s.Ast.kind with Ast.Return _ -> found := true | _ -> ())
+    block;
+  !found
+
+(* User-function call appearing in a supported position. *)
+let call_of_stmt funcs (s : Ast.stmt) =
+  let user f = List.exists (fun (fn : Ast.func) -> fn.fname = f) funcs in
+  match s.Ast.kind with
+  | Ast.Expr (Ast.Call (f, args)) when user f -> Some (None, f, args)
+  | Ast.Assign (Ast.L_var x, Ast.Call (f, args)) when user f -> Some (Some x, f, args)
+  | _ ->
+      (* Reject user calls buried inside expressions: they would need
+         expression-level flattening that NF code doesn't require. *)
+      let check e =
+        List.iter
+          (fun f -> if user f then raise (Unsupported_call (f, s.Ast.pos)))
+          (Ast.expr_calls e)
+      in
+      (match s.Ast.kind with
+      | Ast.Assign (lv, e) ->
+          (match lv with
+          | Ast.L_index (_, k) -> check k
+          | Ast.L_var _ | Ast.L_field _ -> ());
+          check e
+      | Ast.If (c, _, _) | Ast.While (c, _) | Ast.For_in (_, c, _) -> check c
+      | Ast.Return (Some e) | Ast.Expr e -> check e
+      | Ast.Delete (_, k) -> check k
+      | Ast.Return None | Ast.Pass -> ());
+      None
+
+(* Rewrite the callee body: rename locals, replace returns by live-flag
+   updates, guard statements following a (possible) return. *)
+let instantiate gen ~pfx ~globals (fn : Ast.func) args ~result =
+  let locals =
+    Sset.union (Sset.of_list fn.params)
+      (Sset.diff (assigned_vars fn.body) (Sset.of_list globals))
+  in
+  let ren x = if Sset.mem x locals then pfx ^ x else x in
+  let live = pfx ^ "live" in
+  let retv = pfx ^ "ret" in
+  let has_ret = block_has_return fn.body in
+  let mk kind = Ast.mk gen kind in
+  let live_test = Ast.Binop (Ast.Eq, Ast.Var live, Ast.Int 1) in
+  (* [rewrite block] returns the block with returns eliminated; a
+     statement list suffix following a return-containing statement gets
+     wrapped in [if (live == 1)]. *)
+  let rec rewrite block =
+    match block with
+    | [] -> []
+    | s :: rest ->
+        let s', may_return = rewrite_stmt s in
+        let rest' = rewrite rest in
+        if may_return && rest' <> [] then s' @ [ mk (Ast.If (live_test, rest', [])) ]
+        else s' @ rest'
+  and rewrite_stmt (s : Ast.stmt) =
+    match s.Ast.kind with
+    | Ast.Return e ->
+        let set_ret =
+          match e with
+          | Some e -> [ mk (Ast.Assign (Ast.L_var retv, Ast.rename_expr ren e)) ]
+          | None -> []
+        in
+        (set_ret @ [ mk (Ast.Assign (Ast.L_var live, Ast.Int 0)) ], true)
+    | Ast.Assign (lv, e) ->
+        let lv' =
+          match lv with
+          | Ast.L_var x -> Ast.L_var (ren x)
+          | Ast.L_index (d, k) -> Ast.L_index (ren d, Ast.rename_expr ren k)
+          | Ast.L_field (p, f) -> Ast.L_field (ren p, f)
+        in
+        ([ mk (Ast.Assign (lv', Ast.rename_expr ren e)) ], false)
+    | Ast.Expr e -> ([ mk (Ast.Expr (Ast.rename_expr ren e)) ], false)
+    | Ast.Delete (d, k) -> ([ mk (Ast.Delete (ren d, Ast.rename_expr ren k)) ], false)
+    | Ast.Pass -> ([ mk Ast.Pass ], false)
+    | Ast.If (c, b1, b2) ->
+        let r1 = block_has_return b1 and r2 = block_has_return b2 in
+        ([ mk (Ast.If (Ast.rename_expr ren c, rewrite b1, rewrite b2)) ], r1 || r2)
+    | Ast.While (c, b) ->
+        let r = block_has_return b in
+        let c' = Ast.rename_expr ren c in
+        let c' = if r then Ast.Binop (Ast.And, c', live_test) else c' in
+        ([ mk (Ast.While (c', rewrite b)) ], r)
+    | Ast.For_in (x, e, b) ->
+        let r = block_has_return b in
+        let b' = rewrite b in
+        let b' = if r then [ mk (Ast.If (live_test, b', [])) ] else b' in
+        ([ mk (Ast.For_in (ren x, Ast.rename_expr ren e, b')) ], r)
+  in
+  let prologue =
+    (if has_ret then [ mk (Ast.Assign (Ast.L_var live, Ast.Int 1)) ] else [])
+    @ List.map2 (fun p a -> mk (Ast.Assign (Ast.L_var (pfx ^ p), a))) fn.params args
+  in
+  let epilogue =
+    match result with
+    | Some x -> [ mk (Ast.Assign (Ast.L_var x, Ast.Var retv)) ]
+    | None -> []
+  in
+  prologue @ rewrite fn.body @ epilogue
+
+(** [program p] inlines every user-function call reachable from [main]
+    and returns a function-free program. Raises {!Recursive} on
+    (mutually) recursive corpora and {!Unsupported_call} when a user
+    call appears nested inside an expression. *)
+let program (p : Ast.program) =
+  let gen = Ast.idgen ~from:p.next_sid () in
+  let globals =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Assign (Ast.L_var x, _) -> Some x
+        | _ -> None)
+      p.globals
+  in
+  let counter = ref 0 in
+  let rec expand depth block =
+    if depth > 64 then raise (Recursive "call nesting exceeds 64 — recursion?");
+    Ast.map_block
+      (fun s ->
+        match call_of_stmt p.funcs s with
+        | None -> [ s ]
+        | Some (result, f, args) ->
+            let fn = Option.get (Ast.find_func p f) in
+            if List.length args <> List.length fn.params then
+              raise (Unsupported_call (f ^ ": arity mismatch", s.Ast.pos));
+            incr counter;
+            let pfx = Printf.sprintf "%s__%d_" f !counter in
+            let body = instantiate gen ~pfx ~globals fn args ~result in
+            expand (depth + 1) body)
+      block
+  in
+  let main = expand 0 p.main in
+  Ast.renumber { p with funcs = []; main }

@@ -1,0 +1,15 @@
+(** Interprocedural analysis by bounded call-site inlining: NF code has
+    no recursion, so inlining every user-function call reduces
+    interprocedural slicing to one flat procedure. Early returns are
+    eliminated with the standard live-flag transformation. *)
+
+exception Recursive of string
+(** Call nesting exceeded the bound — (mutual) recursion. *)
+
+exception Unsupported_call of string * Ast.pos
+(** A user-function call nested inside an expression (calls are
+    supported as statements and as whole right-hand sides). *)
+
+val program : Ast.program -> Ast.program
+(** Inline every user-function call reachable from [main]; the result
+    has no functions and dense pre-order statement ids. *)

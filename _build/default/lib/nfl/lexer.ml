@@ -1,0 +1,301 @@
+(** Hand-written lexer for NFL.
+
+    Notable conveniences for NF source: dotted-quad IPv4 literals
+    ([3.3.3.3]) lex directly to their integer value (the language has no
+    floats, so the syntax is unambiguous), and [#] starts a line
+    comment, as in the paper's Figure-1 listing. *)
+
+type token =
+  | INT of int
+  | STR of string
+  | ID of string
+  | KW_true
+  | KW_false
+  | KW_def
+  | KW_main
+  | KW_if
+  | KW_else
+  | KW_while
+  | KW_for
+  | KW_in
+  | KW_not
+  | KW_and
+  | KW_or
+  | KW_return
+  | KW_del
+  | KW_pass
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | ASSIGN
+  | PLUS_EQ
+  | MINUS_EQ
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | AMPAMP
+  | PIPEPIPE
+  | SHL
+  | SHR
+  | BANG
+  | EOF
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | STR s -> Printf.sprintf "%S" s
+  | ID s -> s
+  | KW_true -> "true"
+  | KW_false -> "false"
+  | KW_def -> "def"
+  | KW_main -> "main"
+  | KW_if -> "if"
+  | KW_else -> "else"
+  | KW_while -> "while"
+  | KW_for -> "for"
+  | KW_in -> "in"
+  | KW_not -> "not"
+  | KW_and -> "and"
+  | KW_or -> "or"
+  | KW_return -> "return"
+  | KW_del -> "del"
+  | KW_pass -> "pass"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | ASSIGN -> "="
+  | PLUS_EQ -> "+="
+  | MINUS_EQ -> "-="
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | AMPAMP -> "&&"
+  | PIPEPIPE -> "||"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [
+    ("true", KW_true);
+    ("false", KW_false);
+    ("def", KW_def);
+    ("main", KW_main);
+    ("if", KW_if);
+    ("else", KW_else);
+    ("while", KW_while);
+    ("for", KW_for);
+    ("in", KW_in);
+    ("not", KW_not);
+    ("and", KW_and);
+    ("or", KW_or);
+    ("return", KW_return);
+    ("del", KW_del);
+    ("pass", KW_pass);
+  ]
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+let cur_pos st : Ast.pos = { line = st.line; col = st.col }
+let at_end st = st.pos >= String.length st.src
+let peek st = if at_end st then '\000' else st.src.[st.pos]
+let peek2 st = if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || is_digit c
+
+let rec skip_ws st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      skip_ws st
+  | '#' ->
+      while (not (at_end st)) && peek st <> '\n' do
+        advance st
+      done;
+      skip_ws st
+  | _ -> ()
+
+let lex_number st =
+  let b = Buffer.create 8 in
+  let read_digits () =
+    Buffer.clear b;
+    while is_digit (peek st) do
+      Buffer.add_char b (peek st);
+      advance st
+    done;
+    int_of_string (Buffer.contents b)
+  in
+  let n1 = read_digits () in
+  (* Dotted quad: number '.' digit can only be an IP literal. *)
+  if peek st = '.' && is_digit (peek2 st) then begin
+    advance st;
+    let n2 = read_digits () in
+    if not (peek st = '.' && is_digit (peek2 st)) then
+      raise (Error ("malformed IP literal", cur_pos st));
+    advance st;
+    let n3 = read_digits () in
+    if not (peek st = '.' && is_digit (peek2 st)) then
+      raise (Error ("malformed IP literal", cur_pos st));
+    advance st;
+    let n4 = read_digits () in
+    if n1 > 255 || n2 > 255 || n3 > 255 || n4 > 255 then
+      raise (Error ("IP octet out of range", cur_pos st));
+    INT (Packet.Addr.ip n1 n2 n3 n4)
+  end
+  else INT n1
+
+let lex_hex st =
+  (* Called after "0x" has been recognized; leading 0 consumed. *)
+  advance st;
+  (* consume 'x' *)
+  let b = Buffer.create 8 in
+  let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') in
+  if not (is_hex (peek st)) then raise (Error ("malformed hex literal", cur_pos st));
+  while is_hex (peek st) do
+    Buffer.add_char b (peek st);
+    advance st
+  done;
+  INT (int_of_string ("0x" ^ Buffer.contents b))
+
+let lex_string st =
+  advance st;
+  (* opening quote *)
+  let b = Buffer.create 16 in
+  let rec go () =
+    if at_end st then raise (Error ("unterminated string", cur_pos st))
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' ->
+          advance st;
+          let c =
+            match peek st with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | '\\' -> '\\'
+            | '"' -> '"'
+            | '0' -> '\000'
+            | c -> c
+          in
+          Buffer.add_char b c;
+          advance st;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance st;
+          go ()
+  in
+  go ();
+  STR (Buffer.contents b)
+
+let lex_ident st =
+  let b = Buffer.create 16 in
+  while is_id_char (peek st) do
+    Buffer.add_char b (peek st);
+    advance st
+  done;
+  let s = Buffer.contents b in
+  match List.assoc_opt s keywords with Some kw -> kw | None -> ID s
+
+(** Next token plus its start position. *)
+let next st =
+  skip_ws st;
+  let pos = cur_pos st in
+  let two t =
+    advance st;
+    advance st;
+    t
+  in
+  let one t =
+    advance st;
+    t
+  in
+  let tok =
+    if at_end st then EOF
+    else
+      match peek st with
+      | '0' when peek2 st = 'x' || peek2 st = 'X' ->
+          advance st;
+          lex_hex st
+      | c when is_digit c -> lex_number st
+      | c when is_id_start c -> lex_ident st
+      | '"' -> lex_string st
+      | '(' -> one LPAREN
+      | ')' -> one RPAREN
+      | '[' -> one LBRACKET
+      | ']' -> one RBRACKET
+      | '{' -> one LBRACE
+      | '}' -> one RBRACE
+      | ',' -> one COMMA
+      | ';' -> one SEMI
+      | '.' -> one DOT
+      | '+' -> if peek2 st = '=' then two PLUS_EQ else one PLUS
+      | '-' -> if peek2 st = '=' then two MINUS_EQ else one MINUS
+      | '*' -> one STAR
+      | '/' -> one SLASH
+      | '%' -> one PERCENT
+      | '=' -> if peek2 st = '=' then two EQ else one ASSIGN
+      | '!' -> if peek2 st = '=' then two NE else one BANG
+      | '<' -> if peek2 st = '=' then two LE else if peek2 st = '<' then two SHL else one LT
+      | '>' -> if peek2 st = '=' then two GE else if peek2 st = '>' then two SHR else one GT
+      | '&' -> if peek2 st = '&' then two AMPAMP else one AMP
+      | '|' -> if peek2 st = '|' then two PIPEPIPE else one PIPE
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, pos))
+  in
+  (tok, pos)
+
+(** Lex a whole source string. *)
+let tokens src =
+  let st = make src in
+  let rec go acc =
+    let t, p = next st in
+    if t = EOF then List.rev ((t, p) :: acc) else go ((t, p) :: acc)
+  in
+  go []

@@ -1,0 +1,61 @@
+(** Hand-written lexer for NFL. Dotted-quad IPv4 literals ([3.3.3.3])
+    lex to their integer value; [#] starts a line comment. *)
+
+type token =
+  | INT of int
+  | STR of string
+  | ID of string
+  | KW_true
+  | KW_false
+  | KW_def
+  | KW_main
+  | KW_if
+  | KW_else
+  | KW_while
+  | KW_for
+  | KW_in
+  | KW_not
+  | KW_and
+  | KW_or
+  | KW_return
+  | KW_del
+  | KW_pass
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | ASSIGN
+  | PLUS_EQ
+  | MINUS_EQ
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | AMPAMP
+  | PIPEPIPE
+  | SHL
+  | SHR
+  | BANG
+  | EOF
+
+val token_to_string : token -> string
+
+exception Error of string * Ast.pos
+
+val tokens : string -> (token * Ast.pos) list
+(** Lex a whole source string (the final element is [EOF]).
+    @raise Error with position on malformed input. *)

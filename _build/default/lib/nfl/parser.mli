@@ -1,0 +1,14 @@
+(** Recursive-descent parser for NFL.
+
+    Precedence (low to high): [or] < [and] < [not] < comparison /
+    membership < [|] < [&] < shifts < additive < multiplicative <
+    unary < postfix. Python-style multiple assignment
+    ([a, b = e1, e2;]) desugars to a sequence of simple assignments. *)
+
+exception Error of string * Ast.pos
+
+val program : string -> Ast.program
+(** Parse a complete program. Statement ids come out dense, in source
+    pre-order.
+    @raise Error on syntax errors (with position).
+    @raise Lexer.Error on lexical errors. *)

@@ -1,0 +1,131 @@
+(** Pretty-printer: renders AST back to parseable NFL source.
+
+    Used to display slices (the paper highlights slice statements in the
+    original listing — [program ~slice] renders non-slice statements as
+    dimmed comments instead), to round-trip programs in tests, and to
+    show synthesized programs produced by the structure transforms. *)
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+  | Ast.Band -> "&"
+  | Ast.Bor -> "|"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+
+let prec = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 4
+  | Ast.Bor -> 5
+  | Ast.Band -> 6
+  | Ast.Shl | Ast.Shr -> 7
+  | Ast.Add | Ast.Sub -> 8
+  | Ast.Mul | Ast.Div | Ast.Mod -> 9
+
+let rec expr ?(ctx = 0) e =
+  let atom s = s in
+  let paren p s = if p < ctx then "(" ^ s ^ ")" else s in
+  match e with
+  | Ast.Int n -> atom (string_of_int n)
+  | Ast.Bool true -> atom "true"
+  | Ast.Bool false -> atom "false"
+  | Ast.Str s -> atom (Printf.sprintf "%S" s)
+  | Ast.Var x -> atom x
+  | Ast.Tuple es -> atom ("(" ^ String.concat ", " (List.map (expr ~ctx:0) es) ^ ")")
+  | Ast.List_lit es -> atom ("[" ^ String.concat ", " (List.map (expr ~ctx:0) es) ^ "]")
+  | Ast.Dict_lit -> atom "{}"
+  | Ast.Binop (op, a, b) ->
+      (* Match the parser's associativity: [&&]/[||] are right-
+         associative, comparisons don't chain, everything else is
+         left-associative. *)
+      let p = prec op in
+      let lctx, rctx =
+        match op with
+        | Ast.And | Ast.Or -> (p + 1, p)
+        | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (p + 1, p + 1)
+        | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor | Ast.Shl
+        | Ast.Shr ->
+            (p, p + 1)
+      in
+      paren p (expr ~ctx:lctx a ^ " " ^ binop_str op ^ " " ^ expr ~ctx:rctx b)
+  | Ast.Unop (Ast.Not, e) -> paren 3 ("not " ^ expr ~ctx:5 e)
+  | Ast.Unop (Ast.Neg, e) -> paren 10 ("-" ^ expr ~ctx:10 e)
+  | Ast.Index (a, k) -> atom (expr ~ctx:11 a ^ "[" ^ expr ~ctx:0 k ^ "]")
+  | Ast.Field (a, f) -> atom (expr ~ctx:11 a ^ "." ^ f)
+  | Ast.Call (f, args) -> atom (f ^ "(" ^ String.concat ", " (List.map (expr ~ctx:0) args) ^ ")")
+  | Ast.Mem (k, d) -> paren 4 (expr ~ctx:5 k ^ " in " ^ expr ~ctx:5 d)
+
+let lvalue = function
+  | Ast.L_var x -> x
+  | Ast.L_index (d, k) -> d ^ "[" ^ expr k ^ "]"
+  | Ast.L_field (p, f) -> p ^ "." ^ f
+
+(** [stmt ~keep buf indent s]: when [keep s.sid] is false the statement
+    is rendered as a comment line (slice display). *)
+let rec stmt ~keep buf indent s =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (pad ^ str ^ "\n")) fmt in
+  let kept = keep s.Ast.sid in
+  let mark str = if kept then str else "# [pruned] " ^ str in
+  match s.Ast.kind with
+  | Ast.Assign (lv, e) -> line "%s" (mark (lvalue lv ^ " = " ^ expr e ^ ";"))
+  | Ast.Expr e -> line "%s" (mark (expr e ^ ";"))
+  | Ast.Return None -> line "%s" (mark "return;")
+  | Ast.Return (Some e) -> line "%s" (mark ("return " ^ expr e ^ ";"))
+  | Ast.Delete (d, k) -> line "%s" (mark ("del " ^ d ^ "[" ^ expr k ^ "];"))
+  | Ast.Pass -> line "%s" (mark "pass;")
+  | Ast.If (c, b1, b2) ->
+      line "%s" (mark ("if (" ^ expr c ^ ") {"));
+      block ~keep buf (indent + 2) b1;
+      if b2 <> [] then begin
+        line "} else {";
+        block ~keep buf (indent + 2) b2
+      end;
+      line "}"
+  | Ast.While (c, b) ->
+      line "%s" (mark ("while (" ^ expr c ^ ") {"));
+      block ~keep buf (indent + 2) b;
+      line "}"
+  | Ast.For_in (x, e, b) ->
+      line "%s" (mark ("for " ^ x ^ " in " ^ expr e ^ " {"));
+      block ~keep buf (indent + 2) b;
+      line "}"
+
+and block ~keep buf indent b = List.iter (stmt ~keep buf indent) b
+
+(** Render a whole program. [slice], when given, is the set of statement
+    ids to keep; everything else prints as a pruned comment. *)
+let program ?slice (p : Ast.program) =
+  let keep =
+    match slice with None -> fun _ -> true | Some ids -> fun sid -> List.mem sid ids
+  in
+  let buf = Buffer.create 1024 in
+  List.iter (stmt ~keep buf 0) p.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\ndef %s(%s) {\n" f.fname (String.concat ", " f.params));
+      block ~keep buf 2 f.body;
+      Buffer.add_string buf "}\n")
+    p.funcs;
+  Buffer.add_string buf "\nmain {\n";
+  block ~keep buf 2 p.main;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let stmt_to_string (s : Ast.stmt) =
+  let buf = Buffer.create 64 in
+  stmt ~keep:(fun _ -> true) buf 0 s;
+  String.trim (Buffer.contents buf)

@@ -1,0 +1,19 @@
+(** Pretty-printer: renders AST back to parseable NFL source. Also
+    renders slices (non-slice statements become comments, mirroring
+    the paper's highlighted Figure-1 listing). *)
+
+val binop_str : Ast.binop -> string
+
+val expr : ?ctx:int -> Ast.expr -> string
+(** Parseable rendering; [ctx] is the ambient precedence (used
+    internally for minimal parenthesization, matching the parser's
+    associativity). *)
+
+val lvalue : Ast.lvalue -> string
+
+val program : ?slice:int list -> Ast.program -> string
+(** Render a whole program. With [slice], statements whose id is not
+    listed print as ["# [pruned] ..."] comments. *)
+
+val stmt_to_string : Ast.stmt -> string
+(** One statement (compound statements include their bodies). *)

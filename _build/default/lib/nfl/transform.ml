@@ -1,0 +1,374 @@
+(** Code-structure normalization (paper Section 3.2, Figures 4 and 5).
+
+    NFactor's analyses want the canonical Figure-4a shape:
+
+    {v
+    main { while (true) { pkt = recv(); <process>; } }
+    v}
+
+    Real NFs come in three other shapes, which this module rewrites:
+
+    - {b Callback} (Fig. 4b): [sniff(cb)] becomes an explicit receive
+      loop calling [cb] (the later inlining pass flattens the call).
+    - {b Consumer-producer} (Fig. 4c): two [spawn]ed loops coupled by a
+      queue are fused into one loop, with [queue_push]/[queue_pop]
+      replaced by a direct binding.
+    - {b Nested accept/fork loop} (Fig. 4d, the [balance] shape): socket
+      calls are *unfolded* into packet-level operations plus an explicit
+      TCP state table, producing the Figure-5 program. The unfolding is
+      template-directed: the accept-time statements, the backend-
+      selection expression and the per-data-segment statements are
+      extracted from the source and spliced into a handshake/relay
+      skeleton that encodes the OS's hidden TCP state transitions. *)
+
+exception Not_applicable of string
+
+type structure =
+  | Single_loop  (** Fig. 4a — already canonical *)
+  | Callback  (** Fig. 4b *)
+  | Consumer_producer  (** Fig. 4c *)
+  | Nested_loop  (** Fig. 4d *)
+
+let structure_to_string = function
+  | Single_loop -> "single-loop"
+  | Callback -> "callback"
+  | Consumer_producer -> "consumer-producer"
+  | Nested_loop -> "nested-loop"
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let block_calls block =
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Expr (Ast.Call (f, _)) | Ast.Assign (_, Ast.Call (f, _)) -> acc := f :: !acc
+      | Ast.Assign _ | Ast.If _ | Ast.While _ | Ast.For_in _ | Ast.Return _ | Ast.Expr _
+      | Ast.Delete _ | Ast.Pass ->
+          ())
+    block;
+  !acc
+
+(** Classify the code structure of [p]'s main block. *)
+let detect (p : Ast.program) =
+  let calls = block_calls p.main in
+  if List.mem Builtins.sniff calls then Callback
+  else if List.mem Builtins.spawn calls then Consumer_producer
+  else if List.mem Builtins.sock_accept calls && List.mem Builtins.fork calls then Nested_loop
+  else if List.mem Builtins.pkt_input calls then Single_loop
+  else raise (Not_applicable "main block matches no known NF code structure")
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4b: callback -> loop                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrite [sniff(cb);] into [while (true) { pkt = recv(); cb(pkt); }].
+    Any statements around the [sniff] call in main are preserved. *)
+let callback_to_loop (p : Ast.program) =
+  let gen = Ast.idgen ~from:p.next_sid () in
+  let rewritten = ref false in
+  let main =
+    Ast.map_block
+      (fun s ->
+        match s.Ast.kind with
+        | Ast.Expr (Ast.Call (f, [ Ast.Var cb ])) when f = Builtins.sniff ->
+            rewritten := true;
+            let pkt = "pkt" in
+            let body =
+              [
+                Ast.mk gen (Ast.Assign (Ast.L_var pkt, Ast.Call (Builtins.pkt_input, [])));
+                Ast.mk gen (Ast.Expr (Ast.Call (cb, [ Ast.Var pkt ])));
+              ]
+            in
+            [ Ast.mk gen (Ast.While (Ast.Bool true, body)) ]
+        | _ -> [ s ])
+      p.main
+  in
+  if not !rewritten then raise (Not_applicable "no sniff(callback) call in main");
+  Ast.renumber { p with main; next_sid = gen.next }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4c: consumer-producer -> loop                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Fuse [spawn(read_loop); spawn(proc_loop);] into one loop. Each
+    spawned function is taken to run repeatedly; the loop body calls
+    producer then consumer (the later inlining pass flattens the calls
+    and gives [return] its skip-this-iteration meaning). The queue
+    coupling them is eliminated inside the function bodies by
+    substituting [queue_push(q, e)] with [__q_head = e;] and
+    [x = queue_pop(q)] with [x = __q_head;]. *)
+let fuse_consumer_producer (p : Ast.program) =
+  let gen = Ast.idgen ~from:p.next_sid () in
+  let spawned =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Expr (Ast.Call (f, [ Ast.Var fn ])) when f = Builtins.spawn -> Some fn
+        | _ -> None)
+      p.main
+  in
+  match spawned with
+  | [ producer; consumer ] ->
+      List.iter
+        (fun name ->
+          if Ast.find_func p name = None then
+            raise (Not_applicable ("spawned function not defined: " ^ name)))
+        [ producer; consumer ];
+      let head = "__q_head" in
+      let elim block =
+        Ast.map_block
+          (fun s ->
+            match s.Ast.kind with
+            | Ast.Expr (Ast.Call (f, [ _q; e ])) when f = Builtins.queue_push ->
+                [ Ast.mk gen (Ast.Assign (Ast.L_var head, e)) ]
+            | Ast.Assign (lv, Ast.Call (f, [ _q ])) when f = Builtins.queue_pop ->
+                [ Ast.mk gen (Ast.Assign (lv, Ast.Var head)) ]
+            | _ -> [ s ])
+          block
+      in
+      let funcs =
+        List.map
+          (fun (f : Ast.func) ->
+            if f.fname = producer || f.fname = consumer then { f with body = elim f.body }
+            else f)
+          p.funcs
+      in
+      let body =
+        [
+          Ast.mk gen (Ast.Expr (Ast.Call (producer, [])));
+          Ast.mk gen (Ast.Expr (Ast.Call (consumer, [])));
+        ]
+      in
+      let main = [ Ast.mk gen (Ast.While (Ast.Bool true, body)) ] in
+      (* [__q_head] must be a global so both inlined bodies share it. *)
+      let globals = p.globals @ [ Ast.mk gen (Ast.Assign (Ast.L_var head, Ast.Int 0)) ] in
+      Ast.renumber { Ast.globals; main; funcs; next_sid = gen.next }
+  | _ -> raise (Not_applicable "expected exactly two spawn() calls (producer, consumer)")
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4d -> Fig. 5: socket unfolding                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Components extracted from an accept/fork nested loop. *)
+type accept_fork = {
+  listen_port : Ast.expr;  (** port bound by [listen] *)
+  conn_var : string;  (** variable [accept] bound; becomes the client 4-tuple *)
+  accept_stmts : Ast.block;  (** run once per accepted connection (backend selection) *)
+  backend : Ast.expr;  (** argument of [connect] — [(ip, port)] tuple *)
+  data_stmts : Ast.block;  (** per-data-segment statements, with [buf] bound *)
+  buf_var : string;  (** variable [sock_recv] bound in the inner loop *)
+  out_expr : Ast.expr;  (** payload expression passed to [sock_send] *)
+}
+
+let match_accept_fork (p : Ast.program) =
+  (* Expected shape (Figure 3 / Figure 4d):
+       ls = listen(PORT);
+       while (...) {
+         c = accept(ls);
+         <accept_stmts>
+         child = fork();
+         if (child == 0) {
+           srv = connect(BACKEND);
+           while (...) { buf = sock_recv(c); <data_stmts> sock_send(srv, OUT); }
+         }
+       } *)
+  let fail msg = raise (Not_applicable ("accept/fork pattern: " ^ msg)) in
+  let listen_port =
+    List.find_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Assign (_, Ast.Call (f, [ port ])) when f = Builtins.sock_listen -> Some port
+        | _ -> None)
+      p.main
+  in
+  let listen_port = match listen_port with Some e -> e | None -> fail "no listen()" in
+  let outer_body =
+    List.find_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with Ast.While (_, b) -> Some b | _ -> None)
+      p.main
+  in
+  let outer_body = match outer_body with Some b -> b | None -> fail "no outer loop" in
+  (* Split the outer body at accept() and fork(). *)
+  let rec split_accept acc = function
+    | [] -> fail "no accept() in outer loop"
+    | ({ Ast.kind = Ast.Assign (Ast.L_var c, Ast.Call (f, _)); _ } : Ast.stmt) :: rest
+      when f = Builtins.sock_accept ->
+        (List.rev acc, c, rest)
+    | s :: rest -> split_accept (s :: acc) rest
+  in
+  let _before_accept, conn_var, after_accept = split_accept [] outer_body in
+  let rec split_fork acc = function
+    | [] -> fail "no fork() in outer loop"
+    | ({ Ast.kind = Ast.Assign (_, Ast.Call (f, _)); _ } : Ast.stmt) :: rest
+      when f = Builtins.fork ->
+        (List.rev acc, rest)
+    | s :: rest -> split_fork (s :: acc) rest
+  in
+  let accept_stmts, after_fork = split_fork [] after_accept in
+  let child_block =
+    List.find_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with Ast.If (_, b, _) -> Some b | _ -> None)
+      after_fork
+  in
+  let child_block = match child_block with Some b -> b | None -> fail "no fork child branch" in
+  let backend =
+    List.find_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Assign (_, Ast.Call (f, [ b ])) when f = Builtins.sock_connect -> Some b
+        | _ -> None)
+      child_block
+  in
+  let backend = match backend with Some b -> b | None -> fail "no connect() in child" in
+  let inner_body =
+    List.find_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with Ast.While (_, b) -> Some b | _ -> None)
+      child_block
+  in
+  let inner_body = match inner_body with Some b -> b | None -> fail "no inner relay loop" in
+  let buf_var, after_recv =
+    match inner_body with
+    | { Ast.kind = Ast.Assign (Ast.L_var b, Ast.Call (f, _)); _ } :: rest
+      when f = Builtins.sock_recv ->
+        (b, rest)
+    | _ -> fail "inner loop must start with buf = sock_recv(..)"
+  in
+  let rec split_send acc = function
+    | [] -> fail "no sock_send() in inner loop"
+    | ({ Ast.kind = Ast.Expr (Ast.Call (f, [ _; out ])); _ } : Ast.stmt) :: _
+      when f = Builtins.sock_send ->
+        (List.rev acc, out)
+    | s :: rest -> split_send (s :: acc) rest
+  in
+  let data_stmts, out_expr = split_send [] after_recv in
+  { listen_port; conn_var; accept_stmts; backend; data_stmts; buf_var; out_expr }
+
+(** Unfold an accept/fork program into the Figure-5 single-loop form.
+
+    The emitted program makes the OS's hidden per-connection state
+    explicit: a [_tcp] dictionary maps the client 4-tuple to an integer
+    {!Packet.Tcp_fsm} state, a [_backend] dictionary records the backend
+    chosen at accept time, and the relay rewrites addresses in both
+    directions. Control segments (handshake, teardown) drive the state
+    machine; data segments are only relayed in ESTABLISHED — exactly the
+    "data packets without 3-way handshake established would be dropped"
+    behaviour the paper attributes to hidden state. *)
+let unfold_accept_fork (p : Ast.program) =
+  let af = match_accept_fork p in
+  let globals_src =
+    String.concat "\n" (List.map Pretty.stmt_to_string p.globals)
+  in
+  let splice block = String.concat "\n      " (List.map Pretty.stmt_to_string block) in
+  let e = Pretty.expr in
+  (* The skeleton is NFL source; holes are filled with pretty-printed
+     fragments of the matched program, then the result is re-parsed. *)
+  let src =
+    Printf.sprintf
+      {|
+# Generated by Transform.unfold_accept_fork (Figure 3 -> Figure 5).
+%s
+_tcp = {};
+_backend = {};
+_lb_port = %s;
+
+main {
+  while (true) {
+    pkt = recv();
+    if (pkt.dport == _lb_port) {
+      fl = (pkt.ip_src, pkt.sport, pkt.ip_dst, pkt.dport);
+      if (not (fl in _tcp)) {
+        # ProcessCtrlMsg: passive open. Only a SYN creates state.
+        if ((pkt.tcp_flags & 2) != 0) {
+          %s = fl;             # connection identity = client 4-tuple
+          %s
+          _backend[fl] = %s;
+          _tcp[fl] = 3;            # SYN_RCVD
+          # SYN/ACK back to the client on behalf of the listener.
+          t_ip = pkt.ip_src; pkt.ip_src = pkt.ip_dst; pkt.ip_dst = t_ip;
+          t_pt = pkt.sport; pkt.sport = pkt.dport; pkt.dport = t_pt;
+          pkt.tcp_flags = 18;      # SYN|ACK
+          send(pkt);
+        }
+      } else {
+        st = _tcp[fl];
+        if (st == 3) {             # SYN_RCVD
+          if ((pkt.tcp_flags & 16) != 0) {
+            _tcp[fl] = 4;          # ESTABLISHED
+          }
+        } else {
+          if (st == 4) {           # ESTABLISHED
+            if ((pkt.tcp_flags & 1) != 0) {
+              _tcp[fl] = 7;        # CLOSE_WAIT on FIN
+            } else {
+              if ((pkt.tcp_flags & 4) != 0) {
+                del _tcp[fl];      # RST tears down
+                del _backend[fl];
+              } else {
+                # ProcessDataMsg: relay to the chosen backend.
+                %s = pkt.payload;
+                %s
+                b = _backend[fl];
+                pkt.ip_src = pkt.ip_dst;
+                pkt.ip_dst = b[0];
+                pkt.sport = pkt.dport;
+                pkt.dport = b[1];
+                pkt.payload = %s;
+                send(pkt);
+              }
+            }
+          } else {
+            if (st == 7) {         # CLOSE_WAIT: final teardown
+              del _tcp[fl];
+              del _backend[fl];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+|}
+      globals_src (e af.listen_port) af.conn_var (splice af.accept_stmts) (e af.backend)
+      af.buf_var (splice af.data_stmts) (e af.out_expr)
+  in
+  Parser.program src
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Normalize any recognized structure to canonical single-loop form and
+    inline user functions. This is the front door used by the NFactor
+    pipeline. *)
+let canonicalize (p : Ast.program) =
+  let p =
+    match detect p with
+    | Single_loop -> p
+    | Callback -> callback_to_loop p
+    | Consumer_producer -> fuse_consumer_producer p
+    | Nested_loop -> unfold_accept_fork p
+  in
+  Inline.program p
+
+(** The canonical packet loop of a normalized program: the loop
+    statement, its body and the packet variable bound by [recv()]. *)
+let packet_loop (p : Ast.program) =
+  let found = ref None in
+  Ast.iter_stmts
+    (fun s ->
+      match (s.Ast.kind, !found) with
+      | Ast.While (_, body), None -> (
+          match List.find_map Builtins.pkt_input_var body with
+          | Some pkt_var -> found := Some (s, body, pkt_var)
+          | None -> ())
+      | _ -> ())
+    p.main;
+  match !found with
+  | Some r -> r
+  | None -> raise (Not_applicable "no packet-processing loop (while containing pkt = recv())")

@@ -1,0 +1,55 @@
+(** Code-structure normalization (paper Section 3.2, Figures 4-5):
+    rewrites the callback, consumer-producer and nested accept/fork
+    structures into the canonical single packet loop, including the
+    template-directed TCP unfolding that makes the OS's hidden
+    per-connection state explicit. *)
+
+exception Not_applicable of string
+
+type structure =
+  | Single_loop  (** Fig. 4a — already canonical *)
+  | Callback  (** Fig. 4b *)
+  | Consumer_producer  (** Fig. 4c *)
+  | Nested_loop  (** Fig. 4d *)
+
+val structure_to_string : structure -> string
+
+val detect : Ast.program -> structure
+(** Classify [main]'s code structure.
+    @raise Not_applicable when no known structure matches. *)
+
+val callback_to_loop : Ast.program -> Ast.program
+(** [sniff(cb);] becomes [while (true) { pkt = recv(); cb(pkt); }]. *)
+
+val fuse_consumer_producer : Ast.program -> Ast.program
+(** Fuse the two [spawn]ed loops into one, eliminating the queue; the
+    spawned functions remain for the inliner to flatten. *)
+
+(** Components matched in an accept/fork nested loop. *)
+type accept_fork = {
+  listen_port : Ast.expr;
+  conn_var : string;  (** [accept]'s target; becomes the client 4-tuple *)
+  accept_stmts : Ast.block;  (** per-connection setup (backend selection) *)
+  backend : Ast.expr;  (** argument of [connect] *)
+  data_stmts : Ast.block;  (** per-data-segment statements *)
+  buf_var : string;  (** variable bound by [sock_recv] *)
+  out_expr : Ast.expr;  (** payload passed to [sock_send] *)
+}
+
+val match_accept_fork : Ast.program -> accept_fork
+(** @raise Not_applicable when the Figure-3 shape is absent. *)
+
+val unfold_accept_fork : Ast.program -> Ast.program
+(** Figure 3 → Figure 5: socket calls become packet-level operations
+    plus an explicit [_tcp] state table and [_backend] map; control
+    segments drive the TCP machine, data relays only in
+    ESTABLISHED. *)
+
+val canonicalize : Ast.program -> Ast.program
+(** Normalize any recognized structure and inline user functions — the
+    front door of the NFactor pipeline. *)
+
+val packet_loop : Ast.program -> Ast.stmt * Ast.block * string
+(** The canonical packet loop: the loop statement, its body, and the
+    packet variable bound by [recv()].
+    @raise Not_applicable when absent. *)

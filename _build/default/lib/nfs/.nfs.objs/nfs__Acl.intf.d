@@ -1,0 +1,1 @@
+lib/nfs/acl.mli: Nfl

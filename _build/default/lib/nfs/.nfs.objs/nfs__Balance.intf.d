@@ -1,0 +1,1 @@
+lib/nfs/balance.mli: Nfl

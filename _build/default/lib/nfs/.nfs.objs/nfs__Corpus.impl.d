@@ -1,0 +1,1 @@
+lib/nfs/corpus.ml: Acl Balance Firewall Ips Lb List Mirror Nat Nfl Portknock Ratelimiter Snort_lite String Synguard

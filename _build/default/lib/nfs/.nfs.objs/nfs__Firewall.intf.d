@@ -1,0 +1,1 @@
+lib/nfs/firewall.mli: Nfl

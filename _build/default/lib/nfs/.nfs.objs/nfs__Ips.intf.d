@@ -1,0 +1,1 @@
+lib/nfs/ips.mli: Nfl

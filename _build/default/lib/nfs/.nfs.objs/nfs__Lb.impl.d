@@ -1,0 +1,1 @@
+lib/nfs/lb.ml: Nfl

@@ -1,0 +1,1 @@
+lib/nfs/mirror.ml: Nfl

@@ -1,0 +1,1 @@
+lib/nfs/mirror.mli: Nfl

@@ -1,0 +1,1 @@
+lib/nfs/nat.ml: Nfl

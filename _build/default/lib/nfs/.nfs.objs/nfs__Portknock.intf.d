@@ -1,0 +1,1 @@
+lib/nfs/portknock.mli: Nfl

@@ -1,0 +1,1 @@
+lib/nfs/ratelimiter.ml: Nfl

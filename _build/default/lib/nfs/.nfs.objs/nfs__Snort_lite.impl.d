@@ -1,0 +1,1 @@
+lib/nfs/snort_lite.ml: Array Buffer Nfl Printf

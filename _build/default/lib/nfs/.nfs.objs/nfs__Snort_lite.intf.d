@@ -1,0 +1,1 @@
+lib/nfs/snort_lite.mli: Nfl

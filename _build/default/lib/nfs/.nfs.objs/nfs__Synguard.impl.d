@@ -1,0 +1,1 @@
+lib/nfs/synguard.ml: Nfl

@@ -1,0 +1,51 @@
+(** First-match ACL filter: a configured rule list evaluated in order,
+    first matching prefix decides allow/deny; TTL is decremented on
+    forward (router-style).
+
+    Unlike the IDS, this rule loop {e is} forwarding logic, so slicing
+    must keep it and symbolic execution unrolls it — the extracted
+    model expands the first-match semantics into one entry per
+    rule-decision prefix. The only corpus NF with a [for]-loop inside
+    the forwarding slice. *)
+
+let name = "acl"
+
+let source =
+  {|# First-match ACL filter (single-loop structure).
+# Configuration: (network, mask, action) with action 1=allow 2=deny.
+acl = [
+  (10.0.0.0, 255.0.0.0, 1),
+  (192.168.0.0, 255.255.0.0, 2),
+  (8.8.8.8, 255.255.255.255, 1)
+];
+default_action = 2;
+# Log state
+allowed = 0;
+denied = 0;
+
+main {
+  while (true) {
+    pkt = recv();
+    decision = 0;
+    for r in acl {
+      if (decision == 0) {
+        if ((pkt.ip_src & r[1]) == r[0]) {
+          decision = r[2];
+        }
+      }
+    }
+    if (decision == 0) {
+      decision = default_action;
+    }
+    if (decision == 1) {
+      allowed = allowed + 1;
+      pkt.ip_ttl = pkt.ip_ttl - 1;
+      send(pkt);
+    } else {
+      denied = denied + 1;
+    }
+  }
+}
+|}
+
+let program () = Nfl.Parser.program source

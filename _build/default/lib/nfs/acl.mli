@@ -1,0 +1,6 @@
+(** Corpus NF: first-match ACL filter — the subject whose rule loop is
+    itself forwarding logic (a [for]-loop inside the slice). *)
+
+val name : string
+val source : string
+val program : unit -> Nfl.Ast.program

@@ -1,0 +1,110 @@
+(** [balance] — the inlab.de TCP relay load balancer the paper
+    evaluates (its Figure 3), reproduced in NFL with the same
+    accept/fork nested-loop structure over socket builtins.
+
+    The program cannot be analyzed at packet level as written: its
+    per-connection TCP state lives in the OS ("hidden states",
+    Section 3.2). {!Nfl.Transform.unfold_accept_fork} rewrites it into
+    the Figure-5 single-loop form with an explicit TCP state table
+    before NFactor runs.
+
+    Beyond the Figure-3 core, the listing carries the surrounding
+    machinery the real balance 3.5 has — channel bookkeeping, failure
+    counters, verbose logging — so that slicing has realistic material
+    to discard. *)
+
+let name = "balance"
+
+let source =
+  {|# balance 3.5 (accept/fork relay, Fig. 4d structure).
+# Configuration
+lport = 80;
+servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+sel_mode = 1;                 # 1 = round robin, 2 = hash
+max_channels = 64;
+stats_interval = 100;
+dbg_level = 1;
+# Output-impacting state
+idx = 0;
+# Channel bookkeeping and failure counters (log-only, like the real
+# balance's channel table and -v output)
+conn_total = 0;
+conn_active = 0;
+conn_peak = 0;
+bytes_relayed = 0;
+pkts_relayed = 0;
+err_accept = 0;
+err_overflow = 0;
+backend_conns = {};
+backend_bytes = {};
+size_hist_small = 0;
+size_hist_large = 0;
+
+main {
+  ls = listen(lport);
+  while (true) {
+    c = accept(ls);
+    # -- channel accounting (log-only) --
+    conn_total = conn_total + 1;
+    conn_active = conn_active + 1;
+    if (conn_active > conn_peak) {
+      conn_peak = conn_active;
+    }
+    if (conn_active > max_channels) {
+      err_overflow = err_overflow + 1;
+      log("channel table overflow", conn_active);
+    }
+    if (conn_total % stats_interval == 0) {
+      log("stats", conn_total);
+      log("peak", conn_peak);
+      log("bytes", bytes_relayed);
+    }
+    if (dbg_level > 0) {
+      log("accepted connection", conn_total);
+    }
+    # -- backend selection (output-impacting) --
+    if (sel_mode == 1) {
+      server = servers[idx];
+      idx = (idx + 1) % len(servers);
+    } else {
+      server = servers[hash(c) % len(servers)];
+    }
+    # -- per-backend accounting (log-only) --
+    if (not (server in backend_conns)) {
+      backend_conns[server] = 0;
+      backend_bytes[server] = 0;
+    }
+    backend_conns[server] = backend_conns[server] + 1;
+    if (dbg_level > 1) {
+      log("selected backend", server);
+      log("backend conns", backend_conns[server]);
+    }
+    child = fork();
+    if (child == 0) {
+      s = connect(server);
+      while (true) {
+        buf = sock_recv(c);
+        # -- relay statistics (log-only) --
+        nbytes = len(buf);
+        bytes_relayed = bytes_relayed + nbytes;
+        pkts_relayed = pkts_relayed + 1;
+        backend_bytes[server] = backend_bytes[server] + nbytes;
+        if (nbytes < 512) {
+          size_hist_small = size_hist_small + 1;
+        } else {
+          size_hist_large = size_hist_large + 1;
+        }
+        if (dbg_level > 2) {
+          log("relaying", buf);
+          log("total", bytes_relayed);
+        }
+        out = buf;
+        sock_send(s, out);
+      }
+    }
+  }
+}
+|}
+
+(** Parsed (but not yet canonicalized) program. *)
+let program () = Nfl.Parser.program source

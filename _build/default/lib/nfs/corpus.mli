@@ -1,0 +1,19 @@
+(** Registry of the NF corpus: the paper's two evaluation subjects
+    ([snort], [balance]), the Figure-1 running example ([lb]), and
+    additional NFs covering the remaining Figure-4 code structures. *)
+
+type entry = {
+  name : string;
+  description : string;
+  structure : string;  (** code structure per Figure 4 *)
+  in_paper : bool;  (** appears in the paper's evaluation *)
+  source : unit -> string;  (** NFL source text *)
+  program : unit -> Nfl.Ast.program;  (** parsed, not canonicalized *)
+}
+
+val all : entry list
+val find : string -> entry option
+val names : string list
+
+val loc_of_source : string -> int
+(** Non-comment, non-blank source lines — the paper's "LoC" metric. *)

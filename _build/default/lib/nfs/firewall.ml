@@ -1,0 +1,66 @@
+(** Stateful firewall — corpus NF in the callback structure (Fig. 4b).
+
+    Outbound traffic from the protected network opens a pinhole in the
+    connection table; inbound traffic is admitted only through a
+    pinhole or to an explicitly opened service port. The service
+    policy ([open_ports], [strict_mode]) is configuration; the
+    connection table is output-impacting state. *)
+
+let name = "firewall"
+
+let source =
+  {|# Stateful firewall (callback structure).
+# Configuration
+inside_net = 192.168.0.0;
+inside_mask = 255.255.0.0;
+open_ports = [80, 443];
+strict_mode = 1;
+# Output-impacting state
+conn_table = {};
+# Log state
+allowed = 0;
+blocked = 0;
+
+def fw_callback(pkt) {
+  si = pkt.ip_src;
+  di = pkt.ip_dst;
+  sp = pkt.sport;
+  dp = pkt.dport;
+  if ((si & inside_mask) == inside_net) {
+    # Outbound: open/refresh the pinhole and pass.
+    conn_table[(si, sp, di, dp)] = 1;
+    allowed = allowed + 1;
+    send(pkt);
+  } else {
+    # Inbound: reverse pinhole?
+    rkey = (di, dp, si, sp);
+    if (rkey in conn_table) {
+      allowed = allowed + 1;
+      send(pkt);
+    } else {
+      # Service ports are open unless strict mode also requires TCP.
+      if (dp in open_ports) {
+        if (strict_mode == 1) {
+          if (pkt.ip_proto == 6) {
+            allowed = allowed + 1;
+            send(pkt);
+          } else {
+            blocked = blocked + 1;
+          }
+        } else {
+          allowed = allowed + 1;
+          send(pkt);
+        }
+      } else {
+        blocked = blocked + 1;
+      }
+    }
+  }
+}
+
+main {
+  sniff(fw_callback);
+}
+|}
+
+let program () = Nfl.Parser.program source

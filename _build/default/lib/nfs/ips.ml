@@ -1,0 +1,69 @@
+(** Inline intrusion-prevention system — the IPS counterpart to
+    [snort_lite]'s passive tap.
+
+    Where the IDS only logs, this NF's detection results are
+    output-impacting: a signature hit drops the packet and blocklists
+    the source, and subsequent traffic from a blocklisted source is
+    dropped outright. The contrast shows in the extracted artifacts —
+    here the rule checks and the [blocked] table survive slicing and
+    appear in the model, whereas the IDS's rule engine is pruned
+    entirely. *)
+
+let name = "ips"
+
+let source =
+  {|# Inline IPS: signature matches drop and blocklist the source.
+# Configuration
+guard_port = 80;
+sig_sql = "SELECT * FROM";
+sig_shell = "/bin/sh";
+sig_traversal = "GET /etc/passwd";
+# Output-impacting state
+blocked = {};
+# Log state
+dropped_blocked = 0;
+dropped_sig = 0;
+passed = 0;
+sig_hits_sql = 0;
+sig_hits_shell = 0;
+sig_hits_traversal = 0;
+
+def ips_callback(pkt) {
+  src = pkt.ip_src;
+  # Blocklisted sources are dropped outright.
+  if (src in blocked) {
+    dropped_blocked = dropped_blocked + 1;
+    return;
+  }
+  # Only guard the protected port; everything else flows.
+  if (pkt.dport == guard_port) {
+    hit = 0;
+    if (str_contains(pkt.payload, sig_sql)) {
+      hit = 1;
+      sig_hits_sql = sig_hits_sql + 1;
+    }
+    if (str_contains(pkt.payload, sig_shell)) {
+      hit = 1;
+      sig_hits_shell = sig_hits_shell + 1;
+    }
+    if (str_contains(pkt.payload, sig_traversal)) {
+      hit = 1;
+      sig_hits_traversal = sig_hits_traversal + 1;
+    }
+    if (hit == 1) {
+      blocked[src] = 1;
+      dropped_sig = dropped_sig + 1;
+      alert("signature", src);
+      return;
+    }
+  }
+  passed = passed + 1;
+  send(pkt);
+}
+
+main {
+  sniff(ips_callback);
+}
+|}
+
+let program () = Nfl.Parser.program source

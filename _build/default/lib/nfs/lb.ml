@@ -1,0 +1,81 @@
+(** The paper's running example: the Figure-1 layer-4 load balancer,
+    transliterated from scapy-Python to NFL.
+
+    Structure and variable names follow the listing in the paper so
+    that analysis results can be compared line-for-line: [mode] is the
+    configuration knob (round-robin vs hash), [f2b_nat]/[b2f_nat] the
+    output-impacting translation state, [rr_idx]/[cur_port] the
+    allocation state, and [pass_stat]/[drop_stat] the log-only
+    counters that slicing must prune. *)
+
+let name = "lb"
+
+let source =
+  {|# Figure-1 layer-4 load balancer (callback structure, Fig. 4b).
+# Constants
+ROUND_ROBIN = 1;
+HASH_MODE = 2;
+MTU = 1500;
+# Configurations
+mode = 1;
+lb_ip = 3.3.3.3;
+lb_port = 80;
+servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+# Output-impacting states
+f2b_nat = {};
+b2f_nat = {};
+rr_idx = 0;
+cur_port = 10000;
+# Log states
+pass_stat = 0;
+drop_stat = 0;
+
+def pkt_callback(pkt) {
+  si = pkt.ip_src;
+  di = pkt.ip_dst;
+  sp = pkt.sport;
+  dp = pkt.dport;
+  if (dp == lb_port) {           # pkt from client to server
+    cs_ftpl = (si, sp, di, dp);
+    sc_ftpl = (di, dp, si, sp);
+    if (not (cs_ftpl in f2b_nat)) {   # new connection
+      if (mode == ROUND_ROBIN) {
+        server = servers[rr_idx];
+        rr_idx = (rr_idx + 1) % len(servers);
+      } else {                   # hash to a backend server
+        server = servers[hash(si) % len(servers)];
+      }
+      n_port = cur_port;
+      cur_port = cur_port + 1;
+      cs_btpl = (lb_ip, n_port, server[0], server[1]);
+      sc_btpl = (server[0], server[1], lb_ip, n_port);
+      f2b_nat[cs_ftpl] = cs_btpl;
+      b2f_nat[sc_btpl] = sc_ftpl;
+      nat_tpl = cs_btpl;
+    } else {                     # existing connection
+      nat_tpl = f2b_nat[cs_ftpl];
+    }
+  } else {                       # pkt from server to client
+    sc_btpl = (si, sp, di, dp);
+    if (sc_btpl in b2f_nat) {
+      nat_tpl = b2f_nat[sc_btpl];
+    } else {                     # no initial outbound traffic allowed
+      drop_stat = drop_stat + 1;
+      return;
+    }
+  }
+  pass_stat = pass_stat + 1;
+  pkt.ip_src = nat_tpl[0];
+  pkt.sport = nat_tpl[1];
+  pkt.ip_dst = nat_tpl[2];
+  pkt.dport = nat_tpl[3];
+  send(pkt);
+}
+
+main {
+  sniff(pkt_callback);
+}
+|}
+
+(** Parsed (but not yet canonicalized) program. *)
+let program () = Nfl.Parser.program source

@@ -1,0 +1,52 @@
+(** SPAN-style traffic mirror: forwards packets unchanged and sends a
+    copy of selected traffic to a collector.
+
+    The only corpus NF whose paths emit {e two} packets — its model
+    entries carry multi-snapshot [Forward] actions, exercising the
+    action machinery end to end (extraction, model interpretation,
+    differential testing, serialization). *)
+
+let name = "mirror"
+
+let source =
+  {|# Traffic mirror (single-loop structure).
+# Configuration
+collector_ip = 7.7.7.7;
+collector_port = 9000;
+mirror_port = 80;
+mirror_all = 0;
+# Log state
+mirrored = 0;
+passed = 0;
+
+main {
+  while (true) {
+    pkt = recv();
+    want_copy = 0;
+    if (mirror_all == 1) {
+      want_copy = 1;
+    } else {
+      if (pkt.dport == mirror_port) {
+        want_copy = 1;
+      }
+    }
+    if (want_copy == 1) {
+      # Copy to the collector goes out first (as a monitor port would),
+      # re-addressed but otherwise intact.
+      orig_dst = pkt.ip_dst;
+      orig_dport = pkt.dport;
+      pkt.ip_dst = collector_ip;
+      pkt.dport = collector_port;
+      send(pkt);
+      # Restore and forward the original.
+      pkt.ip_dst = orig_dst;
+      pkt.dport = orig_dport;
+      mirrored = mirrored + 1;
+    }
+    passed = passed + 1;
+    send(pkt);
+  }
+}
+|}
+
+let program () = Nfl.Parser.program source

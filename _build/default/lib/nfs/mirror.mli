@@ -1,0 +1,6 @@
+(** Corpus NF: SPAN-style traffic mirror — the multi-send subject (its
+    mirrored paths emit two packets per input). *)
+
+val name : string
+val source : string
+val program : unit -> Nfl.Ast.program

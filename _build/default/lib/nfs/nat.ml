@@ -1,0 +1,70 @@
+(** Source NAT (masquerade) — corpus NF beyond the paper's two, in the
+    single-loop structure (Fig. 4a).
+
+    Internal hosts ([inside_net]) going out get their source address
+    and port rewritten to the NAT's external address and an allocated
+    port; return traffic is translated back through the reverse
+    mapping; unsolicited external traffic is dropped. Classic
+    output-impacting state ([fwd_map]/[rev_map]/[next_port]) plus log
+    counters, making it a second good subject for StateAlyzer. *)
+
+let name = "nat"
+
+let source =
+  {|# Source NAT, single-loop structure (Fig. 4a).
+# Configuration
+nat_ip = 5.5.5.5;
+inside_net = 10.0.0.0;
+inside_mask = 255.0.0.0;
+port_base = 20000;
+# Output-impacting state
+fwd_map = {};
+rev_map = {};
+next_port = 0;
+# Log state
+translated = 0;
+dropped = 0;
+
+main {
+  while (true) {
+    pkt = recv();
+    si = pkt.ip_src;
+    di = pkt.ip_dst;
+    sp = pkt.sport;
+    dp = pkt.dport;
+    if ((si & inside_mask) == inside_net) {
+      # Outbound: allocate or reuse a translation.
+      key = (si, sp, di, dp);
+      if (not (key in fwd_map)) {
+        xport = port_base + next_port;
+        next_port = next_port + 1;
+        fwd_map[key] = xport;
+        rev_map[(di, dp, xport)] = (si, sp);
+      }
+      xp = fwd_map[key];
+      pkt.ip_src = nat_ip;
+      pkt.sport = xp;
+      translated = translated + 1;
+      send(pkt);
+    } else {
+      # Inbound: must match an existing translation to the NAT address.
+      if (di == nat_ip) {
+        rkey = (si, sp, dp);
+        if (rkey in rev_map) {
+          orig = rev_map[rkey];
+          pkt.ip_dst = orig[0];
+          pkt.dport = orig[1];
+          translated = translated + 1;
+          send(pkt);
+        } else {
+          dropped = dropped + 1;
+        }
+      } else {
+        dropped = dropped + 1;
+      }
+    }
+  }
+}
+|}
+
+let program () = Nfl.Parser.program source

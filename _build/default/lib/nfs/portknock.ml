@@ -1,0 +1,77 @@
+(** Port-knocking gate: a source unlocks the protected port by hitting
+    three knock ports in order; wrong order resets the sequence.
+
+    The per-source knock stage is a genuine multi-step state machine
+    (unknown → K1 → K2 → unlocked), which makes this NF the best
+    subject for the {!Nfactor.Fsm} derivation: the extracted model's
+    state predicates enumerate the stages and its transitions recover
+    the knock protocol. *)
+
+let name = "portknock"
+
+let source =
+  {|# Port-knocking gate (single-loop structure).
+# Configuration
+knock1 = 7000;
+knock2 = 8000;
+knock3 = 9000;
+protected_port = 22;
+# Output-impacting state
+stage = {};
+# Log state
+unlocked_total = 0;
+reset_total = 0;
+denied = 0;
+
+main {
+  while (true) {
+    pkt = recv();
+    src = pkt.ip_src;
+    dp = pkt.dport;
+    if (dp == knock1) {
+      # First knock (re)starts the sequence; knocks are absorbed.
+      stage[src] = 1;
+    } else {
+      if (dp == knock2) {
+        if (src in stage) {
+          if (stage[src] == 1) {
+            stage[src] = 2;
+          } else {
+            del stage[src];
+            reset_total = reset_total + 1;
+          }
+        }
+      } else {
+        if (dp == knock3) {
+          if (src in stage) {
+            if (stage[src] == 2) {
+              stage[src] = 3;
+              unlocked_total = unlocked_total + 1;
+            } else {
+              del stage[src];
+              reset_total = reset_total + 1;
+            }
+          }
+        } else {
+          if (dp == protected_port) {
+            if (src in stage) {
+              if (stage[src] == 3) {
+                send(pkt);
+              } else {
+                denied = denied + 1;
+              }
+            } else {
+              denied = denied + 1;
+            }
+          } else {
+            # Unrelated traffic flows freely.
+            send(pkt);
+          }
+        }
+      }
+    }
+  }
+}
+|}
+
+let program () = Nfl.Parser.program source

@@ -1,0 +1,56 @@
+(** Per-source rate limiter — corpus NF in the consumer-producer
+    structure (Fig. 4c), exercising the loop-fusion transform.
+
+    Counts packets per source; once a source exceeds its budget its
+    traffic is dropped (count-based limiter: NFL programs are
+    clockless, so the budget is per run rather than per second — the
+    state machinery is identical). *)
+
+let name = "ratelimiter"
+
+let source =
+  {|# Per-source packet-count limiter (consumer-producer structure).
+# Configuration
+limit = 100;
+exempt_net = 10.9.0.0;
+exempt_mask = 255.255.0.0;
+# Output-impacting state
+counts = {};
+# Log state
+passed = 0;
+limited = 0;
+q = 0;
+
+def read_loop() {
+  pkt = recv();
+  queue_push(q, pkt);
+}
+
+def proc_loop() {
+  p = queue_pop(q);
+  src = p.ip_src;
+  if ((src & exempt_mask) == exempt_net) {
+    passed = passed + 1;
+    send(p);
+    return;
+  }
+  if (not (src in counts)) {
+    counts[src] = 0;
+  }
+  c = counts[src];
+  if (c < limit) {
+    counts[src] = c + 1;
+    passed = passed + 1;
+    send(p);
+  } else {
+    limited = limited + 1;
+  }
+}
+
+main {
+  spawn(read_loop);
+  spawn(proc_loop);
+}
+|}
+
+let program () = Nfl.Parser.program source

@@ -1,0 +1,215 @@
+(** [snort_lite] — stands in for the snort 1.0 the paper evaluates.
+
+    Snort 1.0 is a passive IDS: its rule engine decides what to *log*
+    and *alert on*, while its forwarding behaviour (run as a tap /
+    inline passthrough) is decided only by packet decoding — malformed
+    traffic is not forwarded, everything decodable is. That asymmetry
+    is exactly what makes it a good slicing subject: thousands of lines
+    of rule matching, counters and logging sit on top of a tiny
+    forwarding core, and Table 2 shows the slice collapsing.
+
+    This reproduction keeps that architecture:
+
+    - a decode/sanity stage whose outcome controls [send] — the
+      forwarding slice;
+    - a rule engine over a generated ruleset ([rule_count] rules in the
+      snort rule shape: action, protocol, source/destination prefixes
+      and port ranges, TCP flag tests, payload content match) that only
+      updates alert/log counters;
+    - a SYN portscan detector that, like snort's preprocessor, only
+      raises alerts;
+    - per-protocol statistics and verbose logging.
+
+    Symbolically executing the whole program explodes (every rule
+    forks on header fields and payload contents — the paper reports
+    ">1000" paths and ">1hr"); the packet/state slice leaves only the
+    decode branches. *)
+
+let name = "snort"
+
+let rule_count = 300
+
+(* Deterministic ruleset in snort-1.0 style, rendered as NFL tuples:
+   (action, proto, src_net, src_mask, sp_lo, sp_hi,
+    dst_net, dst_mask, dp_lo, dp_hi, flags_mask, flags_val, content, msg).
+   action: 1 = alert, 2 = log. Masks of 0 match any address; port range
+   (0, 65535) matches any port; flags_mask 0 skips the flag test;
+   content "" skips the payload test. *)
+let rules_nfl ?(n = rule_count) () =
+  let rng = ref 0x5EED in
+  let next n =
+    rng := (!rng * 1103515245) + 12345;
+    (!rng lsr 16) mod n
+  in
+  let contents =
+    [| ""; "USER root"; "GET /etc/passwd"; "SELECT * FROM"; "\\x90\\x90\\x90"; "cmd.exe"; "/bin/sh"; "%n%n"; "OPTIONS *" |]
+  in
+  let nets = [| (0, 0); (0x0A000000, 0xFF000000); (0xC0A80000, 0xFFFF0000); (0x03030303, 0xFFFFFFFF) |]
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "rules = [\n";
+  for i = 0 to n - 1 do
+    let action = 1 + next 2 in
+    let proto = [| 6; 6; 6; 17; 1 |].(next 5) in
+    let snet, smask = nets.(next 4) in
+    let dnet, dmask = nets.(next 4) in
+    let dp_lo, dp_hi =
+      match next 4 with
+      | 0 -> (0, 65535)
+      | 1 -> (80, 80)
+      | 2 -> (0, 1023)
+      | _ ->
+          let p = 1 + next 60000 in
+          (p, p)
+    in
+    let fmask, fval = if proto = 6 && next 3 = 0 then (2, 2) else (0, 0) in
+    let content = if proto = 6 then contents.(next (Array.length contents)) else "" in
+    Buffer.add_string buf
+      (Printf.sprintf "  (%d, %d, %d, %d, 0, 65535, %d, %d, %d, %d, %d, %d, \"%s\", \"rule-%d\")%s\n"
+         action proto snet smask dnet dmask dp_lo dp_hi fmask fval content i
+         (if i = n - 1 then "" else ","))
+  done;
+  Buffer.add_string buf "];";
+  Buffer.contents buf
+
+let source_with ~rules () =
+  Printf.sprintf
+    {|# snort_lite: rule-driven IDS in the snort 1.0 architecture.
+# Configuration
+home_net = 10.0.0.0;
+home_mask = 255.0.0.0;
+scan_threshold = 16;
+verbose = 0;
+checksum_mode = 1;
+
+# Generated ruleset (snort-rule shaped tuples).
+%s
+
+# Log/alert state — none of it is output-impacting.
+pkts_seen = 0;
+bytes_seen = 0;
+malformed_cnt = 0;
+tcp_cnt = 0;
+udp_cnt = 0;
+icmp_cnt = 0;
+alert_cnt = 0;
+log_cnt = 0;
+scan_cnt = {};
+alerted_scanners = {};
+rule_hits = {};
+
+def rule_match(r, pkt) {
+  # Protocol.
+  if (r[1] != pkt.ip_proto) { return 0; }
+  # Source address/ports.
+  if ((pkt.ip_src & r[3]) != r[2]) { return 0; }
+  if (pkt.sport < r[4]) { return 0; }
+  if (pkt.sport > r[5]) { return 0; }
+  # Destination address/ports.
+  if ((pkt.ip_dst & r[7]) != r[6]) { return 0; }
+  if (pkt.dport < r[8]) { return 0; }
+  if (pkt.dport > r[9]) { return 0; }
+  # TCP flag test.
+  if (r[10] != 0) {
+    if ((pkt.tcp_flags & r[10]) != r[11]) { return 0; }
+  }
+  # Payload content.
+  if (r[12] != "") {
+    if (not str_contains(pkt.payload, r[12])) { return 0; }
+  }
+  return 1;
+}
+
+def run_rules(pkt) {
+  for r in rules {
+    m = rule_match(r, pkt);
+    if (m == 1) {
+      if (r[0] == 1) {
+        alert_cnt = alert_cnt + 1;
+        alert("alert", r[13]);
+      } else {
+        log_cnt = log_cnt + 1;
+        log_pkt(pkt);
+      }
+      rule_hits[r[13]] = 1;
+    }
+  }
+  return 0;
+}
+
+def scan_detector(pkt) {
+  # SYN-only segments feed the portscan preprocessor.
+  if ((pkt.tcp_flags & 2) != 0) {
+    if ((pkt.tcp_flags & 16) == 0) {
+      src = pkt.ip_src;
+      if (not (src in scan_cnt)) {
+        scan_cnt[src] = 0;
+      }
+      scan_cnt[src] = scan_cnt[src] + 1;
+      if (scan_cnt[src] > scan_threshold) {
+        if (not (src in alerted_scanners)) {
+          alerted_scanners[src] = 1;
+          alert_cnt = alert_cnt + 1;
+          alert("portscan", src);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+def pkt_callback(pkt) {
+  pkts_seen = pkts_seen + 1;
+  bytes_seen = bytes_seen + pkt.ip_len;
+  # --- Decode / sanity stage: this is the forwarding logic. ---
+  if (pkt.ip_ttl <= 0) {
+    malformed_cnt = malformed_cnt + 1;
+    return;
+  }
+  if (pkt.ip_len < 20) {
+    malformed_cnt = malformed_cnt + 1;
+    return;
+  }
+  if (pkt.ip_proto != 6) {
+    if (pkt.ip_proto != 17) {
+      if (pkt.ip_proto != 1) {
+        malformed_cnt = malformed_cnt + 1;
+        return;
+      }
+    }
+  }
+  # --- Statistics (log-only). ---
+  if (pkt.ip_proto == 6) {
+    tcp_cnt = tcp_cnt + 1;
+  } else {
+    if (pkt.ip_proto == 17) {
+      udp_cnt = udp_cnt + 1;
+    } else {
+      icmp_cnt = icmp_cnt + 1;
+    }
+  }
+  # --- Detection engine (log-only). ---
+  z1 = run_rules(pkt);
+  z2 = scan_detector(pkt);
+  if (verbose > 0) {
+    log("pkt", pkts_seen);
+  }
+  # --- Tap behaviour: forward everything decodable. ---
+  send(pkt);
+}
+
+main {
+  sniff(pkt_callback);
+}
+|}
+    (rules_nfl ~n:rules ())
+
+let source () = source_with ~rules:rule_count ()
+
+(** Parsed (but not yet canonicalized) program. *)
+let program () = Nfl.Parser.program (source ())
+
+(** Variant with a custom ruleset size — the scaling-ablation knob:
+    original-program path explosion grows with the ruleset while the
+    forwarding slice stays constant. *)
+let program_with ~rules () = Nfl.Parser.program (source_with ~rules ())

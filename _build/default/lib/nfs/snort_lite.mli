@@ -1,0 +1,21 @@
+(** Corpus NF standing in for snort 1.0: a rule-driven IDS run as a
+    tap. See the implementation's module comment for the architecture
+    argument. *)
+
+val name : string
+
+val rule_count : int
+(** Default generated ruleset size. *)
+
+val rules_nfl : ?n:int -> unit -> string
+(** The generated ruleset as NFL source (a list of snort-rule shaped
+    tuples). *)
+
+val source_with : rules:int -> unit -> string
+(** Source with a custom ruleset size (the scaling-ablation knob). *)
+
+val source : unit -> string
+
+val program : unit -> Nfl.Ast.program
+
+val program_with : rules:int -> unit -> Nfl.Ast.program

@@ -1,0 +1,69 @@
+(** SYN-flood guard: tracks half-open handshakes per source and stops
+    admitting new SYNs from sources that exceed the budget.
+
+    State machinery: [half_open] counts SYNs-without-ACK per source
+    (decremented when the handshake completes), and both the counter
+    reads and the threshold comparison are output-impacting — a
+    corpus member whose state transition includes a decrement, which
+    the other NFs lack. *)
+
+let name = "synguard"
+
+let source =
+  {|# SYN-flood guard (single-loop structure).
+# Configuration
+syn_budget = 3;
+protected_port = 80;
+# Output-impacting state
+half_open = {};
+# Log state
+admitted = 0;
+completed = 0;
+rejected = 0;
+
+main {
+  while (true) {
+    pkt = recv();
+    src = pkt.ip_src;
+    if (pkt.dport == protected_port) {
+      is_syn = pkt.tcp_flags & 2;
+      is_ack = pkt.tcp_flags & 16;
+      if (is_syn != 0) {
+        if (is_ack == 0) {
+          # Client SYN: admit while under budget.
+          if (not (src in half_open)) {
+            half_open[src] = 0;
+          }
+          if (half_open[src] < syn_budget) {
+            half_open[src] = half_open[src] + 1;
+            admitted = admitted + 1;
+            send(pkt);
+          } else {
+            rejected = rejected + 1;
+          }
+        } else {
+          # SYN/ACK from the server side: pass through.
+          send(pkt);
+        }
+      } else {
+        if (is_ack != 0) {
+          # Handshake completion releases a half-open slot.
+          if (src in half_open) {
+            if (half_open[src] > 0) {
+              half_open[src] = half_open[src] - 1;
+              completed = completed + 1;
+            }
+          }
+          send(pkt);
+        } else {
+          send(pkt);
+        }
+      }
+    } else {
+      send(pkt);
+    }
+  }
+}
+|}
+
+let program () = Nfl.Parser.program source

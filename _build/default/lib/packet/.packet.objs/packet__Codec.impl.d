@@ -1,0 +1,1 @@
+lib/packet/codec.ml: Addr Buffer Headers List Pkt Printf Scanf String

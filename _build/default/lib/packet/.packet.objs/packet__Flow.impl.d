@@ -1,0 +1,1 @@
+lib/packet/flow.ml: Addr Fmt Map Pkt Set Stdlib

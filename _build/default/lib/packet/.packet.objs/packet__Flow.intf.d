@@ -1,0 +1,1 @@
+lib/packet/flow.mli: Addr Format Map Pkt Set

@@ -1,0 +1,1 @@
+lib/packet/pkt.ml: Addr Fmt Headers Printf Stdlib

@@ -1,0 +1,1 @@
+lib/packet/pkt.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/packet/rng.ml: Int64 List

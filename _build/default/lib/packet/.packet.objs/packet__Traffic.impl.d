@@ -1,0 +1,1 @@
+lib/packet/traffic.ml: Addr Headers List Pkt Rng

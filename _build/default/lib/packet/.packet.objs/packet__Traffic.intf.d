@@ -1,0 +1,1 @@
+lib/packet/traffic.mli: Addr Pkt Rng

@@ -1,0 +1,51 @@
+(** IPv4 addresses and ports.
+
+    Addresses are stored as non-negative integers in host order; the
+    library never needs wire representation, only equality, ordering and
+    prefix matching, so a plain [int] keeps the rest of the code simple. *)
+
+type ip = int
+
+let ip_max = 0xFFFFFFFF
+
+(** [ip a b c d] builds the address [a.b.c.d]. Octets must be in
+    [0, 255]. *)
+let ip a b c d =
+  assert (a >= 0 && a < 256 && b >= 0 && b < 256);
+  assert (c >= 0 && c < 256 && d >= 0 && d < 256);
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+(** [of_string "1.2.3.4"] parses a dotted quad. Raises [Invalid_argument]
+    on malformed input. *)
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d) with
+      | Some a, Some b, Some c, Some d
+        when a >= 0 && a < 256 && b >= 0 && b < 256 && c >= 0 && c < 256 && d >= 0 && d < 256 ->
+          ip a b c d
+      | _ -> invalid_arg ("Addr.of_string: " ^ s))
+  | _ -> invalid_arg ("Addr.of_string: " ^ s)
+
+let octet addr i = (addr lsr ((3 - i) * 8)) land 0xFF
+
+let to_string addr =
+  Printf.sprintf "%d.%d.%d.%d" (octet addr 0) (octet addr 1) (octet addr 2) (octet addr 3)
+
+let pp ppf addr = Fmt.string ppf (to_string addr)
+
+(** [mask_of_prefix n] is the netmask with [n] leading one bits,
+    [0 <= n <= 32]. *)
+let mask_of_prefix n =
+  assert (n >= 0 && n <= 32);
+  if n = 0 then 0 else (ip_max lsl (32 - n)) land ip_max
+
+(** [in_prefix addr ~network ~prefix] tests membership of [addr] in
+    [network/prefix]. *)
+let in_prefix addr ~network ~prefix =
+  let m = mask_of_prefix prefix in
+  addr land m = network land m
+
+type port = int
+
+let valid_port p = p >= 0 && p < 65536

@@ -1,0 +1,16 @@
+(** Text codec for packet traces: one packet per line
+    ([proto src sport dst dport flags ttl len seq ack "payload"]),
+    [#] comments and blank lines ignored. Interchange format for
+    replaying captured or hand-written traffic through an NF and its
+    model. *)
+
+val to_line : Pkt.t -> string
+
+val of_line : string -> Pkt.t
+(** @raise Invalid_argument on malformed lines. *)
+
+val to_string : Pkt.t list -> string
+val of_string : string -> Pkt.t list
+
+val save : file:string -> Pkt.t list -> unit
+val load : file:string -> Pkt.t list

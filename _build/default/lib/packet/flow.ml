@@ -1,0 +1,40 @@
+(** Transport-level flows: 4-tuples and direction handling.
+
+    The NFactor model matches flows by their 4-tuple; NF state tables in
+    the corpus (NAT mappings, firewall pinholes, load-balancer
+    translations) are keyed by values of this type. *)
+
+type four_tuple = { src : Addr.ip; sport : Addr.port; dst : Addr.ip; dport : Addr.port }
+
+let make ~src ~sport ~dst ~dport = { src; sport; dst; dport }
+
+(** 4-tuple of a packet as seen on the wire. *)
+let of_pkt (p : Pkt.t) = { src = p.ip_src; sport = p.sport; dst = p.ip_dst; dport = p.dport }
+
+(** The 4-tuple of the reverse direction of the same conversation. *)
+let reverse t = { src = t.dst; sport = t.dport; dst = t.src; dport = t.sport }
+
+let equal (a : four_tuple) (b : four_tuple) = a = b
+let compare (a : four_tuple) (b : four_tuple) = Stdlib.compare a b
+
+(** Direction-independent key: the lexicographically smaller of a tuple
+    and its reverse, so both directions of a conversation map to the same
+    entry (useful for connection tables). *)
+let canonical t =
+  let r = reverse t in
+  if compare t r <= 0 then t else r
+
+let pp ppf t = Fmt.pf ppf "%a:%d>%a:%d" Addr.pp t.src t.sport Addr.pp t.dst t.dport
+let to_string t = Fmt.str "%a" pp t
+
+module Map = Map.Make (struct
+  type t = four_tuple
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type t = four_tuple
+
+  let compare = compare
+end)

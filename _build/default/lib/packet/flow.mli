@@ -1,0 +1,25 @@
+(** Transport-level flows: 4-tuples and direction handling. NF state
+    tables (NAT mappings, pinholes, LB translations) are keyed by
+    values of this type. *)
+
+type four_tuple = { src : Addr.ip; sport : Addr.port; dst : Addr.ip; dport : Addr.port }
+
+val make : src:Addr.ip -> sport:Addr.port -> dst:Addr.ip -> dport:Addr.port -> four_tuple
+
+val of_pkt : Pkt.t -> four_tuple
+(** The 4-tuple of a packet as seen on the wire. *)
+
+val reverse : four_tuple -> four_tuple
+(** The 4-tuple of the opposite direction of the same conversation. *)
+
+val canonical : four_tuple -> four_tuple
+(** Direction-independent key: the smaller of a tuple and its reverse,
+    so both directions map to one connection-table entry. *)
+
+val equal : four_tuple -> four_tuple -> bool
+val compare : four_tuple -> four_tuple -> int
+val pp : Format.formatter -> four_tuple -> unit
+val to_string : four_tuple -> string
+
+module Map : Map.S with type key = four_tuple
+module Set : Set.S with type elt = four_tuple

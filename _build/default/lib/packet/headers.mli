@@ -1,0 +1,36 @@
+(** Protocol numbers, TCP flag bits and the packet field-name
+    vocabulary shared by the NFL runtime and the model interpreter. *)
+
+(** {1 IANA protocol numbers} *)
+
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+val proto_to_string : int -> string
+
+(** {1 TCP flag bits (wire encoding)} *)
+
+val fin : int
+val syn : int
+val rst : int
+val psh : int
+val ack : int
+val urg : int
+
+val has : int -> int -> bool
+(** [has flags bit] tests whether [bit] is set in [flags]. *)
+
+val flags_to_string : int -> string
+(** ["SYN|ACK"]-style rendering; ["-"] when no flag is set. *)
+
+(** {1 Packet fields visible to NFL programs} *)
+
+val int_fields : string list
+(** Integer-valued fields accessible as [pkt.<field>]. *)
+
+val str_fields : string list
+(** String-valued fields ([payload]). *)
+
+val is_int_field : string -> bool
+val is_str_field : string -> bool
+val is_field : string -> bool

@@ -1,0 +1,73 @@
+(** Concrete network packets.
+
+    A packet is a flat record of the header fields NF programs inspect:
+    the IP header, the transport ports, TCP flags/sequence numbers and an
+    opaque payload string. NFL programs read and write fields by name
+    ([get_int], [set_int]); the field-name vocabulary lives in
+    {!Headers}. *)
+
+type t = {
+  ip_src : Addr.ip;
+  ip_dst : Addr.ip;
+  ip_proto : int;
+  ip_ttl : int;
+  ip_len : int;
+  sport : Addr.port;
+  dport : Addr.port;
+  tcp_flags : int;
+  seq : int;
+  ack : int;
+  payload : string;
+}
+
+let make ?(ip_proto = Headers.proto_tcp) ?(ip_ttl = 64) ?(ip_len = 60) ?(tcp_flags = 0) ?(seq = 0)
+    ?(ack = 0) ?(payload = "") ~ip_src ~ip_dst ~sport ~dport () =
+  { ip_src; ip_dst; ip_proto; ip_ttl; ip_len; sport; dport; tcp_flags; seq; ack; payload }
+
+let get_int p = function
+  | "ip_src" -> p.ip_src
+  | "ip_dst" -> p.ip_dst
+  | "ip_proto" -> p.ip_proto
+  | "ip_ttl" -> p.ip_ttl
+  | "ip_len" -> p.ip_len
+  | "sport" -> p.sport
+  | "dport" -> p.dport
+  | "tcp_flags" -> p.tcp_flags
+  | "seq" -> p.seq
+  | "ack" -> p.ack
+  | f -> invalid_arg ("Pkt.get_int: not an int field: " ^ f)
+
+let set_int p field v =
+  match field with
+  | "ip_src" -> { p with ip_src = v }
+  | "ip_dst" -> { p with ip_dst = v }
+  | "ip_proto" -> { p with ip_proto = v }
+  | "ip_ttl" -> { p with ip_ttl = v }
+  | "ip_len" -> { p with ip_len = v }
+  | "sport" -> { p with sport = v }
+  | "dport" -> { p with dport = v }
+  | "tcp_flags" -> { p with tcp_flags = v }
+  | "seq" -> { p with seq = v }
+  | "ack" -> { p with ack = v }
+  | f -> invalid_arg ("Pkt.set_int: not an int field: " ^ f)
+
+let get_str p = function
+  | "payload" -> p.payload
+  | f -> invalid_arg ("Pkt.get_str: not a string field: " ^ f)
+
+let set_str p field v =
+  match field with
+  | "payload" -> { p with payload = v }
+  | f -> invalid_arg ("Pkt.set_str: not a string field: " ^ f)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp ppf p =
+  Fmt.pf ppf "%s %a:%d > %a:%d [%s] len=%d ttl=%d%s" (Headers.proto_to_string p.ip_proto) Addr.pp
+    p.ip_src p.sport Addr.pp p.ip_dst p.dport
+    (Headers.flags_to_string p.tcp_flags)
+    p.ip_len p.ip_ttl
+    (if p.payload = "" then "" else Printf.sprintf " %S" p.payload)
+
+let to_string p = Fmt.str "%a" pp p

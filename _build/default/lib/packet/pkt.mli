@@ -1,0 +1,46 @@
+(** Concrete network packets: a flat record of the header fields NF
+    programs inspect. Field access is by name, using the vocabulary in
+    {!Headers}. *)
+
+type t = {
+  ip_src : Addr.ip;
+  ip_dst : Addr.ip;
+  ip_proto : int;
+  ip_ttl : int;
+  ip_len : int;
+  sport : Addr.port;
+  dport : Addr.port;
+  tcp_flags : int;
+  seq : int;
+  ack : int;
+  payload : string;
+}
+
+val make :
+  ?ip_proto:int ->
+  ?ip_ttl:int ->
+  ?ip_len:int ->
+  ?tcp_flags:int ->
+  ?seq:int ->
+  ?ack:int ->
+  ?payload:string ->
+  ip_src:Addr.ip ->
+  ip_dst:Addr.ip ->
+  sport:Addr.port ->
+  dport:Addr.port ->
+  unit ->
+  t
+(** Defaults: TCP, TTL 64, length 60, no flags, empty payload. *)
+
+val get_int : t -> string -> int
+(** [get_int p field] reads an integer field by name.
+    @raise Invalid_argument on unknown or non-integer fields. *)
+
+val set_int : t -> string -> int -> t
+val get_str : t -> string -> string
+val set_str : t -> string -> string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

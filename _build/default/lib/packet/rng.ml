@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Library code must be reproducible, so every randomized component
+    (workload generation, differential testing) threads an explicit
+    generator seeded by the caller instead of touching global state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 step: Stafford's mix13 finalizer over a golden-gamma
+   counter. Public-domain reference constants. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  (* Drop two high bits so the value fits OCaml's 63-bit native int as a
+     non-negative number. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [pick t xs] chooses a uniform element of the non-empty list [xs]. *)
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** Independent child generator; lets callers fan out reproducible
+    sub-streams. *)
+let split t = create (Int64.to_int (next_int64 t))

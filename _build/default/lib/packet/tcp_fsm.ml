@@ -1,0 +1,125 @@
+(** TCP connection state machine.
+
+    Section 3.2 of the paper ("Hidden States") observes that socket-level
+    NFs such as [balance] rely on state the OS keeps for them: each TCP
+    connection walks the LISTEN / SYN_RCVD / ESTABLISHED / ... diagram,
+    and data segments without an established handshake never reach the
+    application. NFactor handles these NFs by *unfolding* the socket
+    calls into packet-level operations plus this state machine.
+
+    The machine here is the passive-open + active-open subset sufficient
+    for middlebox modelling: we track enough of RFC 793's diagram that a
+    3-way handshake is required before data flows and FIN/RST teardown is
+    observed. Sequence-number validation is deliberately out of scope, as
+    in the paper. *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Last_ack
+  | Closing
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_rcvd -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Last_ack -> "LAST_ACK"
+  | Closing -> "CLOSING"
+  | Time_wait -> "TIME_WAIT"
+
+let pp ppf s = Fmt.string ppf (state_to_string s)
+let equal (a : state) (b : state) = a = b
+
+(** Events are observed segments, tagged with the direction relative to
+    the endpoint whose state we track: [`From_peer] segments arrive at
+    the endpoint, [`To_peer] segments are emitted by it. *)
+type dir = From_peer | To_peer
+
+type event = { dir : dir; flags : int }
+
+let ev dir flags = { dir; flags }
+
+(* Flag predicates on an event. *)
+let is_syn e = Headers.has e.flags Headers.syn && not (Headers.has e.flags Headers.ack)
+let is_syn_ack e = Headers.has e.flags Headers.syn && Headers.has e.flags Headers.ack
+let is_ack e = Headers.has e.flags Headers.ack && not (Headers.has e.flags Headers.syn)
+let is_fin e = Headers.has e.flags Headers.fin
+let is_rst e = Headers.has e.flags Headers.rst
+
+(** [step st e] is the successor state after observing [e] in [st].
+    Segments that are invalid for the current state leave it unchanged
+    (a real stack would drop or RST them; [valid_data] below is how NFs
+    ask whether a data segment would be accepted). *)
+let step st e =
+  if is_rst e then Closed
+  else
+    match (st, e.dir) with
+    | Closed, To_peer when is_syn e -> Syn_sent
+    | Listen, From_peer when is_syn e -> Syn_rcvd
+    | Syn_sent, From_peer when is_syn_ack e -> Established
+    | Syn_sent, From_peer when is_syn e -> Syn_rcvd (* simultaneous open *)
+    | Syn_rcvd, From_peer when is_ack e -> Established
+    | Established, To_peer when is_fin e -> Fin_wait_1
+    | Established, From_peer when is_fin e -> Close_wait
+    | Fin_wait_1, From_peer when is_fin e && is_ack e -> Time_wait
+    | Fin_wait_1, From_peer when is_fin e -> Closing
+    | Fin_wait_1, From_peer when is_ack e -> Fin_wait_2
+    | Fin_wait_2, From_peer when is_fin e -> Time_wait
+    | Close_wait, To_peer when is_fin e -> Last_ack
+    | Last_ack, From_peer when is_ack e -> Closed
+    | Closing, From_peer when is_ack e -> Time_wait
+    | ( ( Closed | Listen | Syn_sent | Syn_rcvd | Established | Fin_wait_1 | Fin_wait_2
+        | Close_wait | Last_ack | Closing | Time_wait ),
+        _ ) ->
+        st
+
+(** Whether a plain data segment arriving from the peer is deliverable to
+    the application in state [st] — the "hidden state" behaviour that
+    socket-level NFs inherit from the OS. *)
+let valid_data = function
+  | Established | Fin_wait_1 | Fin_wait_2 | Close_wait -> true
+  | Closed | Listen | Syn_sent | Syn_rcvd | Last_ack | Closing | Time_wait -> false
+
+(** Integer encoding used when the state lives inside an NFL dictionary
+    (the Figure-5 transformation stores TCP state per 4-tuple). *)
+let to_int = function
+  | Closed -> 0
+  | Listen -> 1
+  | Syn_sent -> 2
+  | Syn_rcvd -> 3
+  | Established -> 4
+  | Fin_wait_1 -> 5
+  | Fin_wait_2 -> 6
+  | Close_wait -> 7
+  | Last_ack -> 8
+  | Closing -> 9
+  | Time_wait -> 10
+
+let of_int = function
+  | 0 -> Closed
+  | 1 -> Listen
+  | 2 -> Syn_sent
+  | 3 -> Syn_rcvd
+  | 4 -> Established
+  | 5 -> Fin_wait_1
+  | 6 -> Fin_wait_2
+  | 7 -> Close_wait
+  | 8 -> Last_ack
+  | 9 -> Closing
+  | 10 -> Time_wait
+  | n -> invalid_arg ("Tcp_fsm.of_int: " ^ string_of_int n)
+
+let all_states =
+  [ Closed; Listen; Syn_sent; Syn_rcvd; Established; Fin_wait_1; Fin_wait_2; Close_wait; Last_ack; Closing; Time_wait ]

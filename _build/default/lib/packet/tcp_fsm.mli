@@ -1,0 +1,48 @@
+(** TCP connection state machine — the "hidden state" of socket-level
+    NFs (paper Section 3.2).
+
+    Tracks the RFC-793 diagram closely enough that a 3-way handshake is
+    required before data flows and FIN/RST teardown is observed;
+    sequence-number validation is out of scope, as in the paper. *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Last_ack
+  | Closing
+  | Time_wait
+
+val state_to_string : state -> string
+val pp : Format.formatter -> state -> unit
+val equal : state -> state -> bool
+
+(** Direction of an observed segment relative to the tracked
+    endpoint. *)
+type dir = From_peer | To_peer
+
+type event = { dir : dir; flags : int }
+
+val ev : dir -> int -> event
+
+val step : state -> event -> state
+(** [step st e] is the successor state; segments invalid for [st]
+    leave it unchanged; RST always resets to [Closed]. *)
+
+val valid_data : state -> bool
+(** Whether a data segment arriving from the peer is deliverable to
+    the application — the behaviour socket NFs inherit from the OS. *)
+
+val to_int : state -> int
+(** Stable integer encoding used when the state lives in an NFL
+    dictionary (the Figure-5 transformation). *)
+
+val of_int : int -> state
+(** @raise Invalid_argument outside [0, 10]. *)
+
+val all_states : state list

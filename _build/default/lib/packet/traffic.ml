@@ -1,0 +1,94 @@
+(** Synthetic workload generation.
+
+    Stands in for the paper's live traffic: the accuracy experiment
+    (Section 5) feeds 1000 random packets to both the original program
+    and the extracted model; the corpus NFs additionally need realistic
+    *flow-structured* traffic (handshakes followed by data) to exercise
+    their stateful paths. All generators are deterministic given the
+    seed. *)
+
+type profile = {
+  client_ips : Addr.ip list;  (** source pool for inbound packets *)
+  server_ips : Addr.ip list;  (** destination pool / virtual IPs *)
+  server_ports : Addr.port list;
+  payloads : string list;  (** payload pool (some may match IDS rules) *)
+}
+
+let default_profile =
+  {
+    client_ips = List.init 8 (fun i -> Addr.ip 10 0 0 (i + 1));
+    server_ips = [ Addr.ip 3 3 3 3 ];
+    server_ports = [ 80; 443; 8080 ];
+    payloads = [ ""; "GET / HTTP/1.0"; "USER root"; "hello"; "\x90\x90\x90"; "SELECT * FROM" ];
+  }
+
+(** Fully random packet: uniform fields from the profile pools, random
+    flags and ports. This is the "random inputs" generator used by the
+    accuracy experiment. *)
+let random_pkt rng profile =
+  let flags =
+    Rng.pick rng
+      [ Headers.syn; Headers.syn lor Headers.ack; Headers.ack; Headers.ack lor Headers.psh; Headers.fin lor Headers.ack; Headers.rst; 0 ]
+  in
+  let inbound = Rng.bool rng in
+  let client = Rng.pick rng profile.client_ips in
+  let server = Rng.pick rng profile.server_ips in
+  let sport = 1024 + Rng.int rng 60000 in
+  let dport = Rng.pick rng profile.server_ports in
+  if inbound then
+    Pkt.make ~ip_src:client ~ip_dst:server ~sport ~dport ~tcp_flags:flags
+      ~payload:(Rng.pick rng profile.payloads) ()
+  else
+    Pkt.make ~ip_src:server ~ip_dst:client ~sport:dport ~dport:sport ~tcp_flags:flags
+      ~payload:(Rng.pick rng profile.payloads) ()
+
+(** [random_stream ~seed ~n profile] is [n] independent random packets. *)
+let random_stream ?(profile = default_profile) ~seed ~n () =
+  let rng = Rng.create seed in
+  List.init n (fun _ -> random_pkt rng profile)
+
+(** One complete client->server conversation: SYN, SYN/ACK (reverse
+    direction), ACK, then [data_pkts] PSH/ACK data segments, then
+    FIN/ACK exchange. Useful for driving stateful NFs through their
+    "existing connection" entries. *)
+let conversation ~client ~cport ~server ~sport ~data_pkts ~payload =
+  let fwd ?(flags = Headers.ack) ?(pl = "") () =
+    Pkt.make ~ip_src:client ~ip_dst:server ~sport:cport ~dport:sport ~tcp_flags:flags ~payload:pl ()
+  in
+  let rev ?(flags = Headers.ack) ?(pl = "") () =
+    Pkt.make ~ip_src:server ~ip_dst:client ~sport ~dport:cport ~tcp_flags:flags ~payload:pl ()
+  in
+  let handshake = [ fwd ~flags:Headers.syn (); rev ~flags:(Headers.syn lor Headers.ack) (); fwd () ] in
+  let data =
+    List.concat
+      (List.init data_pkts (fun _ ->
+           [ fwd ~flags:(Headers.ack lor Headers.psh) ~pl:payload (); rev () ]))
+  in
+  let teardown = [ fwd ~flags:(Headers.fin lor Headers.ack) (); rev ~flags:(Headers.fin lor Headers.ack) (); fwd () ] in
+  handshake @ data @ teardown
+
+(** Interleaved flow-structured workload: [flows] conversations whose
+    packets are emitted round-robin, mimicking concurrent clients. *)
+let flow_stream ?(profile = default_profile) ~seed ~flows ~data_pkts () =
+  let rng = Rng.create seed in
+  let convs =
+    List.init flows (fun _ ->
+        conversation
+          ~client:(Rng.pick rng profile.client_ips)
+          ~cport:(1024 + Rng.int rng 60000)
+          ~server:(Rng.pick rng profile.server_ips)
+          ~sport:(Rng.pick rng profile.server_ports)
+          ~data_pkts
+          ~payload:(Rng.pick rng profile.payloads))
+  in
+  (* Round-robin interleave until all conversations are drained. *)
+  let rec interleave acc convs =
+    let heads, tails =
+      List.fold_right
+        (fun conv (hs, ts) ->
+          match conv with [] -> (hs, ts) | p :: rest -> (p :: hs, rest :: ts))
+        convs ([], [])
+    in
+    match heads with [] -> List.rev acc | _ -> interleave (List.rev_append heads acc) tails
+  in
+  interleave [] convs

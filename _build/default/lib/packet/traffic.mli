@@ -1,0 +1,34 @@
+(** Synthetic workload generation — the stand-in for the paper's live
+    traffic. All generators are deterministic given their seed. *)
+
+type profile = {
+  client_ips : Addr.ip list;  (** source pool for inbound packets *)
+  server_ips : Addr.ip list;  (** destination pool / virtual IPs *)
+  server_ports : Addr.port list;
+  payloads : string list;  (** payload pool (some match IDS rules) *)
+}
+
+val default_profile : profile
+
+val random_pkt : Rng.t -> profile -> Pkt.t
+(** One fully random packet (uniform fields from the profile pools,
+    random direction and flags) — the Section-5 accuracy workload. *)
+
+val random_stream : ?profile:profile -> seed:int -> n:int -> unit -> Pkt.t list
+(** [n] independent random packets. *)
+
+val conversation :
+  client:Addr.ip ->
+  cport:Addr.port ->
+  server:Addr.ip ->
+  sport:Addr.port ->
+  data_pkts:int ->
+  payload:string ->
+  Pkt.t list
+(** One complete TCP conversation: handshake, [data_pkts] data/ack
+    exchanges, FIN teardown — drives stateful NF paths. *)
+
+val flow_stream :
+  ?profile:profile -> seed:int -> flows:int -> data_pkts:int -> unit -> Pkt.t list
+(** [flows] conversations interleaved round-robin, mimicking
+    concurrent clients. *)

@@ -1,0 +1,1 @@
+lib/slicing/ddg.ml: Cfg Dataflow Fmt List Nfl Option

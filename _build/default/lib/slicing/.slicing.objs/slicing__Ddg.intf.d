@@ -1,0 +1,1 @@
+lib/slicing/ddg.mli: Cfg Format Nfl

@@ -1,0 +1,1 @@
+lib/slicing/dynamic.ml: Array Cdg Cfg Dataflow Int List Map Nfl Option Set String

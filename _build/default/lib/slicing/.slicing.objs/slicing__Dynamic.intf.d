@@ -1,0 +1,1 @@
+lib/slicing/dynamic.mli: Map Nfl Set

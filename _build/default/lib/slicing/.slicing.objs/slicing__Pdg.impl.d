@@ -1,0 +1,1 @@
+lib/slicing/pdg.ml: Cdg Cfg Ddg Nfl

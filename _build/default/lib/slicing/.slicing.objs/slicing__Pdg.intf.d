@@ -1,0 +1,1 @@
+lib/slicing/pdg.mli: Cdg Cfg Ddg Nfl

@@ -1,0 +1,1 @@
+lib/slicing/slice.ml: Cfg List Nfl Pdg

@@ -1,0 +1,1 @@
+lib/slicing/slice.mli: Cfg Nfl Pdg

@@ -1,0 +1,12 @@
+(** Data-dependence graph: [n] depends on [m] when [m] defines a
+    variable [n] uses and the definition reaches [n]. *)
+
+type t
+
+val compute : ?entry_defs:Nfl.Ast.Sset.t -> Cfg.t -> t
+(** [entry_defs] marks variables defined before the region. *)
+
+val deps_of : t -> Cfg.node -> Cfg.Nset.t
+(** Nodes [n] data-depends on. *)
+
+val pp : Format.formatter -> t -> unit

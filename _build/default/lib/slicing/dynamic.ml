@@ -1,0 +1,146 @@
+(** Dynamic program slicing (Agrawal & Horgan 1990).
+
+    Works over an execution trace — the sequence of statement ids the
+    interpreter actually executed. Each executed instance is linked to
+
+    - the most recent instance defining each variable it uses (weak
+      container updates use the container themselves, so chains through
+      dictionary history arise naturally), and
+    - the most recent instance of a statement it is statically
+      control-dependent on (dynamic control dependence).
+
+    The dynamic slice of a criterion instance is the backward closure
+    over these links, projected to statement ids. This is the
+    "statements that *really* lead to the final behaviour" notion the
+    paper contrasts with static slices. *)
+
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+module Sset = Nfl.Ast.Sset
+module Smap = Map.Make (String)
+
+type trace = int list
+(** Executed statement ids, in execution order. *)
+
+type ctx = {
+  defs : Sset.t Imap.t;  (** sid -> variables it defines *)
+  uses : Sset.t Imap.t;  (** sid -> variables it uses *)
+  cd_parents : Iset.t Imap.t;  (** sid -> sids it is control dependent on *)
+}
+
+(** Build the static context a dynamic slice needs from a block. *)
+let ctx_of_block (block : Nfl.Ast.block) =
+  let cfg = Cfg.of_block block in
+  let cdg = Cdg.compute cfg in
+  let defs = ref Imap.empty and uses = ref Imap.empty and cds = ref Imap.empty in
+  Nfl.Ast.iter_stmts
+    (fun s ->
+      let sid = s.Nfl.Ast.sid in
+      defs := Imap.add sid (Dataflow.Defs_uses.defs s) !defs;
+      uses := Imap.add sid (Dataflow.Defs_uses.uses s) !uses;
+      let parents =
+        Cfg.Nset.fold
+          (fun n acc -> match n with Cfg.Stmt p -> Iset.add p acc | _ -> acc)
+          (Cdg.deps_of cdg (Cfg.Stmt sid))
+          Iset.empty
+      in
+      cds := Imap.add sid parents !cds)
+    block;
+  { defs = !defs; uses = !uses; cd_parents = !cds }
+
+let lookup m sid ~default = Option.value ~default (Imap.find_opt sid m)
+
+(** [slice ctx trace ~criterion] is the dynamic slice (set of statement
+    ids) for the *last* execution of [criterion] in [trace]; empty when
+    the criterion never executed. *)
+let slice ctx (trace : trace) ~criterion =
+  let arr = Array.of_list trace in
+  let n = Array.length arr in
+  (* Pass 1: per-instance parent links. *)
+  let parents = Array.make n Iset.empty in
+  let last_def : int Smap.t ref = ref Smap.empty in
+  let last_exec : int Imap.t ref = ref Imap.empty in
+  for i = 0 to n - 1 do
+    let sid = arr.(i) in
+    let links = ref Iset.empty in
+    Sset.iter
+      (fun v ->
+        match Smap.find_opt v !last_def with
+        | Some j -> links := Iset.add j !links
+        | None -> ())
+      (lookup ctx.uses sid ~default:Sset.empty);
+    (* Dynamic control parent: latest execution of any static CD parent. *)
+    let cd = lookup ctx.cd_parents sid ~default:Iset.empty in
+    let ctl =
+      Iset.fold
+        (fun p acc ->
+          match (Imap.find_opt p !last_exec, acc) with
+          | Some j, Some k -> Some (max j k)
+          | Some j, None -> Some j
+          | None, acc -> acc)
+        cd None
+    in
+    (match ctl with Some j -> links := Iset.add j !links | None -> ());
+    parents.(i) <- !links;
+    Sset.iter
+      (fun v -> last_def := Smap.add v i !last_def)
+      (lookup ctx.defs sid ~default:Sset.empty);
+    last_exec := Imap.add sid i !last_exec
+  done;
+  (* Criterion: last instance of the criterion statement. *)
+  match Imap.find_opt criterion !last_exec with
+  | None -> Iset.empty
+  | Some start ->
+      let rec close seen frontier =
+        match frontier with
+        | [] -> seen
+        | i :: rest ->
+            if Iset.mem i seen then close seen rest
+            else close (Iset.add i seen) (Iset.elements parents.(i) @ rest)
+      in
+      let instances = close Iset.empty [ start ] in
+      Iset.map (fun i -> arr.(i)) instances
+
+(** Union of dynamic slices over every execution of [criterion]. *)
+let slice_all ctx trace ~criterion =
+  (* Equivalent to slicing from each instance; we reuse [slice] per
+     suffix cheaply by slicing the whole trace from each occurrence. *)
+  let occurrences =
+    List.filteri (fun _ sid -> sid = criterion) trace |> List.length
+  in
+  if occurrences = 0 then Iset.empty
+  else
+    (* Closure from all instances at once: run the same link pass but
+       seed with every instance of the criterion. *)
+    let arr = Array.of_list trace in
+    let n = Array.length arr in
+    let parents = Array.make n Iset.empty in
+    let last_def : int Smap.t ref = ref Smap.empty in
+    let last_exec : int Imap.t ref = ref Imap.empty in
+    let seeds = ref [] in
+    for i = 0 to n - 1 do
+      let sid = arr.(i) in
+      if sid = criterion then seeds := i :: !seeds;
+      let links = ref Iset.empty in
+      Sset.iter
+        (fun v ->
+          match Smap.find_opt v !last_def with Some j -> links := Iset.add j !links | None -> ())
+        (lookup ctx.uses sid ~default:Sset.empty);
+      let cd = lookup ctx.cd_parents sid ~default:Iset.empty in
+      (Iset.fold
+         (fun p acc -> match Imap.find_opt p !last_exec with Some j -> max j acc | None -> acc)
+         cd (-1)
+      |> fun j -> if j >= 0 then links := Iset.add j !links);
+      parents.(i) <- !links;
+      Sset.iter (fun v -> last_def := Smap.add v i !last_def) (lookup ctx.defs sid ~default:Sset.empty);
+      last_exec := Imap.add sid i !last_exec
+    done;
+    let rec close seen frontier =
+      match frontier with
+      | [] -> seen
+      | i :: rest ->
+          if Iset.mem i seen then close seen rest
+          else close (Iset.add i seen) (Iset.elements parents.(i) @ rest)
+    in
+    let instances = close Iset.empty !seeds in
+    Iset.map (fun i -> arr.(i)) instances

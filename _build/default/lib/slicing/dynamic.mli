@@ -1,0 +1,24 @@
+(** Dynamic program slicing (Agrawal & Horgan 1990): the statements
+    that {e really} led to a criterion in one concrete execution,
+    computed from an interpreter trace plus static def/use and
+    control-dependence information. *)
+
+module Imap : Map.S with type key = int
+module Iset : Set.S with type elt = int
+
+type trace = int list
+(** Executed statement ids, in execution order (as recorded by
+    {!Symexec.Interp}). *)
+
+type ctx
+(** Static context: per-statement defs/uses and control-dependence
+    parents. *)
+
+val ctx_of_block : Nfl.Ast.block -> ctx
+
+val slice : ctx -> trace -> criterion:int -> Iset.t
+(** Dynamic slice (statement ids) for the {e last} execution of
+    [criterion]; empty when it never executed. *)
+
+val slice_all : ctx -> trace -> criterion:int -> Iset.t
+(** Union over every execution of [criterion]. *)

@@ -1,0 +1,39 @@
+(** Program-dependence graph: union of data and control dependences
+    over one CFG (Ferrante et al.; the representation program slicing
+    traverses). *)
+
+module Nmap = Cfg.Nmap
+module Nset = Cfg.Nset
+module Sset = Nfl.Ast.Sset
+
+type t = {
+  cfg : Cfg.t;
+  data : Ddg.t;
+  control : Cdg.t;
+}
+
+let build ?(entry_defs = Sset.empty) cfg =
+  { cfg; data = Ddg.compute ~entry_defs cfg; control = Cdg.compute cfg }
+
+(** All PDG predecessors of [n]: data sources plus controlling
+    branches. [Entry] is filtered out (it is not a statement). *)
+let preds t n =
+  let ctrl = Cdg.deps_of t.control n in
+  let data = Ddg.deps_of t.data n in
+  Nset.filter
+    (fun m -> match m with Cfg.Stmt _ -> true | Cfg.Entry | Cfg.Exit -> false)
+    (Nset.union ctrl data)
+
+(** Backward reachability in the PDG from a seed set of nodes. *)
+let backward_closure t seeds =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | n :: rest ->
+        if Nset.mem n seen then go seen rest
+        else
+          let seen = Nset.add n seen in
+          let ps = preds t n in
+          go seen (Nset.elements ps @ rest)
+  in
+  go Nset.empty seeds

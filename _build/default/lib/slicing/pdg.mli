@@ -1,0 +1,13 @@
+(** Program-dependence graph: union of data and control dependence
+    over one CFG — the representation backward slicing traverses. *)
+
+type t = { cfg : Cfg.t; data : Ddg.t; control : Cdg.t }
+
+val build : ?entry_defs:Nfl.Ast.Sset.t -> Cfg.t -> t
+
+val preds : t -> Cfg.node -> Cfg.Nset.t
+(** All PDG predecessors: data sources plus controlling branches
+    (virtual nodes filtered out). *)
+
+val backward_closure : t -> Cfg.node list -> Cfg.Nset.t
+(** Backward reachability from a seed set. *)

@@ -1,0 +1,26 @@
+(** Static backward program slicing (Weiser, via PDG reachability).
+
+    A slice is the set of statements that might affect a criterion,
+    taken with respect to all variables the criterion uses — exactly
+    how Algorithm 1 invokes [BackwardSlice]. *)
+
+type ctx = { block : Nfl.Ast.block; cfg : Cfg.t; pdg : Pdg.t }
+
+val of_block : ?entry_defs:Nfl.Ast.Sset.t -> Nfl.Ast.block -> ctx
+(** Prepare a block; [entry_defs] names variables defined before it
+    (globals / loop-carried state). *)
+
+val backward : ctx -> criteria:int list -> int list
+(** Backward slice from the given statement ids: the criteria plus
+    everything they transitively data- or control-depend on; sorted. *)
+
+val find_stmts : ctx -> (Nfl.Ast.stmt -> bool) -> int list
+(** Statement ids in the block satisfying a predicate (used to locate
+    slicing criteria such as packet outputs). *)
+
+val backward_union : ctx -> criteria:int list -> int list
+(** Union of the backward slices of all criteria. *)
+
+val restrict_block : int list -> Nfl.Ast.block -> Nfl.Ast.block
+(** Residual runnable block containing only the kept statements
+    (compound statements survive whenever their bodies do). *)

@@ -1,0 +1,1 @@
+lib/statealyzer/varclass.ml: Cfg Dataflow Fmt List Nfl Slicing

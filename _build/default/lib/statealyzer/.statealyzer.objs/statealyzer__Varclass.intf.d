@@ -1,0 +1,1 @@
+lib/statealyzer/varclass.mli: Format Nfl

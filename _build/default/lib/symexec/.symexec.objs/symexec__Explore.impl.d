@@ -1,0 +1,1 @@
+lib/symexec/explore.ml: Fmt Int List Map Nfl Option Packet Sexpr Solver String Value

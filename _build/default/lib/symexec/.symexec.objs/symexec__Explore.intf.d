@@ -1,0 +1,1 @@
+lib/symexec/explore.mli: Format Map Nfl Sexpr Solver Value

@@ -1,0 +1,1 @@
+lib/symexec/interp.ml: List Map Nfl Packet Printf String Value

@@ -1,0 +1,1 @@
+lib/symexec/interp.mli: Map Nfl Packet Value

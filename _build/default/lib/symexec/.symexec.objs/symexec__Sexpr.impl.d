@@ -1,0 +1,1 @@
+lib/symexec/sexpr.ml: Fmt List Nfl Option Set Stdlib String Value

@@ -1,0 +1,1 @@
+lib/symexec/sexpr.mli: Format Nfl Set Value

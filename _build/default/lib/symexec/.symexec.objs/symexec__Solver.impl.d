@@ -1,0 +1,1 @@
+lib/symexec/solver.ml: Fmt List Map Nfl Option Sexpr String Value

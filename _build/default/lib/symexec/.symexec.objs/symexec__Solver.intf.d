@@ -1,0 +1,1 @@
+lib/symexec/solver.mli: Format Map Sexpr Value

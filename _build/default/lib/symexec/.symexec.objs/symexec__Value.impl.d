@@ -1,0 +1,1 @@
+lib/symexec/value.ml: Char Fmt List Nfl Packet Printf Stdlib String

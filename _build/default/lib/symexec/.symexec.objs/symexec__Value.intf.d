@@ -1,0 +1,1 @@
+lib/symexec/value.mli: Format Nfl Packet

@@ -1,0 +1,393 @@
+(** Bounded symbolic execution of NFL blocks.
+
+    Explores every feasible execution path of a block under a symbolic
+    environment: packet fields and designated state variables start as
+    free symbols, branches fork when the {!Solver} cannot decide them,
+    loops unroll up to a bound (Section 3.2: NF code is written so that
+    loops are bounded; paths that exceed the bound are kept but marked
+    truncated). Each completed path carries its path condition,
+    executed statements, emitted packets and final symbolic store —
+    everything Algorithm 1's refinement step (lines 11-16) needs. *)
+
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
+
+exception Unsupported of string
+
+(** Symbolic runtime values. *)
+type sval =
+  | Scalar of Sexpr.t
+  | Pktv of (string * Sexpr.t) list  (** packet as a field map *)
+  | Dictv of Sexpr.dict_state
+  | Listv of sval list
+
+let rec pp_sval ppf = function
+  | Scalar e -> Sexpr.pp ppf e
+  | Pktv fields ->
+      Fmt.pf ppf "pkt{%a}" Fmt.(list ~sep:(any "; ") (pair ~sep:(any "=") string Sexpr.pp)) fields
+  | Dictv d -> Sexpr.pp_dict ppf d
+  | Listv vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") pp_sval) vs
+
+(** Lift a concrete value into the symbolic domain. *)
+let rec sval_of_value (v : Value.t) =
+  match v with
+  | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Tuple _ -> Scalar (Sexpr.Const v)
+  | Value.List vs -> Listv (List.map sval_of_value vs)
+  | Value.Dict kvs ->
+      Dictv
+        {
+          Sexpr.base = Sexpr.empty_base;
+          writes = List.rev_map (fun (k, v) -> (Sexpr.Const k, Some (Sexpr.Const v))) kvs;
+        }
+  | Value.Pkt p ->
+      Pktv
+        (List.map (fun f -> (f, Sexpr.Const (Value.Int (Packet.Pkt.get_int p f)))) Packet.Headers.int_fields
+        @ List.map
+            (fun f -> (f, Sexpr.Const (Value.Str (Packet.Pkt.get_str p f))))
+            Packet.Headers.str_fields)
+
+(** Fully symbolic packet named [name]: field [f] is the symbol
+    ["name.f"]. *)
+let sym_pkt name =
+  Pktv (List.map (fun f -> (f, Sexpr.Sym (name ^ "." ^ f))) (Packet.Headers.int_fields @ Packet.Headers.str_fields))
+
+type config = {
+  loop_bound : int;  (** max iterations per loop statement per path *)
+  max_paths : int;  (** exploration budget; hitting it sets [overflowed] *)
+  max_steps : int;  (** per-path statement budget *)
+}
+
+let default_config = { loop_bound = 2; max_paths = 4096; max_steps = 20_000 }
+
+type path = {
+  pc : Solver.literal list;  (** path condition, in decision order *)
+  trace : int list;  (** executed statement ids, in order *)
+  sends : (string * Sexpr.t) list list;  (** snapshots of packets sent *)
+  env : sval Smap.t;  (** final symbolic store *)
+  truncated : bool;  (** loop bound or step budget hit *)
+}
+
+type stats = {
+  mutable paths : int;
+  mutable truncated_paths : int;
+  mutable solver_calls : int;
+  mutable forks : int;
+  mutable overflowed : bool;  (** [max_paths] reached; enumeration incomplete *)
+}
+
+(* Mutable per-path state, copied on fork (all fields are immutable
+   values, so copying is O(1) record copy). *)
+type pstate = {
+  mutable env : sval Smap.t;
+  mutable pc_rev : Solver.literal list;
+  mutable trace_rev : int list;
+  mutable sends_rev : (string * Sexpr.t) list list;
+  mutable iters : int Imap.t;  (** loop sid -> iterations on this path *)
+  mutable steps : int;
+  mutable truncated : bool;
+}
+
+let copy ps =
+  {
+    env = ps.env;
+    pc_rev = ps.pc_rev;
+    trace_rev = ps.trace_rev;
+    sends_rev = ps.sends_rev;
+    iters = ps.iters;
+    steps = ps.steps;
+    truncated = ps.truncated;
+  }
+
+exception Cut  (* abandon this path (infeasible or budget) *)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scalar = function
+  | Scalar e -> e
+  | Pktv _ -> raise (Unsupported "packet used as scalar")
+  | Dictv _ -> raise (Unsupported "dict used as scalar")
+  | Listv vs ->
+      (* Lists of scalars may appear in scalar position (indexing with a
+         symbolic index); embed as a list term. *)
+      Sexpr.mk_list
+        (List.map
+           (function Scalar e -> e | _ -> raise (Unsupported "nested container in scalar list"))
+           vs)
+
+let rec eval ps (e : Nfl.Ast.expr) : sval =
+  match e with
+  | Nfl.Ast.Int n -> Scalar (Sexpr.int n)
+  | Nfl.Ast.Bool b -> Scalar (Sexpr.Const (Value.Bool b))
+  | Nfl.Ast.Str s -> Scalar (Sexpr.Const (Value.Str s))
+  | Nfl.Ast.Var x -> (
+      match Smap.find_opt x ps.env with
+      | Some v -> v
+      | None ->
+          (* A read of a local never assigned on this path (e.g. log
+             code peeking at another iteration's scratch): a fresh
+             symbolic scalar, as KLEE treats uninitialized memory. *)
+          Scalar (Sexpr.Sym x))
+  | Nfl.Ast.Tuple es -> Scalar (Sexpr.mk_tuple (List.map (fun e -> scalar (eval ps e)) es))
+  | Nfl.Ast.List_lit es -> Listv (List.map (eval ps) es)
+  | Nfl.Ast.Dict_lit -> Dictv Sexpr.dict_empty
+  | Nfl.Ast.Binop (op, a, b) -> Scalar (Sexpr.mk_bin op (scalar (eval ps a)) (scalar (eval ps b)))
+  | Nfl.Ast.Unop (Nfl.Ast.Not, a) -> Scalar (Sexpr.mk_not (scalar (eval ps a)))
+  | Nfl.Ast.Unop (Nfl.Ast.Neg, a) -> Scalar (Sexpr.mk_neg (scalar (eval ps a)))
+  | Nfl.Ast.Index (c, k) -> (
+      let kv = scalar (eval ps k) in
+      match eval ps c with
+      | Dictv d -> Scalar (Sexpr.mk_dget d kv)
+      | Listv vs -> (
+          match kv with
+          | Sexpr.Const (Value.Int i) when i >= 0 && i < List.length vs -> List.nth vs i
+          | Sexpr.Const (Value.Int _) -> raise (Unsupported "list index out of range")
+          | _ ->
+              (* Symbolic index: selection term over a scalar list. *)
+              Scalar
+                (Sexpr.mk_get
+                   (Sexpr.mk_list
+                      (List.map
+                         (function
+                           | Scalar e -> e
+                           | _ -> raise (Unsupported "symbolic index into non-scalar list"))
+                         vs))
+                   kv))
+      | Scalar t -> Scalar (Sexpr.mk_get t kv)
+      | Pktv _ -> raise (Unsupported "indexing a packet"))
+  | Nfl.Ast.Field (pe, f) -> (
+      match eval ps pe with
+      | Pktv fields -> (
+          match List.assoc_opt f fields with
+          | Some v -> Scalar v
+          | None -> raise (Unsupported ("unknown packet field " ^ f)))
+      | Scalar t -> Scalar (Sexpr.mk_get t (Sexpr.Const (Value.Str f)))
+      | Dictv _ | Listv _ -> raise (Unsupported "field access on container"))
+  | Nfl.Ast.Mem (k, d) -> (
+      let kv = scalar (eval ps k) in
+      match eval ps d with
+      | Dictv ds -> Scalar (Sexpr.mk_mem ds kv)
+      | Listv vs ->
+          (* Membership in a (config) list: decidable componentwise when
+             comparisons fold; otherwise a disjunction. *)
+          let eqs = List.map (fun v -> Sexpr.mk_bin Nfl.Ast.Eq kv (scalar v)) vs in
+          Scalar (List.fold_left (fun acc e -> Sexpr.mk_bin Nfl.Ast.Or acc e) Sexpr.fls eqs)
+      | Scalar _ | Pktv _ -> raise (Unsupported "membership on non-container"))
+  | Nfl.Ast.Call (f, args) ->
+      if Nfl.Builtins.is_pure f then
+        let vs = List.map (eval ps) args in
+        match (f, vs) with
+        | "len", [ Listv l ] -> Scalar (Sexpr.int (List.length l))
+        | "len", [ Dictv _ ] -> raise (Unsupported "len of symbolic dict")
+        | _, _ -> Scalar (Sexpr.mk_ufun f (List.map scalar vs))
+      else raise (Unsupported ("call in expression: " ^ f))
+
+(* ------------------------------------------------------------------ *)
+(* Path exploration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  cfgc : config;
+  stats : stats;
+  mutable done_paths : path list;
+}
+
+let finish t ps =
+  t.stats.paths <- t.stats.paths + 1;
+  if ps.truncated then t.stats.truncated_paths <- t.stats.truncated_paths + 1;
+  t.done_paths <-
+    {
+      pc = List.rev ps.pc_rev;
+      trace = List.rev ps.trace_rev;
+      sends = List.rev ps.sends_rev;
+      env = ps.env;
+      truncated = ps.truncated;
+    }
+    :: t.done_paths
+
+let budget_ok t = t.stats.paths < t.cfgc.max_paths
+
+let tick t ps (s : Nfl.Ast.stmt) =
+  ps.trace_rev <- s.Nfl.Ast.sid :: ps.trace_rev;
+  ps.steps <- ps.steps + 1;
+  if ps.steps > t.cfgc.max_steps then begin
+    (* Record the partial path as truncated rather than dropping it
+       silently — callers inspect [truncated_paths] for budget hits. *)
+    ps.truncated <- true;
+    finish t ps;
+    raise Cut
+  end
+
+(* Decide a branch condition under the current path condition. *)
+let decide t ps (cond : Sexpr.t) =
+  match cond with
+  | Sexpr.Const (Value.Bool b) -> if b then `True else `False
+  | Sexpr.Const (Value.Int n) -> if n <> 0 then `True else `False
+  | _ ->
+      t.stats.solver_calls <- t.stats.solver_calls + 2;
+      let pc = List.rev ps.pc_rev in
+      let sat_t = Solver.check (pc @ [ Solver.lit cond true ]) = Solver.Sat in
+      let sat_f = Solver.check (pc @ [ Solver.lit cond false ]) = Solver.Sat in
+      (match (sat_t, sat_f) with
+      | true, true -> `Fork
+      | true, false -> `True
+      | false, true -> `False
+      | false, false -> `Dead)
+
+let rec exec_block t ps (block : Nfl.Ast.block) (k : pstate -> unit) =
+  match block with
+  | [] -> k ps
+  | s :: rest -> exec_stmt t ps s (fun ps -> exec_block t ps rest k)
+
+and exec_stmt t ps (s : Nfl.Ast.stmt) (k : pstate -> unit) =
+  if not (budget_ok t) then begin
+    t.stats.overflowed <- true;
+    raise Cut
+  end;
+  tick t ps s;
+  match s.Nfl.Ast.kind with
+  | Nfl.Ast.Pass -> k ps
+  | Nfl.Ast.Assign (lv, e) ->
+      let v = eval ps e in
+      (match lv with
+      | Nfl.Ast.L_var x -> ps.env <- Smap.add x v ps.env
+      | Nfl.Ast.L_index (d, ke) -> (
+          let kv = scalar (eval ps ke) in
+          match Smap.find_opt d ps.env with
+          | Some (Dictv ds) ->
+              let vv = scalar v in
+              ps.env <- Smap.add d (Dictv { ds with Sexpr.writes = (kv, Some vv) :: ds.Sexpr.writes }) ps.env
+          | Some (Listv vs) -> (
+              match kv with
+              | Sexpr.Const (Value.Int i) when i >= 0 && i < List.length vs ->
+                  ps.env <-
+                    Smap.add d (Listv (List.mapi (fun j x -> if j = i then v else x) vs)) ps.env
+              | _ -> raise (Unsupported "symbolic list write"))
+          | _ -> raise (Unsupported ("index write to non-container " ^ d)))
+      | Nfl.Ast.L_field (pv, f) -> (
+          match Smap.find_opt pv ps.env with
+          | Some (Pktv fields) ->
+              let vv = scalar v in
+              ps.env <- Smap.add pv (Pktv ((f, vv) :: List.remove_assoc f fields)) ps.env
+          | _ -> raise (Unsupported ("field write to non-packet " ^ pv))));
+      k ps
+  | Nfl.Ast.Delete (d, ke) ->
+      let kv = scalar (eval ps ke) in
+      (match Smap.find_opt d ps.env with
+      | Some (Dictv ds) ->
+          ps.env <- Smap.add d (Dictv { ds with Sexpr.writes = (kv, None) :: ds.Sexpr.writes }) ps.env
+      | _ -> raise (Unsupported ("del on non-dict " ^ d)));
+      k ps
+  | Nfl.Ast.Expr (Nfl.Ast.Call (f, args)) ->
+      if f = Nfl.Builtins.pkt_output then begin
+        (match List.map (eval ps) args with
+        | [ Pktv fields ] -> ps.sends_rev <- fields :: ps.sends_rev
+        | _ -> raise (Unsupported "send() expects a packet"));
+        k ps
+      end
+      else if f = Nfl.Builtins.pkt_drop || Nfl.Builtins.is_log_sink f || Nfl.Builtins.is_pure f
+      then k ps
+      else if f = Nfl.Builtins.pkt_input then
+        raise (Unsupported "recv() inside the analyzed region")
+      else raise (Unsupported ("call to " ^ f))
+  | Nfl.Ast.Expr _ -> k ps
+  | Nfl.Ast.Return _ ->
+      (* End of this packet's processing. *)
+      finish t ps
+  | Nfl.Ast.If (c, b1, b2) -> (
+      let cv = scalar (eval ps c) in
+      match decide t ps cv with
+      | `True -> exec_block t ps b1 k
+      | `False -> exec_block t ps b2 k
+      | `Dead -> raise Cut
+      | `Fork ->
+          t.stats.forks <- t.stats.forks + 1;
+          let ps' = copy ps in
+          (* True side. *)
+          ps.pc_rev <- Solver.lit cv true :: ps.pc_rev;
+          (try exec_block t ps b1 k with Cut -> ());
+          (* False side. *)
+          ps'.pc_rev <- Solver.lit cv false :: ps'.pc_rev;
+          exec_block t ps' b2 k)
+  | Nfl.Ast.While (c, body) ->
+      let sid = s.Nfl.Ast.sid in
+      let rec iterate ps k =
+        let count = Option.value ~default:0 (Imap.find_opt sid ps.iters) in
+        let cv = scalar (eval ps c) in
+        match decide t ps cv with
+        | `False -> k ps
+        | `Dead -> raise Cut
+        | `True when count >= t.cfgc.loop_bound ->
+            (* Bound hit and the loop cannot exit: record the path as
+               truncated. *)
+            ps.truncated <- true;
+            finish t ps
+        | `Fork when count >= t.cfgc.loop_bound ->
+            (* Bound hit: cut the continuing side, keep the feasible
+               exiting side, mark the path truncated. *)
+            ps.truncated <- true;
+            ps.pc_rev <- Solver.lit cv false :: ps.pc_rev;
+            k ps
+        | `True ->
+            ps.iters <- Imap.add sid (count + 1) ps.iters;
+            exec_block t ps body (fun ps -> iterate ps k)
+        | `Fork ->
+            t.stats.forks <- t.stats.forks + 1;
+            let ps' = copy ps in
+            ps.pc_rev <- Solver.lit cv true :: ps.pc_rev;
+            ps.iters <- Imap.add sid (count + 1) ps.iters;
+            (try exec_block t ps body (fun ps -> iterate ps k) with Cut -> ());
+            ps'.pc_rev <- Solver.lit cv false :: ps'.pc_rev;
+            k ps'
+      in
+      iterate ps k
+  | Nfl.Ast.For_in (x, e, body) -> (
+      match eval ps e with
+      | Listv vs ->
+          let rec iterate ps vs k =
+            match vs with
+            | [] -> k ps
+            | v :: rest ->
+                ps.env <- Smap.add x v ps.env;
+                exec_block t ps body (fun ps -> iterate ps rest k)
+          in
+          iterate ps vs k
+      | Scalar (Sexpr.Const (Value.List vs)) ->
+          let rec iterate ps vs k =
+            match vs with
+            | [] -> k ps
+            | v :: rest ->
+                ps.env <- Smap.add x (sval_of_value v) ps.env;
+                exec_block t ps body (fun ps -> iterate ps rest k)
+          in
+          iterate ps vs k
+      | _ -> raise (Unsupported "for-in over symbolic container"))
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [block cfg ~env b] explores [b] from symbolic store [env], returning
+    all completed paths and exploration statistics. *)
+let block ?(config = default_config) ~env (b : Nfl.Ast.block) =
+  let t =
+    {
+      cfgc = config;
+      stats = { paths = 0; truncated_paths = 0; solver_calls = 0; forks = 0; overflowed = false };
+      done_paths = [];
+    }
+  in
+  let ps =
+    {
+      env;
+      pc_rev = [];
+      trace_rev = [];
+      sends_rev = [];
+      iters = Imap.empty;
+      steps = 0;
+      truncated = false;
+    }
+  in
+  (try exec_block t ps b (fun ps -> finish t ps) with Cut -> ());
+  (List.rev t.done_paths, t.stats)

@@ -1,0 +1,60 @@
+(** Bounded symbolic execution of NFL blocks.
+
+    Explores every feasible path of a block under a symbolic
+    environment: branches fork when the {!Solver} cannot decide them,
+    loops unroll up to a bound, paths exceeding budgets are kept but
+    marked truncated. Each completed path carries everything Algorithm
+    1's refinement step needs: path condition, executed statements,
+    emitted packets and the final symbolic store. *)
+
+module Smap : Map.S with type key = string
+
+exception Unsupported of string
+(** Raised on constructs outside the supported symbolic fragment
+    (e.g. writes through symbolic list indices). *)
+
+(** Symbolic runtime values. *)
+type sval =
+  | Scalar of Sexpr.t
+  | Pktv of (string * Sexpr.t) list  (** packet as a field map *)
+  | Dictv of Sexpr.dict_state
+  | Listv of sval list
+
+val pp_sval : Format.formatter -> sval -> unit
+
+val sval_of_value : Value.t -> sval
+(** Lift a concrete value into the symbolic domain (dictionaries become
+    empty-base snapshots carrying their contents as writes). *)
+
+val sym_pkt : string -> sval
+(** Fully symbolic packet: field [f] is the symbol ["<name>.f"]. *)
+
+type config = {
+  loop_bound : int;  (** max iterations per loop statement per path *)
+  max_paths : int;  (** exploration budget; hitting it sets [overflowed] *)
+  max_steps : int;  (** per-path statement budget *)
+}
+
+val default_config : config
+(** loop bound 2, 4096 paths, 20k steps per path. *)
+
+type path = {
+  pc : Solver.literal list;  (** path condition, in decision order *)
+  trace : int list;  (** executed statement ids, in order *)
+  sends : (string * Sexpr.t) list list;  (** snapshots of packets sent *)
+  env : sval Smap.t;  (** final symbolic store *)
+  truncated : bool;  (** a loop or step budget was hit *)
+}
+
+type stats = {
+  mutable paths : int;
+  mutable truncated_paths : int;
+  mutable solver_calls : int;
+  mutable forks : int;
+  mutable overflowed : bool;  (** [max_paths] reached; enumeration incomplete *)
+}
+
+val block : ?config:config -> env:sval Smap.t -> Nfl.Ast.block -> path list * stats
+(** [block ~env b] explores [b] from symbolic store [env]. Reads of
+    variables absent from [env] yield fresh symbols (uninitialized
+    locals). *)

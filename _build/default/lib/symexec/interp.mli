@@ -1,0 +1,42 @@
+(** Concrete interpreter for canonical (function-free) NFL programs —
+    the ground truth the accuracy experiments compare against, and the
+    producer of the execution traces dynamic slicing consumes. *)
+
+module Smap : Map.S with type key = string
+
+exception Runtime_error of string * Nfl.Ast.pos
+
+type outcome =
+  | Finished  (** main returned or fell off the end *)
+  | Input_exhausted  (** [recv()] found no more packets — the normal end *)
+  | Step_limit  (** runaway loop stopped by the budget *)
+
+type result = {
+  outputs : Packet.Pkt.t list;  (** packets sent, in order *)
+  per_input : Packet.Pkt.t list list;  (** outputs grouped by causing input *)
+  state : Value.t Smap.t;  (** final variable store *)
+  trace : int list;  (** executed statement ids, in order *)
+  steps : int;
+  outcome : outcome;
+}
+
+val run : ?max_steps:int -> Nfl.Ast.program -> inputs:Packet.Pkt.t list -> result
+(** Run a canonical program over an input packet list.
+    @raise Invalid_argument if the program still has functions
+    (canonicalize first).
+    @raise Runtime_error on dynamic errors, with source position. *)
+
+val initial_state : Nfl.Ast.program -> Value.t Smap.t
+(** Execute only the globals: the initial persistent store. *)
+
+val step_loop_body :
+  ?max_steps:int ->
+  body:Nfl.Ast.block ->
+  store:Value.t Smap.t ->
+  pkt_var:string ->
+  pkt:Packet.Pkt.t ->
+  unit ->
+  Packet.Pkt.t list * Value.t Smap.t * int list
+(** One packet-loop iteration from an explicit store: [(sent packets,
+    updated store, trace)]. Used for lock-step differential testing
+    against the model interpreter. *)

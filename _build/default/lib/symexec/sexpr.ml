@@ -1,0 +1,253 @@
+(** Symbolic expressions.
+
+    Terms over concrete {!Value.t} constants, named symbolic variables
+    (packet fields, state at loop entry, configuration knobs),
+    uninterpreted functions ([hash]), symbolic container reads and
+    dictionary-membership atoms. Smart constructors constant-fold so
+    that fully concrete programs symbolically evaluate to constants —
+    that property is what the path/model equivalence tests rely on. *)
+
+type t =
+  | Const of Value.t
+  | Sym of string  (** free symbolic variable, e.g. ["pkt.dport"], ["rr_idx"] *)
+  | Bin of Nfl.Ast.binop * t * t
+  | Not of t
+  | Neg of t
+  | Tup of t list
+  | Lst of t list
+  | Get of t * t  (** container read with symbolic index *)
+  | Ufun of string * t list  (** uninterpreted function, e.g. [hash] *)
+  | Mem of dict_state * t  (** membership atom: key in dictionary snapshot *)
+  | Dget of dict_state * t  (** dictionary read against a snapshot *)
+
+(** A symbolic dictionary: the unknown contents at loop entry ([base])
+    plus the strong updates performed on this path, newest first.
+    [Some v] is an insert, [None] a delete. *)
+and dict_state = { base : string; writes : (t * t option) list }
+
+let dict_base name = { base = name; writes = [] }
+
+(** Base marking a dictionary known to start empty (created by [{}]
+    on the current path): membership against it resolves to [false]
+    instead of producing an atom. *)
+let empty_base = "<empty>"
+
+let dict_empty = { base = empty_base; writes = [] }
+
+let equal (a : t) (b : t) = Stdlib.compare a b = 0
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Sym s -> Fmt.string ppf s
+  | Bin (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp a (Nfl.Pretty.binop_str op) pp b
+  | Not a -> Fmt.pf ppf "!(%a)" pp a
+  | Neg a -> Fmt.pf ppf "-(%a)" pp a
+  | Tup es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp) es
+  | Lst es -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") pp) es
+  | Get (c, i) -> Fmt.pf ppf "%a[%a]" pp c pp i
+  | Ufun (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp) args
+  | Mem (d, k) -> Fmt.pf ppf "%a in %a" pp k pp_dict d
+  | Dget (d, k) -> Fmt.pf ppf "%a[%a]" pp_dict d pp k
+
+and pp_dict ppf d =
+  if d.writes = [] then Fmt.string ppf d.base
+  else
+    Fmt.pf ppf "%s{%a}" d.base
+      Fmt.(
+        list ~sep:(any "; ") (fun ppf (k, v) ->
+            match v with
+            | Some v -> Fmt.pf ppf "+%a:%a" pp k pp v
+            | None -> Fmt.pf ppf "-%a" pp k))
+      d.writes
+
+let to_string e = Fmt.str "%a" pp e
+
+let is_const = function Const _ -> true | _ -> false
+let const_of = function Const v -> Some v | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tru = Const (Value.Bool true)
+let fls = Const (Value.Bool false)
+let int n = Const (Value.Int n)
+
+(** Can two symbolic keys be proven different / equal syntactically? *)
+let key_relation a b =
+  if equal a b then `Equal
+  else
+    match (a, b) with
+    | Const va, Const vb -> if Value.equal va vb then `Equal else `Distinct
+    | Tup xs, Tup ys when List.length xs = List.length ys ->
+        (* Tuples are distinct if any component is provably distinct,
+           equal only if all components are syntactically equal. *)
+        let rec go = function
+          | [], [] -> `Equal
+          | x :: xs, y :: ys -> (
+              match (x, y) with
+              | Const vx, Const vy when not (Value.equal vx vy) -> `Distinct
+              | _ -> if equal x y then go (xs, ys) else `Unknown)
+          | _ -> `Unknown
+        in
+        go (xs, ys)
+    | _ -> `Unknown
+
+let mk_not = function
+  | Const (Value.Bool b) -> Const (Value.Bool (not b))
+  | Not e -> e
+  | e -> Not e
+
+let mk_neg = function Const (Value.Int n) -> Const (Value.Int (-n)) | e -> Neg e
+
+let mk_bin op a b =
+  match (a, b, op) with
+  | Const va, Const vb, _ -> (
+      (* Fold; fall back to the symbolic node on type errors so the
+         solver reports infeasibility instead of crashing. *)
+      try Const (Value.binop op va vb) with Value.Type_error _ -> Bin (op, a, b))
+  | _, _, Nfl.Ast.Eq when equal a b -> tru
+  | _, _, Nfl.Ast.Ne when equal a b -> fls
+  | _, _, Nfl.Ast.And ->
+      if equal a tru then b
+      else if equal b tru then a
+      else if equal a fls || equal b fls then fls
+      else Bin (op, a, b)
+  | _, _, Nfl.Ast.Or ->
+      if equal a fls then b
+      else if equal b fls then a
+      else if equal a tru || equal b tru then tru
+      else Bin (op, a, b)
+  | _, _, Nfl.Ast.Add when equal b (int 0) -> a
+  | _, _, Nfl.Ast.Add when equal a (int 0) -> b
+  | _, _, Nfl.Ast.Sub when equal b (int 0) -> a
+  | _, _, Nfl.Ast.Mul when equal a (int 1) -> b
+  | _, _, Nfl.Ast.Mul when equal b (int 1) -> a
+  | _, _, (Nfl.Ast.Eq | Nfl.Ast.Ne) -> (
+      (* Tuple comparisons may fold componentwise. *)
+      match key_relation a b with
+      | `Equal -> if op = Nfl.Ast.Eq then tru else fls
+      | `Distinct -> if op = Nfl.Ast.Eq then fls else tru
+      | `Unknown -> Bin (op, a, b))
+  | _ -> Bin (op, a, b)
+
+let mk_tuple es =
+  match List.for_all is_const es with
+  | true -> Const (Value.Tuple (List.filter_map const_of es))
+  | false -> Tup es
+
+let mk_list es =
+  match List.for_all is_const es with
+  | true -> Const (Value.List (List.filter_map const_of es))
+  | false -> Lst es
+
+(** Container read. Concrete index into a known-shape container
+    resolves; otherwise the read stays symbolic. *)
+let mk_get c i =
+  match (c, i) with
+  | Const cv, Const iv -> (
+      try Const (Value.index cv iv) with Value.Type_error _ -> Get (c, i))
+  | Tup es, Const (Value.Int n) when n >= 0 && n < List.length es -> List.nth es n
+  | Lst es, Const (Value.Int n) when n >= 0 && n < List.length es -> List.nth es n
+  | _ -> Get (c, i)
+
+let mk_ufun f args =
+  (* hash of a constant folds to the concrete hash so program and model
+     agree on concrete runs. *)
+  match (f, args) with
+  | "hash", [ Const v ] -> Const (Value.Int (Value.hash_value v))
+  | "len", [ Const v ] -> (
+      try Const (Value.apply_pure "len" [ v ]) with Value.Type_error _ -> Ufun (f, args))
+  | "len", [ Lst es ] -> int (List.length es)
+  | "len", [ Tup es ] -> int (List.length es)
+  | _ -> Ufun (f, args)
+
+(** Membership test against a dictionary snapshot. Resolves through the
+    write list when the key comparison is decidable; otherwise returns
+    a [Mem] atom over the *remaining* snapshot. *)
+let rec mk_mem (d : dict_state) k =
+  match d.writes with
+  | [] -> if d.base = empty_base then fls else Mem (d, k)
+  | (wk, wv) :: rest -> (
+      match key_relation k wk with
+      | `Equal -> ( match wv with Some _ -> tru | None -> fls)
+      | `Distinct -> mk_mem { d with writes = rest } k
+      | `Unknown -> Mem (d, k))
+
+(** Dictionary read against a snapshot, same resolution discipline. *)
+let rec mk_dget (d : dict_state) k =
+  match d.writes with
+  | [] -> Dget (d, k)
+  | (wk, wv) :: rest -> (
+      match key_relation k wk with
+      | `Equal -> ( match wv with Some v -> v | None -> Dget (d, k) (* read of deleted key *))
+      | `Distinct -> mk_dget { d with writes = rest } k
+      | `Unknown -> Dget (d, k))
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+(** Free symbolic variable names (including dictionary bases). *)
+let rec syms = function
+  | Const _ -> Sset.empty
+  | Sym s -> Sset.singleton s
+  | Bin (_, a, b) -> Sset.union (syms a) (syms b)
+  | Not a | Neg a -> syms a
+  | Tup es | Lst es | Ufun (_, es) -> List.fold_left (fun acc e -> Sset.union acc (syms e)) Sset.empty es
+  | Get (a, b) -> Sset.union (syms a) (syms b)
+  | Mem (d, k) | Dget (d, k) ->
+      let ws =
+        List.fold_left
+          (fun acc (wk, wv) ->
+            let acc = Sset.union acc (syms wk) in
+            match wv with Some v -> Sset.union acc (syms v) | None -> acc)
+          Sset.empty d.writes
+      in
+      Sset.add d.base (Sset.union ws (syms k))
+
+(** Substitute free symbolic variables via [f] (used to concretize a
+    path condition into test packets, and by the model interpreter). *)
+let rec subst f = function
+  | Const _ as e -> e
+  | Sym s as e -> ( match f s with Some v -> Const v | None -> e)
+  | Bin (op, a, b) -> mk_bin op (subst f a) (subst f b)
+  | Not a -> mk_not (subst f a)
+  | Neg a -> mk_neg (subst f a)
+  | Tup es -> mk_tuple (List.map (subst f) es)
+  | Lst es -> mk_list (List.map (subst f) es)
+  | Get (a, b) -> mk_get (subst f a) (subst f b)
+  | Ufun (g, es) -> mk_ufun g (List.map (subst f) es)
+  | Mem (d, k) -> mk_mem (subst_dict f d) (subst f k)
+  | Dget (d, k) -> mk_dget (subst_dict f d) (subst f k)
+
+and subst_dict f d =
+  {
+    d with
+    writes = List.map (fun (k, v) -> (subst f k, Option.map (subst f) v)) d.writes;
+  }
+
+(** Symbol-for-expression substitution (used by header-space style
+    reachability to thread a packet's field expressions through
+    downstream match predicates). *)
+let rec subst_sym f = function
+  | Const _ as e -> e
+  | Sym s as e -> ( match f s with Some e' -> e' | None -> e)
+  | Bin (op, a, b) -> mk_bin op (subst_sym f a) (subst_sym f b)
+  | Not a -> mk_not (subst_sym f a)
+  | Neg a -> mk_neg (subst_sym f a)
+  | Tup es -> mk_tuple (List.map (subst_sym f) es)
+  | Lst es -> mk_list (List.map (subst_sym f) es)
+  | Get (a, b) -> mk_get (subst_sym f a) (subst_sym f b)
+  | Ufun (g, es) -> mk_ufun g (List.map (subst_sym f) es)
+  | Mem (d, k) -> mk_mem (subst_sym_dict f d) (subst_sym f k)
+  | Dget (d, k) -> mk_dget (subst_sym_dict f d) (subst_sym f k)
+
+and subst_sym_dict f d =
+  {
+    d with
+    writes = List.map (fun (k, v) -> (subst_sym f k, Option.map (subst_sym f) v)) d.writes;
+  }

@@ -1,0 +1,87 @@
+(** Symbolic expressions: terms over concrete constants, named
+    symbolic variables, uninterpreted functions, symbolic container
+    reads and dictionary-membership atoms. Smart constructors
+    constant-fold, so fully concrete programs symbolically evaluate to
+    constants. *)
+
+type t =
+  | Const of Value.t
+  | Sym of string  (** free symbolic variable, e.g. ["pkt.dport"] *)
+  | Bin of Nfl.Ast.binop * t * t
+  | Not of t
+  | Neg of t
+  | Tup of t list
+  | Lst of t list
+  | Get of t * t  (** container read with symbolic index *)
+  | Ufun of string * t list  (** uninterpreted function, e.g. [hash] *)
+  | Mem of dict_state * t  (** membership atom against a snapshot *)
+  | Dget of dict_state * t  (** dictionary read against a snapshot *)
+
+(** A symbolic dictionary: unknown contents at loop entry ([base])
+    plus this path's strong updates, newest first ([Some v] insert,
+    [None] delete). *)
+and dict_state = { base : string; writes : (t * t option) list }
+
+val dict_base : string -> dict_state
+
+val empty_base : string
+(** Base marking a dictionary known to start empty: membership against
+    it resolves to [false] instead of producing an atom. *)
+
+val dict_empty : dict_state
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val pp_dict : Format.formatter -> dict_state -> unit
+val to_string : t -> string
+val is_const : t -> bool
+val const_of : t -> Value.t option
+
+(** {1 Smart constructors} *)
+
+val tru : t
+val fls : t
+val int : int -> t
+
+val key_relation : t -> t -> [ `Equal | `Distinct | `Unknown ]
+(** Syntactic decidability of key equality (used to resolve reads
+    through dictionary write lists). *)
+
+val mk_not : t -> t
+val mk_neg : t -> t
+val mk_bin : Nfl.Ast.binop -> t -> t -> t
+val mk_tuple : t list -> t
+val mk_list : t list -> t
+
+val mk_get : t -> t -> t
+(** Concrete index into a known-shape container resolves; otherwise
+    the read stays symbolic. *)
+
+val mk_ufun : string -> t list -> t
+(** [hash]/[len] of constants fold. *)
+
+val mk_mem : dict_state -> t -> t
+(** Membership resolved through the write list where key comparisons
+    are decidable; bottoms out in an atom (or [false] on
+    {!empty_base}). *)
+
+val mk_dget : dict_state -> t -> t
+
+(** {1 Queries} *)
+
+module Sset : Set.S with type elt = string
+
+val syms : t -> Sset.t
+(** Free symbolic names, dictionary bases included. *)
+
+val subst : (string -> Value.t option) -> t -> t
+(** Substitute named symbols by values and re-simplify. *)
+
+val subst_dict : (string -> Value.t option) -> dict_state -> dict_state
+
+val subst_sym : (string -> t option) -> t -> t
+(** Substitute named symbols by expressions and re-simplify (used to
+    thread packet field expressions through downstream predicates). *)
+
+val subst_sym_dict : (string -> t option) -> dict_state -> dict_state

@@ -1,0 +1,399 @@
+(** Path-condition feasibility checking.
+
+    A deliberately small decision procedure for the fragment NFL
+    programs generate (the paper's Section 3.2 argues NF code is
+    written to keep symbolic execution in exactly such a fragment):
+
+    - linear integer arithmetic atoms over symbolic terms, decided by
+      interval propagation plus equality union-find;
+    - (dis)equalities over tuples, decomposed componentwise;
+    - dictionary-membership and other opaque atoms, treated as free
+      booleans with per-path consistency (same canonical atom cannot be
+      both true and false);
+    - boolean structure: [not] flips polarity, conjunctions (positive
+      [&&], negated [||]) decompose into literals; top-level
+      disjunctions are case-split DPLL-style up to a bounded depth,
+      beyond which they are treated as opaque atoms (conservative
+      towards [Sat]).
+
+    [Unsat] answers are trusted (used to prune paths); anything the
+    procedure cannot refute is reported [Sat], a sound
+    over-approximation for path enumeration — the same posture as a
+    static slice ("might lead to the behaviour"). *)
+
+type literal = { atom : Sexpr.t; positive : bool }
+
+(* Negations fold into the polarity so literals render canonically. *)
+let rec lit atom positive =
+  match atom with Sexpr.Not e -> lit e (not positive) | _ -> { atom; positive }
+let pp_literal ppf l = Fmt.pf ppf "%s%a" (if l.positive then "" else "¬") Sexpr.pp l.atom
+
+type verdict = Sat | Unsat
+
+(* ------------------------------------------------------------------ *)
+(* Terms and linear forms                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Opaque subexpressions become numbered terms keyed by canonical
+   rendering. *)
+module Smap = Map.Make (String)
+
+type linear = { coeffs : (string * int) list; const : int }
+(** sum coeffs + const; coeffs keyed by canonical term name, sorted. *)
+
+let lin_const c = { coeffs = []; const = c }
+let lin_term t = { coeffs = [ (t, 1) ]; const = 0 }
+
+let lin_add a b =
+  let m = ref Smap.empty in
+  let add (t, c) = m := Smap.update t (function None -> Some c | Some c' -> Some (c + c')) !m in
+  List.iter add a.coeffs;
+  List.iter add b.coeffs;
+  let coeffs = Smap.bindings !m |> List.filter (fun (_, c) -> c <> 0) in
+  { coeffs; const = a.const + b.const }
+
+let lin_scale k a = { coeffs = List.map (fun (t, c) -> (t, k * c)) a.coeffs; const = k * a.const }
+let lin_sub a b = lin_add a (lin_scale (-1) b)
+
+(** Linearize an int-valued symbolic expression; opaque operations
+    collapse their subtree into a single named term, whose defining
+    expression is reported through [record] so the theory can evaluate
+    it once its free symbols become fixed. *)
+let rec linearize ~record (e : Sexpr.t) : linear =
+  match e with
+  | Sexpr.Const (Value.Int n) -> lin_const n
+  | Sexpr.Const (Value.Bool b) -> lin_const (if b then 1 else 0)
+  | Sexpr.Sym s -> lin_term s
+  | Sexpr.Bin (Nfl.Ast.Add, a, b) -> lin_add (linearize ~record a) (linearize ~record b)
+  | Sexpr.Bin (Nfl.Ast.Sub, a, b) -> lin_sub (linearize ~record a) (linearize ~record b)
+  | Sexpr.Bin (Nfl.Ast.Mul, Sexpr.Const (Value.Int k), b) -> lin_scale k (linearize ~record b)
+  | Sexpr.Bin (Nfl.Ast.Mul, a, Sexpr.Const (Value.Int k)) -> lin_scale k (linearize ~record a)
+  | Sexpr.Neg a -> lin_scale (-1) (linearize ~record a)
+  | _ ->
+      let name = "⟦" ^ Sexpr.to_string e ^ "⟧" in
+      record name e;
+      lin_term name
+
+(* ------------------------------------------------------------------ *)
+(* Theory state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type bound = { lo : int option; hi : int option }
+
+let full = { lo = None; hi = None }
+
+let inter a b =
+  let lo =
+    match (a.lo, b.lo) with Some x, Some y -> Some (max x y) | x, None -> x | None, y -> y
+  in
+  let hi =
+    match (a.hi, b.hi) with Some x, Some y -> Some (min x y) | x, None -> x | None, y -> y
+  in
+  { lo; hi }
+
+let bound_empty b = match (b.lo, b.hi) with Some l, Some h -> l > h | _ -> false
+let fixed b = match (b.lo, b.hi) with Some l, Some h when l = h -> Some l | _ -> None
+
+exception Contradiction
+
+type state = {
+  mutable parent : string Smap.t;  (** union-find over term names *)
+  mutable bounds : bound Smap.t;  (** per representative *)
+  mutable disequal : (string * int) list;  (** representative <> constant *)
+  mutable bools : bool Smap.t;  (** canonical opaque atom -> forced truth *)
+  mutable pending : (linear * [ `Eq | `Ne | `Ge ]) list;  (** multi-term, re-checked at fixpoint *)
+  mutable opaque : (string * Sexpr.t) list;  (** opaque term definitions *)
+}
+
+let find st t =
+  let rec go t = match Smap.find_opt t st.parent with Some p when p <> t -> go p | _ -> t in
+  go t
+
+let bound_of st t = Option.value ~default:full (Smap.find_opt (find st t) st.bounds)
+
+let set_bound st t b =
+  let r = find st t in
+  let nb = inter (bound_of st r) b in
+  if bound_empty nb then raise Contradiction;
+  (match fixed nb with
+  | Some v ->
+      if List.exists (fun (r', c) -> r' = r && c = v) st.disequal then raise Contradiction
+  | None -> ());
+  st.bounds <- Smap.add r nb st.bounds
+
+let union st a b =
+  let ra = find st a and rb = find st b in
+  if ra <> rb then begin
+    let merged = inter (bound_of st ra) (bound_of st rb) in
+    if bound_empty merged then raise Contradiction;
+    st.parent <- Smap.add ra rb st.parent;
+    st.bounds <- Smap.add rb merged st.bounds;
+    st.disequal <-
+      List.map (fun (r, c) -> ((if r = ra then rb else r), c)) st.disequal;
+    match fixed merged with
+    | Some v -> if List.mem (rb, v) st.disequal then raise Contradiction
+    | None -> ()
+  end
+
+let add_disequal st t c =
+  let r = find st t in
+  (match fixed (bound_of st r) with Some v when v = c -> raise Contradiction | _ -> ());
+  (* Tighten adjacent bounds: t <> c with lo = c bumps lo. *)
+  let b = bound_of st r in
+  let b =
+    match b.lo with Some l when l = c -> { b with lo = Some (c + 1) } | _ -> b
+  in
+  let b =
+    match b.hi with Some h when h = c -> { b with hi = Some (c - 1) } | _ -> b
+  in
+  if bound_empty b then raise Contradiction;
+  st.bounds <- Smap.add r b st.bounds;
+  st.disequal <- (r, c) :: st.disequal
+
+(* Evaluate a linear form if every term is fixed. *)
+let lin_value st l =
+  List.fold_left
+    (fun acc (t, c) ->
+      match acc with
+      | None -> None
+      | Some sum -> (
+          match fixed (bound_of st t) with Some v -> Some (sum + (c * v)) | None -> None))
+    (Some l.const) l.coeffs
+
+(* Assert [l ⋈ 0]. *)
+let assert_linear st l rel =
+  match (l.coeffs, rel) with
+  | [], `Eq -> if l.const <> 0 then raise Contradiction
+  | [], `Ne -> if l.const = 0 then raise Contradiction
+  | [], `Ge -> if l.const < 0 then raise Contradiction
+  | [ (t, c) ], `Eq ->
+      if l.const mod c <> 0 then raise Contradiction
+      else
+        let v = -l.const / c in
+        set_bound st t { lo = Some v; hi = Some v }
+  | [ (t, c) ], `Ne ->
+      if l.const mod c = 0 then add_disequal st t (-l.const / c)
+  | [ (t, c) ], `Ge ->
+      (* c*t + k >= 0 *)
+      if c > 0 then
+        (* t >= ceil(-k / c) *)
+        let v = -l.const in
+        let q = if v >= 0 then (v + c - 1) / c else -(-v / c) in
+        set_bound st t { lo = Some q; hi = None }
+      else
+        let c = -c in
+        (* t <= floor(k / c) *)
+        let v = l.const in
+        let q = if v >= 0 then v / c else -((-v + c - 1) / c) in
+        set_bound st t { lo = None; hi = Some q }
+  | [ (t1, 1); (t2, -1) ], `Eq | [ (t1, -1); (t2, 1) ], `Eq ->
+      if l.const = 0 then union st t1 t2 else st.pending <- (l, rel) :: st.pending
+  | _ -> st.pending <- (l, rel) :: st.pending
+
+(* Re-check pending multi-term constraints; fully fixed ones decide. *)
+let check_pending st =
+  List.iter
+    (fun (l, rel) ->
+      match lin_value st l with
+      | Some v -> (
+          match rel with
+          | `Eq -> if v <> 0 then raise Contradiction
+          | `Ne -> if v = 0 then raise Contradiction
+          | `Ge -> if v < 0 then raise Contradiction)
+      | None -> ())
+    st.pending
+
+(* ------------------------------------------------------------------ *)
+(* Atom assertion                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let canonical_atom (e : Sexpr.t) = Sexpr.to_string e
+
+let is_intish (e : Sexpr.t) =
+  match e with
+  | Sexpr.Const (Value.Int _) | Sexpr.Sym _ | Sexpr.Bin _ | Sexpr.Neg _ | Sexpr.Get _
+  | Sexpr.Dget _ | Sexpr.Ufun _ ->
+      true
+  | _ -> false
+
+let record_opaque st name e =
+  if not (List.mem_assoc name st.opaque) then st.opaque <- (name, e) :: st.opaque
+
+(* Evaluate opaque definitions whose free symbols are now fixed; their
+   terms then get point bounds, enabling contradictions like
+   [x = 8.8.8.8] vs [(x & mask) == other_net]. *)
+let propagate_opaque st =
+  List.iter
+    (fun (name, e) ->
+      let fixed_value s =
+        match fixed (bound_of st s) with Some v -> Some (Value.Int v) | None -> None
+      in
+      match Sexpr.subst fixed_value e with
+      | Sexpr.Const (Value.Int v) -> set_bound st name { lo = Some v; hi = Some v }
+      | Sexpr.Const (Value.Bool b) ->
+          let v = if b then 1 else 0 in
+          set_bound st name { lo = Some v; hi = Some v }
+      | _ -> ())
+    st.opaque
+
+let rec assert_atom st (e : Sexpr.t) positive =
+  let linearize e = linearize ~record:(record_opaque st) e in
+  match e with
+  | Sexpr.Const (Value.Bool b) -> if b <> positive then raise Contradiction
+  | Sexpr.Not a -> assert_atom st a (not positive)
+  | Sexpr.Bin (Nfl.Ast.And, a, b) when positive ->
+      assert_atom st a true;
+      assert_atom st b true
+  | Sexpr.Bin (Nfl.Ast.Or, a, b) when not positive ->
+      assert_atom st a false;
+      assert_atom st b false
+  | Sexpr.Bin ((Nfl.Ast.And | Nfl.Ast.Or), _, _) ->
+      (* Disjunctive shape: handled by the case-splitting wrapper; as a
+         single theory atom we record it opaquely. *)
+      assert_bool st (canonical_atom e) positive
+  | Sexpr.Bin (Nfl.Ast.Eq, Sexpr.Tup xs, Sexpr.Tup ys) when List.length xs = List.length ys ->
+      if positive then List.iter2 (fun x y -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Eq x y) true) xs ys
+      else assert_bool st (canonical_atom e) positive
+  | Sexpr.Bin (Nfl.Ast.Eq, Sexpr.Tup xs, Sexpr.Const (Value.Tuple vs))
+  | Sexpr.Bin (Nfl.Ast.Eq, Sexpr.Const (Value.Tuple vs), Sexpr.Tup xs)
+    when List.length xs = List.length vs ->
+      if positive then
+        List.iter2
+          (fun x v -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Eq x (Sexpr.Const v)) true)
+          xs vs
+      else assert_bool st (canonical_atom e) positive
+  | Sexpr.Bin (Nfl.Ast.Ne, a, b) -> assert_atom st (Sexpr.Bin (Nfl.Ast.Eq, a, b)) (not positive)
+  | Sexpr.Bin (Nfl.Ast.Eq, a, b) when is_intish a && is_intish b ->
+      assert_linear st (lin_sub (linearize a) (linearize b)) (if positive then `Eq else `Ne)
+  | Sexpr.Bin (Nfl.Ast.Lt, a, b) ->
+      (* a < b  <=>  b - a - 1 >= 0;  ¬(a<b) <=> a - b >= 0 *)
+      if positive then
+        assert_linear st (lin_add (lin_sub (linearize b) (linearize a)) (lin_const (-1))) `Ge
+      else assert_linear st (lin_sub (linearize a) (linearize b)) `Ge
+  | Sexpr.Bin (Nfl.Ast.Le, a, b) ->
+      if positive then assert_linear st (lin_sub (linearize b) (linearize a)) `Ge
+      else assert_linear st (lin_add (lin_sub (linearize a) (linearize b)) (lin_const (-1))) `Ge
+  | Sexpr.Bin (Nfl.Ast.Gt, a, b) -> assert_atom st (Sexpr.Bin (Nfl.Ast.Lt, b, a)) positive
+  | Sexpr.Bin (Nfl.Ast.Ge, a, b) -> assert_atom st (Sexpr.Bin (Nfl.Ast.Le, b, a)) positive
+  | Sexpr.Bin (Nfl.Ast.Eq, _, _) -> assert_bool st (canonical_atom e) positive
+  | Sexpr.Mem _ | Sexpr.Sym _ | Sexpr.Ufun _ | Sexpr.Get _ | Sexpr.Dget _ ->
+      assert_bool st (canonical_atom e) positive
+  | Sexpr.Bin _ | Sexpr.Const _ | Sexpr.Neg _ | Sexpr.Tup _ | Sexpr.Lst _ ->
+      assert_bool st (canonical_atom e) positive
+
+and assert_bool st key positive =
+  match Smap.find_opt key st.bools with
+  | Some b -> if b <> positive then raise Contradiction
+  | None -> st.bools <- Smap.add key positive st.bools
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_state () =
+  {
+    parent = Smap.empty;
+    bounds = Smap.empty;
+    disequal = [];
+    bools = Smap.empty;
+    pending = [];
+    opaque = [];
+  }
+
+(* Direct conjunction check: every literal asserted into one theory
+   state; disjunctive shapes fall back to opaque atoms. *)
+let check_direct (literals : literal list) =
+  let st = fresh_state () in
+  match
+    List.iter (fun l -> assert_atom st l.atom l.positive) literals;
+    (* A few propagation rounds let union-find merges feed the pending
+       multi-term constraints and opaque-term definitions. *)
+    propagate_opaque st;
+    check_pending st;
+    propagate_opaque st;
+    check_pending st
+  with
+  | () -> Sat
+  | exception Contradiction -> Unsat
+
+(* Find a splittable literal: a positive disjunction or a negated
+   conjunction at the top level of an atom. *)
+let rec find_split acc = function
+  | [] -> None
+  | l :: rest -> (
+      match (l.atom, l.positive) with
+      | Sexpr.Bin (Nfl.Ast.Or, a, b), true -> Some (List.rev_append acc rest, lit a true, lit b true)
+      | Sexpr.Bin (Nfl.Ast.And, a, b), false ->
+          Some (List.rev_append acc rest, lit a false, lit b false)
+      | Sexpr.Not a, p -> find_split acc ({ atom = a; positive = not p } :: rest)
+      | _ -> find_split (l :: acc) rest)
+
+(* Bounded DPLL-style case splitting over top-level disjunctions; at
+   the depth cap the remaining disjunctions stay opaque (conservative
+   towards Sat). *)
+let rec check_split depth (literals : literal list) =
+  if depth = 0 then check_direct literals
+  else
+    match find_split [] literals with
+    | None -> check_direct literals
+    | Some (rest, la, lb) -> (
+        match check_split (depth - 1) (la :: rest) with
+        | Sat -> Sat
+        | Unsat -> check_split (depth - 1) (lb :: rest))
+
+(** [check literals]: [Unsat] when the conjunction is refuted, [Sat]
+    otherwise (possibly over-approximate, see module doc). Top-level
+    disjunctions are case-split up to a bounded depth. *)
+let check (literals : literal list) = check_split 12 literals
+
+(** Best-effort satisfying assignment for the *constrained* named
+    symbolic variables in [literals]: fixed terms get their value,
+    bounded terms a bound endpoint, terms carrying disequalities the
+    smallest allowed value at or above [default]. Variables the solver
+    saw only inside opaque atoms are deliberately absent — callers
+    (e.g. the test generator) supply those from domain-specific
+    candidate pools without this function clobbering them. Returns
+    [None] when the conjunction is refutable. *)
+let concretize ?(default = 0) (literals : literal list) =
+  let st = fresh_state () in
+  match
+    List.iter (fun l -> assert_atom st l.atom l.positive) literals;
+    propagate_opaque st;
+    check_pending st
+  with
+  | exception Contradiction -> None
+  | () ->
+      let names =
+        List.fold_left
+          (fun acc l -> Sexpr.Sset.union acc (Sexpr.syms l.atom))
+          Sexpr.Sset.empty literals
+      in
+      let assign name =
+        let b = bound_of st name in
+        let avoid = List.filter_map (fun (r, c) -> if r = find st name then Some c else None) st.disequal in
+        let merged = find st name <> name in
+        if b = full && avoid = [] && not merged then None
+        else
+          (* Walk away from disequalities in a direction that cannot
+             leave the interval: up from a lower bound, down from an
+             upper bound. *)
+          let rec pick_up v = if List.mem v avoid then pick_up (v + 1) else v in
+          let rec pick_down v = if List.mem v avoid then pick_down (v - 1) else v in
+          let v =
+            match fixed b with
+            | Some v -> v
+            | None -> (
+                match (b.lo, b.hi) with
+                | Some l, _ -> pick_up l
+                | None, Some h -> pick_down h
+                | None, None -> pick_up default)
+          in
+          Some v
+      in
+      Some
+        (Sexpr.Sset.fold
+           (fun name acc ->
+             match assign name with
+             | Some v -> Smap.add name (Value.Int v) acc
+             | None -> acc)
+           names Smap.empty)

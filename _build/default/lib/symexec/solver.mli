@@ -1,0 +1,30 @@
+(** Path-condition feasibility checking.
+
+    Decides the fragment NF programs generate: linear integer
+    arithmetic (interval propagation + equality union-find),
+    componentwise tuple (dis)equalities, bounded case-splitting over
+    top-level disjunctions, and opaque atoms (dictionary membership,
+    uninterpreted functions) as free booleans with per-path
+    consistency. [Unsat] answers are trusted; anything
+    not refuted is [Sat] — a sound over-approximation for path
+    enumeration. *)
+
+type literal = { atom : Sexpr.t; positive : bool }
+
+val lit : Sexpr.t -> bool -> literal
+(** Build a literal; negations fold into the polarity. *)
+
+val pp_literal : Format.formatter -> literal -> unit
+
+type verdict = Sat | Unsat
+
+module Smap : Map.S with type key = string
+
+val check : literal list -> verdict
+(** Feasibility of the conjunction. *)
+
+val concretize : ?default:int -> literal list -> Value.t Smap.t option
+(** Best-effort satisfying assignment for the solver-constrained named
+    symbols (fixed terms, bound endpoints, disequality-avoiding
+    values). Symbols seen only inside opaque atoms are absent — callers
+    supply those from domain candidate pools. [None] when refutable. *)

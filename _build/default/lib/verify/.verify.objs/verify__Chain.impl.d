@@ -1,0 +1,1 @@
+lib/verify/chain.ml: Fmt List Model Nfactor

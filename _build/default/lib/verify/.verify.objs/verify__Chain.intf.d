@@ -1,0 +1,1 @@
+lib/verify/chain.mli: Format Model Nfactor

@@ -1,0 +1,1 @@
+lib/verify/network.ml: Extract Fmt List Model Model_interp Nfactor Packet

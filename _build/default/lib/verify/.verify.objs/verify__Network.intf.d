@@ -1,0 +1,1 @@
+lib/verify/network.mli: Extract Format Model Model_interp Nfactor Packet

@@ -1,0 +1,1 @@
+lib/verify/symreach.ml: Fmt List Model Model_interp Nfactor Nfl Packet Sexpr Solver String Symexec Value

@@ -1,0 +1,1 @@
+lib/verify/symreach.mli: Format Model Model_interp Nfactor Sexpr Solver Symexec

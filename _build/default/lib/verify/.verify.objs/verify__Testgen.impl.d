@@ -1,0 +1,1 @@
+lib/verify/testgen.ml: Equiv Extract Fmt Fun List Model Model_interp Nfactor Packet Sexpr Solver String Symexec Value

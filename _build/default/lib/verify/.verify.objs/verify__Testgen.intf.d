@@ -1,0 +1,1 @@
+lib/verify/testgen.mli: Equiv Extract Format Model Model_interp Nfactor Packet Solver Symexec Value

@@ -1,0 +1,95 @@
+(** Service-chain composition analysis (paper Section 4, "Service
+    Policy Composition").
+
+    PGA-style reasoning over extracted models: NF A {e interferes} with
+    a downstream NF B when A rewrites a header field B matches on — B
+    then classifies rewritten traffic, which is usually not the
+    operator's intent (the paper's {FW, IDS} x {LB} example: should the
+    IDS see original or load-balanced addresses?).
+
+    The models give exactly the two field sets PGA needs —
+    {!Nfactor.Model.matched_fields} (input space constraints) and
+    {!Nfactor.Model.modified_fields} (output space transformations) —
+    so conflicts are computed instead of declared. *)
+
+open Nfactor
+
+type conflict = {
+  upstream : string;  (** NF that rewrites *)
+  downstream : string;  (** NF whose match is affected *)
+  fields : string list;  (** the overlapping header fields *)
+}
+
+let pp_conflict ppf c =
+  Fmt.pf ppf "%s rewrites %a which %s matches on" c.upstream
+    Fmt.(list ~sep:(any ", ") string)
+    c.fields c.downstream
+
+let intersect a b = List.filter (fun x -> List.mem x b) a
+
+(** Conflicts of a specific order: for each pair (A before B), fields A
+    modifies that B matches. *)
+let conflicts_of_order (order : (string * Model.t) list) =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (a_name, a_model) :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc (b_name, b_model) ->
+              let overlap =
+                intersect (Model.modified_fields a_model) (Model.matched_fields b_model)
+              in
+              if overlap = [] then acc
+              else { upstream = a_name; downstream = b_name; fields = overlap } :: acc)
+            acc rest
+        in
+        go acc rest
+  in
+  go [] order
+
+(** All permutations of a chain with their conflict counts, best
+    (fewest conflicts) first. This is the composition question from
+    the paper: [{FW, IDS}] + [{LB}] — which interleavings are safe? *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> fst y <> fst x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+type ranking = { order : string list; conflicts : conflict list }
+
+let rank_orders (nfs : (string * Model.t) list) =
+  permutations nfs
+  |> List.map (fun order ->
+         { order = List.map fst order; conflicts = conflicts_of_order order })
+  |> List.stable_sort (fun a b -> compare (List.length a.conflicts) (List.length b.conflicts))
+
+(** Orders with no interference at all. *)
+let safe_orders nfs = List.filter (fun r -> r.conflicts = []) (rank_orders nfs)
+
+(** Compose two policy chains preserving each chain's internal order
+    (the PGA composition question). Returns rankings over all valid
+    interleavings. *)
+let compose_chains (a : (string * Model.t) list) (b : (string * Model.t) list) =
+  (* All interleavings of a and b that keep relative orders. *)
+  let rec interleavings xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> [ l ]
+    | x :: xs', y :: ys' ->
+        List.map (fun r -> x :: r) (interleavings xs' ys)
+        @ List.map (fun r -> y :: r) (interleavings xs ys')
+  in
+  interleavings a b
+  |> List.map (fun order ->
+         { order = List.map fst order; conflicts = conflicts_of_order order })
+  |> List.stable_sort (fun x y -> compare (List.length x.conflicts) (List.length y.conflicts))
+
+let pp_ranking ppf r =
+  Fmt.pf ppf "[%a] — %d conflict(s)%a"
+    Fmt.(list ~sep:(any " -> ") string)
+    r.order (List.length r.conflicts)
+    (fun ppf cs -> if cs <> [] then Fmt.pf ppf ": %a" Fmt.(list ~sep:(any "; ") pp_conflict) cs)
+    r.conflicts

@@ -1,0 +1,34 @@
+(** Service-chain composition analysis (paper Section 4): PGA-style
+    interference reasoning with model-derived field footprints —
+    NF A conflicts with a downstream B when A rewrites a header field
+    B matches on. *)
+
+open Nfactor
+
+type conflict = {
+  upstream : string;  (** NF that rewrites *)
+  downstream : string;  (** NF whose match is affected *)
+  fields : string list;
+}
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+val conflicts_of_order : (string * Model.t) list -> conflict list
+(** Interference pairs of one specific order. *)
+
+type ranking = { order : string list; conflicts : conflict list }
+
+val permutations : (string * Model.t) list -> (string * Model.t) list list
+
+val rank_orders : (string * Model.t) list -> ranking list
+(** All permutations, fewest conflicts first (stable). *)
+
+val safe_orders : (string * Model.t) list -> ranking list
+(** Orders with no interference at all. *)
+
+val compose_chains :
+  (string * Model.t) list -> (string * Model.t) list -> ranking list
+(** The PGA composition question: all interleavings preserving each
+    chain's internal order, ranked. *)
+
+val pp_ranking : Format.formatter -> ranking -> unit

@@ -1,0 +1,163 @@
+(** Header-space style symbolic reachability over extracted models
+    (paper Section 4, "Extending stateless verification": "each rule is
+    modeled as a network transfer function T(h, p, s)").
+
+    Where {!Network} executes concrete packets, this module pushes a
+    {e symbolic} packet — a field map over free header symbols plus a
+    constraint — through a chain of models under {e concrete state
+    snapshots}. The result is the set of end-to-end equivalence
+    classes: for each feasible combination of entries along the chain,
+    the constraint on input headers that selects it and the symbolic
+    output header. This is exactly HSA's transfer-function composition
+    extended with the state argument: re-running it against different
+    state snapshots answers "which packets reach X {e before} vs
+    {e after} this state was installed?" — questions stateless HSA
+    cannot pose. *)
+
+open Nfactor
+open Symexec
+
+type sym_pkt = (string * Sexpr.t) list
+(** Field map over the free input-header symbols ["in.<field>"]. *)
+
+let fresh_pkt : sym_pkt =
+  List.map
+    (fun f -> (f, Sexpr.Sym ("in." ^ f)))
+    (Packet.Headers.int_fields @ Packet.Headers.str_fields)
+
+type cls = {
+  constraints : Solver.literal list;  (** over the input-header symbols *)
+  pkt : sym_pkt;  (** symbolic output header *)
+  fired : (string * int) list;  (** (node id, entry index) along the chain *)
+}
+
+(* Rewrite an entry literal into the input-symbol vocabulary: packet
+   symbols become the current field expressions; config and state
+   symbols become their concrete store values; membership/read atoms
+   against state dictionaries are expanded over the store's (finite)
+   concrete contents. *)
+let instantiate_expr (store : Model_interp.store) (pkt : sym_pkt) (e : Sexpr.t) =
+  let lookup name =
+    if String.length name > 4 && String.sub name 0 4 = "pkt." then
+      List.assoc_opt (String.sub name 4 (String.length name - 4)) pkt
+    else
+      match Model_interp.Smap.find_opt name store with
+      | Some (Value.Dict _) | None -> None
+      | Some v -> Some (Sexpr.Const v)
+  in
+  let rec expand e =
+    match Sexpr.subst_sym lookup e with
+    | Sexpr.Mem (d, k) -> (
+        (* Base dictionary contents are concrete in the store: expand
+           membership into a finite disjunction over its keys, after
+           replaying the snapshot's writes symbolically. *)
+        match concrete_base d with
+        | Some kvs ->
+            let k = expand k in
+            let eqs =
+              List.map (fun (key, _) -> Sexpr.mk_bin Nfl.Ast.Eq k (Sexpr.Const key)) kvs
+            in
+            let base_mem =
+              List.fold_left (fun acc e -> Sexpr.mk_bin Nfl.Ast.Or acc e) Sexpr.fls eqs
+            in
+            (* Writes in the snapshot shadow the base. *)
+            List.fold_left
+              (fun acc (wk, wv) ->
+                let hit = Sexpr.mk_bin Nfl.Ast.Eq k (expand wk) in
+                match wv with
+                | Some _ -> Sexpr.mk_bin Nfl.Ast.Or hit acc
+                | None ->
+                    Sexpr.mk_bin Nfl.Ast.And (Sexpr.mk_not hit) acc)
+              base_mem (List.rev d.Sexpr.writes)
+        | None -> Sexpr.Mem (d, expand k))
+    | Sexpr.Dget (d, k) -> Sexpr.Dget (d, expand k) (* left opaque; solver treats as term *)
+    | Sexpr.Bin (op, a, b) -> Sexpr.mk_bin op (expand a) (expand b)
+    | Sexpr.Not a -> Sexpr.mk_not (expand a)
+    | Sexpr.Neg a -> Sexpr.mk_neg (expand a)
+    | Sexpr.Tup es -> Sexpr.mk_tuple (List.map expand es)
+    | Sexpr.Lst es -> Sexpr.mk_list (List.map expand es)
+    | Sexpr.Get (a, b) -> Sexpr.mk_get (expand a) (expand b)
+    | Sexpr.Ufun (f, es) -> Sexpr.mk_ufun f (List.map expand es)
+    | (Sexpr.Const _ | Sexpr.Sym _) as e -> e
+  and concrete_base (d : Sexpr.dict_state) =
+    if d.Sexpr.base = Sexpr.empty_base then Some []
+    else
+      match Model_interp.Smap.find_opt d.Sexpr.base store with
+      | Some (Value.Dict kvs) -> Some kvs
+      | _ -> None
+  in
+  expand e
+
+let instantiate_literal store pkt (l : Solver.literal) =
+  Solver.lit (instantiate_expr store pkt l.Solver.atom) l.Solver.positive
+
+(* Apply a forward snapshot: each output field expression, instantiated
+   into the input vocabulary. *)
+let apply_snapshot store pkt snapshot : sym_pkt =
+  List.map (fun (f, e) -> (f, instantiate_expr store pkt e)) snapshot
+
+(** Push a symbolic packet through one model under a concrete state
+    snapshot: all feasible (entry, refined class) pairs. Dropping
+    entries and the table-miss default yield no output classes. *)
+let through_model ~node_id (m : Model.t) (store : Model_interp.store) (c : cls) : cls list =
+  (* Entries are mutually exclusive path conditions, so each feasible
+     one refines the class independently. *)
+  List.concat
+    (List.mapi
+       (fun idx (e : Model.entry) ->
+         let lits =
+           List.map (instantiate_literal store c.pkt)
+             (e.Model.config @ e.Model.flow_match @ e.Model.state_match)
+           (* trivially-true literals (satisfied config predicates,
+              vacuous state expansions) only add noise *)
+           |> List.filter (fun (l : Solver.literal) ->
+                  match l.Solver.atom with
+                  | Sexpr.Const (Value.Bool b) -> b <> l.Solver.positive
+                  | _ -> true)
+         in
+         let combined = c.constraints @ lits in
+         if Solver.check combined = Solver.Unsat then []
+         else
+           match e.Model.pkt_action with
+           | Model.Drop -> []
+           | Model.Forward snaps ->
+               List.map
+                 (fun snap ->
+                   {
+                     constraints = combined;
+                     pkt = apply_snapshot store c.pkt snap;
+                     fired = c.fired @ [ (node_id, idx) ];
+                   })
+                 snaps)
+       m.Model.entries)
+
+(** Push through a chain of (id, model, state snapshot). *)
+let through_chain nodes (c : cls) =
+  List.fold_left
+    (fun classes (node_id, m, store) ->
+      List.concat_map (fun c -> through_model ~node_id m store c) classes)
+    [ c ] nodes
+
+(** All end-to-end classes for unconstrained input headers. *)
+let classes nodes = through_chain nodes { constraints = []; pkt = fresh_pkt; fired = [] }
+
+(** Can any input reach the end of the chain with [property] holding
+    on the output header? Returns the witnessing classes. *)
+let reachable nodes ~property =
+  List.filter
+    (fun c ->
+      let prop_lits = property c.pkt in
+      Solver.check (c.constraints @ prop_lits) <> Solver.Unsat)
+    (classes nodes)
+
+let pp_cls ppf c =
+  Fmt.pf ppf "fired: %a@."
+    Fmt.(list ~sep:(any " -> ") (fun ppf (n, i) -> Fmt.pf ppf "%s#%d" n i))
+    c.fired;
+  Fmt.pf ppf "when : %a@." Model.pp_literals c.constraints;
+  let rewrites =
+    List.filter (fun (f, e) -> not (Sexpr.equal e (Sexpr.Sym ("in." ^ f)))) c.pkt
+  in
+  Fmt.pf ppf "out  : %a@."
+    Fmt.(list ~sep:(any ", ") (fun ppf (f, e) -> Fmt.pf ppf "%s:=%a" f Sexpr.pp e))
+    rewrites

@@ -1,0 +1,42 @@
+(** Header-space style symbolic reachability over extracted models:
+    HSA's transfer-function composition extended with the state
+    argument of [T(h, p, s)]. A symbolic packet (field map over free
+    input-header symbols plus constraints) is pushed through a chain
+    of models under concrete state snapshots, yielding the end-to-end
+    header equivalence classes. Re-running under different snapshots
+    answers state-dependent reachability questions stateless HSA
+    cannot pose. *)
+
+open Nfactor
+open Symexec
+
+type sym_pkt = (string * Sexpr.t) list
+(** Field map over the free input-header symbols ["in.<field>"]. *)
+
+val fresh_pkt : sym_pkt
+(** The unconstrained input header. *)
+
+type cls = {
+  constraints : Solver.literal list;  (** over the input-header symbols *)
+  pkt : sym_pkt;  (** symbolic output header *)
+  fired : (string * int) list;  (** (node id, entry index) per hop *)
+}
+
+val through_model :
+  node_id:string -> Model.t -> Model_interp.store -> cls -> cls list
+(** All feasible refinements of a class through one model; dropping
+    entries and table misses produce no classes. *)
+
+val through_chain : (string * Model.t * Model_interp.store) list -> cls -> cls list
+
+val classes : (string * Model.t * Model_interp.store) list -> cls list
+(** End-to-end classes for unconstrained input headers. *)
+
+val reachable :
+  (string * Model.t * Model_interp.store) list ->
+  property:(sym_pkt -> Solver.literal list) ->
+  cls list
+(** Classes whose output can satisfy [property]; empty means the
+    property is unreachable under these state snapshots. *)
+
+val pp_cls : Format.formatter -> cls -> unit

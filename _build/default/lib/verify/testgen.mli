@@ -1,0 +1,39 @@
+(** Model-driven test-packet generation (paper Section 4, BUZZ-style):
+    computes a packet sequence that makes every reachable model entry
+    fire. Flow predicates are concretized by the solver over a palette
+    of base packets; state predicates are satisfied by sequencing —
+    earlier packets install the state later entries match on. Every
+    candidate is validated by stepping the model, so incomplete solver
+    answers cannot produce a wrong sequence. *)
+
+open Nfactor
+open Symexec
+
+type coverage = {
+  pkts : Packet.Pkt.t list;  (** generated sequence, in order *)
+  covered : int list;  (** entry indices fired, in firing order *)
+  uncovered : int list;  (** entries never fired (other-config tables,
+                             or state deeper than the round budget) *)
+}
+
+val packet_of_assignment :
+  ?defaults:Packet.Pkt.t -> Value.t Solver.Smap.t -> Packet.Pkt.t
+(** Build a packet from a solver assignment over ["pkt.<field>"]
+    symbols, over [defaults]. *)
+
+val resolve_config : Model_interp.store -> Solver.literal -> Solver.literal
+(** Substitute config symbols with their concrete values. *)
+
+val attempt_entry :
+  Model.t -> Model_interp.store -> int -> (Packet.Pkt.t * Model_interp.store) option
+(** Try to make entry [idx] fire now; on success returns the packet
+    and the successor store. *)
+
+val cover : ?max_rounds:int -> Extract.result -> coverage
+(** Generate a covering sequence ([max_rounds] bounds the depth of
+    state-installation chains; default 8). *)
+
+val compliance : Extract.result -> coverage -> Equiv.verdict
+(** Replay the generated packets against the original program. *)
+
+val pp_coverage : Format.formatter -> coverage -> unit

@@ -1,0 +1,1 @@
+test/test_acl.ml: Alcotest Equiv Extract Interp List Model Nfactor Nfl Nfs Option Packet Symexec

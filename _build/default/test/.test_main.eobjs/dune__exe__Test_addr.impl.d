@@ -1,0 +1,1 @@
+test/test_addr.ml: Addr Alcotest List Packet QCheck QCheck_alcotest

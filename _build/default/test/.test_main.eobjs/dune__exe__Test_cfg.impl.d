@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Ast Cfg List Nfl Parser

@@ -1,0 +1,1 @@
+test/test_codec.ml: Addr Alcotest Codec Filename Headers List Packet Pkt QCheck QCheck_alcotest Sys Traffic

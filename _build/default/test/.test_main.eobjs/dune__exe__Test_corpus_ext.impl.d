@@ -1,0 +1,1 @@
+test/test_corpus_ext.ml: Alcotest Equiv Extract Interp List Model Nfactor Nfl Nfs Option Packet Sexpr Slicing Solver Symexec

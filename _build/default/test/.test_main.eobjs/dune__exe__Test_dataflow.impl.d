@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Ast Cfg Dataflow List Nfl Parser

@@ -1,0 +1,1 @@
+test/test_dominance.ml: Alcotest Ast Cdg Cfg Dominance Nfl Parser

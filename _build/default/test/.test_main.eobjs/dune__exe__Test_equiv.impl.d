@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Equiv Extract Fmt List Nfactor Nfl Nfs Option Packet Str

@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Explore Extract Fmt List Model Nfactor Nfl Nfs Option Sexpr Solver Symexec Value

@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Extract Fmt Fsm List Nfactor Nfs Option Printf Symexec

@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Ast Builtins Check Inline List Nfl Parser String

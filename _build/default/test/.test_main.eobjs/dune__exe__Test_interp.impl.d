@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Headers Interp List Nfl Nfs Option Packet Symexec Value

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Ast Fmt Lexer List Nfl Packet

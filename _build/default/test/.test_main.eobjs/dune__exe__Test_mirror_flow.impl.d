@@ -1,0 +1,1 @@
+test/test_mirror_flow.ml: Alcotest Equiv Extract Interp List Model Model_io Nfactor Nfl Nfs Option Packet QCheck QCheck_alcotest Sexpr Symexec

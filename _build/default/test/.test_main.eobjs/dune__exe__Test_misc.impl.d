@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Explore Extract Fsm Interp List Nfactor Nfl Nfs Option Packet Printf Sexpr Symexec Value Verify

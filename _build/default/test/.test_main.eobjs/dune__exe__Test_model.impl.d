@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Extract Fmt List Model Nfactor Nfl Nfs Option Report Sexpr Solver String Symexec Value

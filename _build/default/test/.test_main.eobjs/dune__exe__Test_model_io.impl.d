@@ -1,0 +1,1 @@
+test/test_model_io.ml: Alcotest Extract List Model Model_interp Model_io Nfactor Nfl Nfs Option Packet QCheck QCheck_alcotest Sexpr Symexec Value

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Lexer List Nfl Packet Parser Pretty QCheck QCheck_alcotest

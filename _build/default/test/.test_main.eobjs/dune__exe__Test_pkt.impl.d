@@ -1,0 +1,1 @@
+test/test_pkt.ml: Addr Alcotest Headers List Packet Pkt String

@@ -1,0 +1,1 @@
+test/test_portknock.ml: Alcotest Equiv Extract Fsm Interp List Model Model_interp Nfactor Nfl Nfs Option Packet Symexec

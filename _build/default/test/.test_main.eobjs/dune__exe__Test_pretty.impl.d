@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Builtins List Nfl Option Parser Pretty String

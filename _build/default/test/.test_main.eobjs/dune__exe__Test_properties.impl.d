@@ -1,0 +1,1 @@
+test/test_properties.ml: Explore Gen Interp List Nfactor Nfl Nfs Packet Printf QCheck QCheck_alcotest Sexpr Slicing Solver String Symexec Value

@@ -1,0 +1,1 @@
+test/test_sexpr.ml: Alcotest List Nfl Sexpr Symexec Value

@@ -1,0 +1,1 @@
+test/test_slice.ml: Alcotest Ast Builtins List Nfl Packet Parser Printf QCheck QCheck_alcotest Slicing String

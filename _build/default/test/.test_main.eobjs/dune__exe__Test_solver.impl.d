@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Nfl QCheck QCheck_alcotest Sexpr Solver Symexec Value

@@ -1,0 +1,1 @@
+test/test_statealyzer.ml: Alcotest Filename List Nfl Nfs Option Statealyzer Varclass

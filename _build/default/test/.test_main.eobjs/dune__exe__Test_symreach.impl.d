@@ -1,0 +1,1 @@
+test/test_symreach.ml: Alcotest Extract List Model_interp Nfactor Nfl Nfs Option Packet Sexpr Solver Symexec Symreach Value Verify

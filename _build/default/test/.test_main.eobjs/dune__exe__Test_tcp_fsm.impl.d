@@ -1,0 +1,1 @@
+test/test_tcp_fsm.ml: Alcotest Headers List Packet QCheck QCheck_alcotest Tcp_fsm

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Addr Alcotest Headers List Packet Pkt QCheck QCheck_alcotest Rng Tcp_fsm Traffic

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Ast Builtins Check Inline List Nfl Parser Transform

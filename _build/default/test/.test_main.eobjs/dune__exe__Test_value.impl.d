@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest List Nfl Option QCheck QCheck_alcotest Symexec Value

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Chain Equiv Extract List Model Model_interp Network Nfactor Nfs Option Packet Sexpr Solver Symexec Testgen Value Verify

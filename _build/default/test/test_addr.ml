@@ -1,0 +1,70 @@
+open Packet
+
+let test_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Addr.to_string (Addr.of_string s)))
+    [ "0.0.0.0"; "1.2.3.4"; "10.0.0.1"; "192.168.255.254"; "255.255.255.255" ]
+
+let test_ip_value () =
+  Alcotest.(check int) "1.0.0.0" 0x01000000 (Addr.ip 1 0 0 0);
+  Alcotest.(check int) "0.0.0.255" 255 (Addr.ip 0 0 0 255);
+  Alcotest.(check int) "1.2.3.4" 0x01020304 (Addr.ip 1 2 3 4)
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises s (Invalid_argument ("Addr.of_string: " ^ s)) (fun () ->
+          ignore (Addr.of_string s)))
+    [ "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; ""; "1..2.3" ]
+
+let test_octet () =
+  let a = Addr.ip 10 20 30 40 in
+  Alcotest.(check (list int)) "octets" [ 10; 20; 30; 40 ] (List.init 4 (Addr.octet a))
+
+let test_mask () =
+  Alcotest.(check int) "/0" 0 (Addr.mask_of_prefix 0);
+  Alcotest.(check int) "/32" 0xFFFFFFFF (Addr.mask_of_prefix 32);
+  Alcotest.(check int) "/24" 0xFFFFFF00 (Addr.mask_of_prefix 24);
+  Alcotest.(check int) "/8" 0xFF000000 (Addr.mask_of_prefix 8)
+
+let test_in_prefix () =
+  let network = Addr.of_string "10.1.0.0" in
+  Alcotest.(check bool) "member" true (Addr.in_prefix (Addr.of_string "10.1.2.3") ~network ~prefix:16);
+  Alcotest.(check bool)
+    "non-member" false
+    (Addr.in_prefix (Addr.of_string "10.2.2.3") ~network ~prefix:16);
+  Alcotest.(check bool) "/0 matches all" true (Addr.in_prefix 12345 ~network:0 ~prefix:0);
+  Alcotest.(check bool)
+    "/32 exact" true
+    (Addr.in_prefix network ~network ~prefix:32)
+
+let test_ports () =
+  Alcotest.(check bool) "0 valid" true (Addr.valid_port 0);
+  Alcotest.(check bool) "65535 valid" true (Addr.valid_port 65535);
+  Alcotest.(check bool) "65536 invalid" false (Addr.valid_port 65536);
+  Alcotest.(check bool) "-1 invalid" false (Addr.valid_port (-1))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"addr: to_string/of_string roundtrip" ~count:500
+    QCheck.(quad (int_bound 255) (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c, d) ->
+      let addr = Addr.ip a b c d in
+      Addr.of_string (Addr.to_string addr) = addr)
+
+let qcheck_prefix_reflexive =
+  QCheck.Test.make ~name:"addr: every address is in its own /32" ~count:500
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun a -> Addr.in_prefix a ~network:a ~prefix:32)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "ip value" `Quick test_ip_value;
+    Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+    Alcotest.test_case "octet" `Quick test_octet;
+    Alcotest.test_case "mask_of_prefix" `Quick test_mask;
+    Alcotest.test_case "in_prefix" `Quick test_in_prefix;
+    Alcotest.test_case "ports" `Quick test_ports;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_prefix_reflexive;
+  ]

@@ -1,0 +1,97 @@
+open Nfl
+
+let parse_main src = (Parser.program src).Ast.main
+
+(* main with ids: 1: x=1; 2: if(c){3: y=1;}else{4: y=2;} 5: z=y; *)
+let diamond = "main { x = 1; if (c) { y = 1; } else { y = 2; } z = y; }"
+
+let node = Alcotest.testable Cfg.pp_node Cfg.node_equal
+
+let sorted_succs g n = List.sort Cfg.node_compare (Cfg.succ_nodes g n)
+
+let test_diamond_edges () =
+  let g = Cfg.of_block (parse_main diamond) in
+  Alcotest.(check (list node)) "entry -> s1, exit(pseudo)"
+    [ Cfg.Exit; Cfg.Stmt 1 ]
+    (sorted_succs g Cfg.Entry);
+  Alcotest.(check (list node)) "s1 -> s2" [ Cfg.Stmt 2 ] (sorted_succs g (Cfg.Stmt 1));
+  Alcotest.(check (list node)) "branch" [ Cfg.Stmt 3; Cfg.Stmt 4 ] (sorted_succs g (Cfg.Stmt 2));
+  Alcotest.(check (list node)) "join at s5" [ Cfg.Stmt 5 ] (sorted_succs g (Cfg.Stmt 3));
+  Alcotest.(check (list node)) "join at s5'" [ Cfg.Stmt 5 ] (sorted_succs g (Cfg.Stmt 4));
+  Alcotest.(check (list node)) "s5 -> exit" [ Cfg.Exit ] (sorted_succs g (Cfg.Stmt 5))
+
+let test_branch_labels () =
+  let g = Cfg.of_block (parse_main diamond) in
+  let labels = Cfg.succs g (Cfg.Stmt 2) in
+  let lbl_of n = List.assoc n (List.map (fun (m, l) -> (m, l)) labels) in
+  Alcotest.(check bool) "then edge true" true (lbl_of (Cfg.Stmt 3) = Cfg.True);
+  Alcotest.(check bool) "else edge false" true (lbl_of (Cfg.Stmt 4) = Cfg.False)
+
+(* 1: while(c) { 2: x=x+1; } 3: y=x; *)
+let loop = "main { while (c) { x = x + 1; } y = x; }"
+
+let test_loop_edges () =
+  let g = Cfg.of_block (parse_main loop) in
+  Alcotest.(check (list node)) "while -> body,cont"
+    [ Cfg.Stmt 2; Cfg.Stmt 3 ]
+    (sorted_succs g (Cfg.Stmt 1));
+  Alcotest.(check (list node)) "back edge" [ Cfg.Stmt 1 ] (sorted_succs g (Cfg.Stmt 2))
+
+let test_while_true_exit_reachable () =
+  (* No constant folding: exit must stay reachable even for while(true). *)
+  let g = Cfg.of_block (parse_main "main { while (true) { p = recv(); send(p); } }") in
+  let r = Cfg.reachable g in
+  Alcotest.(check bool) "exit reachable" true (Cfg.Nset.mem Cfg.Exit r)
+
+let test_return_edges () =
+  (* 1: if(c){ 2: return; } 3: x=1; — return is a pseudo-predicate:
+     taken edge to exit, non-executable fallthrough to s3. *)
+  let g = Cfg.of_block (parse_main "main { if (c) { return; } x = 1; }") in
+  Alcotest.(check (list node)) "return -> exit + fallthrough"
+    [ Cfg.Exit; Cfg.Stmt 3 ]
+    (sorted_succs g (Cfg.Stmt 2));
+  Alcotest.(check (list node)) "branch -> s2, s3"
+    [ Cfg.Stmt 2; Cfg.Stmt 3 ]
+    (sorted_succs g (Cfg.Stmt 1))
+
+let test_branches () =
+  let g = Cfg.of_block (parse_main diamond) in
+  let bs = List.sort Cfg.node_compare (Cfg.branches g) in
+  Alcotest.(check (list node)) "branch nodes" [ Cfg.Entry; Cfg.Stmt 2 ] bs
+
+let test_size () =
+  let g = Cfg.of_block (parse_main diamond) in
+  Alcotest.(check int) "5 statements" 5 (Cfg.size g)
+
+let test_stmt_of () =
+  let g = Cfg.of_block (parse_main diamond) in
+  (match Cfg.stmt_of g (Cfg.Stmt 1) with
+  | Some { Ast.kind = Ast.Assign (Ast.L_var "x", Ast.Int 1); _ } -> ()
+  | _ -> Alcotest.fail "stmt_of s1");
+  Alcotest.(check bool) "no stmt for entry" true (Cfg.stmt_of g Cfg.Entry = None)
+
+let test_empty_block () =
+  let g = Cfg.of_block [] in
+  Alcotest.(check (list node)) "entry -> exit only" [ Cfg.Exit ] (sorted_succs g Cfg.Entry)
+
+let test_for_in_edges () =
+  (* 1: for s in xs { 2: send(s); } 3: y=1; *)
+  let g = Cfg.of_block (parse_main "main { for s in xs { send(s); } y = 1; }") in
+  Alcotest.(check (list node)) "for -> body,cont"
+    [ Cfg.Stmt 2; Cfg.Stmt 3 ]
+    (sorted_succs g (Cfg.Stmt 1));
+  Alcotest.(check (list node)) "body -> for" [ Cfg.Stmt 1 ] (sorted_succs g (Cfg.Stmt 2))
+
+let suite =
+  [
+    Alcotest.test_case "diamond edges" `Quick test_diamond_edges;
+    Alcotest.test_case "branch labels" `Quick test_branch_labels;
+    Alcotest.test_case "loop edges" `Quick test_loop_edges;
+    Alcotest.test_case "while(true) exit reachable" `Quick test_while_true_exit_reachable;
+    Alcotest.test_case "return edges" `Quick test_return_edges;
+    Alcotest.test_case "branch nodes" `Quick test_branches;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "stmt_of" `Quick test_stmt_of;
+    Alcotest.test_case "empty block" `Quick test_empty_block;
+    Alcotest.test_case "for-in edges" `Quick test_for_in_edges;
+  ]

@@ -1,0 +1,199 @@
+open Symexec
+module Smap = Explore.Smap
+
+let parse_main src = (Nfl.Parser.program src).Nfl.Ast.main
+
+let env_with bindings =
+  List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty bindings
+
+let sym_pkt_env extra = env_with (("pkt", Explore.sym_pkt "pkt") :: extra)
+
+let test_straight_line_one_path () =
+  let b = parse_main "main { x = pkt.dport; send(pkt); }" in
+  let paths, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "one path" 1 (List.length paths);
+  Alcotest.(check int) "stats agree" 1 stats.Explore.paths;
+  let p = List.hd paths in
+  Alcotest.(check int) "one send" 1 (List.length p.Explore.sends);
+  Alcotest.(check int) "empty pc" 0 (List.length p.Explore.pc)
+
+let test_branch_forks () =
+  let b = parse_main "main { if (pkt.dport == 80) { send(pkt); } }" in
+  let paths, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  Alcotest.(check int) "one fork" 1 stats.Explore.forks;
+  let with_send = List.filter (fun p -> p.Explore.sends <> []) paths in
+  Alcotest.(check int) "one sending path" 1 (List.length with_send);
+  (* The sending path is conditioned on dport == 80. *)
+  let p = List.hd with_send in
+  Alcotest.(check int) "pc length" 1 (List.length p.Explore.pc);
+  Alcotest.(check bool) "positive literal" true (List.hd p.Explore.pc).Solver.positive
+
+let test_infeasible_branch_pruned () =
+  (* Second test is implied by the first: no fork. *)
+  let b =
+    parse_main
+      "main { if (pkt.dport == 80) { if (pkt.dport != 80) { send(pkt); } else { drop(); } } }"
+  in
+  let paths, _ = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "inner contradiction pruned" 2 (List.length paths);
+  List.iter
+    (fun p -> Alcotest.(check int) "nothing sent" 0 (List.length p.Explore.sends))
+    paths
+
+let test_concrete_condition_no_fork () =
+  let b = parse_main "main { mode = 1; if (mode == 1) { send(pkt); } else { drop(); } }" in
+  let paths, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "single path" 1 (List.length paths);
+  Alcotest.(check int) "no forks" 0 stats.Explore.forks;
+  Alcotest.(check int) "send taken" 1 (List.length (List.hd paths).Explore.sends)
+
+let test_dict_membership_forks () =
+  let b =
+    parse_main
+      {|main { k = (pkt.ip_src, pkt.sport);
+              if (k in tbl) { out = tbl[k]; } else { tbl[k] = 1; }
+              send(pkt); }|}
+  in
+  let env = sym_pkt_env [ ("tbl", Explore.Dictv (Sexpr.dict_base "tbl")) ] in
+  let paths, _ = Explore.block ~env b in
+  Alcotest.(check int) "hit and miss paths" 2 (List.length paths);
+  (* The miss path records a state write. *)
+  let has_write (p : Explore.path) =
+    match Smap.find "tbl" p.Explore.env with
+    | Explore.Dictv d -> d.Sexpr.writes <> []
+    | _ -> false
+  in
+  Alcotest.(check int) "one path writes state" 1
+    (List.length (List.filter has_write paths))
+
+let test_loop_bound_truncation () =
+  (* Loop condition on a symbolic variable can iterate forever. *)
+  let b = parse_main "main { i = 0; while (i < pkt.ip_len) { i = i + 1; } send(pkt); }" in
+  let paths, stats =
+    Explore.block ~config:{ Explore.default_config with Explore.loop_bound = 3 } ~env:(sym_pkt_env []) b
+  in
+  Alcotest.(check bool) "some truncated" true (stats.Explore.truncated_paths >= 1);
+  (* Exits after 0, 1, 2, 3 iterations remain as real paths. *)
+  Alcotest.(check bool) "bounded path count" true (List.length paths <= 5)
+
+let test_for_in_unrolls () =
+  let b =
+    parse_main
+      "main { acc = 0; for s in [1, 2, 3] { acc = acc + s; } send(pkt); }"
+  in
+  let paths, _ = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "one path" 1 (List.length paths);
+  match Smap.find "acc" (List.hd paths).Explore.env with
+  | Explore.Scalar e -> Alcotest.(check bool) "acc folded to 6" true (Sexpr.equal e (Sexpr.int 6))
+  | _ -> Alcotest.fail "scalar expected"
+
+let test_early_return_is_drop_path () =
+  let b = parse_main "main { if (pkt.dport != 80) { return; } send(pkt); }" in
+  let paths, _ = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  let dropping = List.filter (fun p -> p.Explore.sends = []) paths in
+  Alcotest.(check int) "one drop path" 1 (List.length dropping)
+
+let test_packet_rewrite_recorded () =
+  let b = parse_main "main { pkt.ip_dst = 1.1.1.1; pkt.dport = 8080; send(pkt); }" in
+  let paths, _ = Explore.block ~env:(sym_pkt_env []) b in
+  let snap = List.hd (List.hd paths).Explore.sends in
+  Alcotest.(check bool) "dst rewritten" true
+    (Sexpr.equal (List.assoc "ip_dst" snap) (Sexpr.int (Packet.Addr.of_string "1.1.1.1")));
+  Alcotest.(check bool) "dport rewritten" true
+    (Sexpr.equal (List.assoc "dport" snap) (Sexpr.int 8080));
+  (* Untouched fields remain symbolic. *)
+  Alcotest.(check bool) "src still symbolic" true
+    (Sexpr.equal (List.assoc "ip_src" snap) (Sexpr.Sym "pkt.ip_src"))
+
+let test_max_paths_overflow () =
+  (* 2^8 paths from 8 independent branches; cap at 10. *)
+  (* Independent bit tests: 2^8 feasible combinations. *)
+  let conds =
+    String.concat " "
+      (List.init 8 (fun i -> Printf.sprintf "if ((pkt.ip_len & %d) != 0) { x = %d; }" (1 lsl i) i))
+  in
+  let b = parse_main ("main { x = 0; " ^ conds ^ " send(pkt); }") in
+  let _, stats =
+    Explore.block ~config:{ Explore.default_config with Explore.max_paths = 10 } ~env:(sym_pkt_env []) b
+  in
+  Alcotest.(check bool) "overflowed" true stats.Explore.overflowed;
+  Alcotest.(check bool) "capped" true (stats.Explore.paths <= 10)
+
+(* --------------------------------------------------------------- *)
+(* Whole-NF exploration                                             *)
+(* --------------------------------------------------------------- *)
+
+(* Symbolic environment for a canonical NF: globals concrete except the
+   named symbolic scalars/dicts. *)
+let nf_env p ~sym_scalars ~sym_dicts ~pkt_var =
+  let init = Interp.initial_state p in
+  let env =
+    Interp.Smap.fold
+      (fun name v acc ->
+        if List.mem name sym_scalars then Smap.add name (Explore.Scalar (Sexpr.Sym name)) acc
+        else if List.mem name sym_dicts then Smap.add name (Explore.Dictv (Sexpr.dict_base name)) acc
+        else Smap.add name (Explore.sval_of_value v) acc)
+      init Smap.empty
+  in
+  Smap.add pkt_var (Explore.sym_pkt "pkt") env
+
+let loop_body_of p =
+  let _, body, pkt_var = Nfl.Transform.packet_loop p in
+  (List.filter (fun s -> not (Nfl.Builtins.is_pkt_input_stmt s)) body, pkt_var)
+
+let test_lb_paths () =
+  let p = Nfl.Transform.canonicalize (Nfs.Lb.program ()) in
+  let body, pkt_var = loop_body_of p in
+  let env =
+    nf_env p
+      ~sym_scalars:[ "mode"; "rr_idx"; "cur_port" ]
+      ~sym_dicts:[ "f2b_nat"; "b2f_nat" ] ~pkt_var
+  in
+  let paths, stats = Explore.block ~env body in
+  (* Inbound-new(RR), inbound-new(hash), inbound-existing,
+     outbound-known, outbound-unknown = 5 paths. *)
+  Alcotest.(check int) "five LB paths" 5 (List.length paths);
+  Alcotest.(check bool) "no truncation" true (stats.Explore.truncated_paths = 0);
+  let sending = List.filter (fun p -> p.Explore.sends <> []) paths in
+  Alcotest.(check int) "four forwarding paths" 4 (List.length sending);
+  (* Each forwarding path rewrites all four address/port fields. *)
+  List.iter
+    (fun p ->
+      let snap = List.hd p.Explore.sends in
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) (f ^ " rewritten") true
+            (not (Sexpr.equal (List.assoc f snap) (Sexpr.Sym ("pkt." ^ f)))))
+        [ "ip_src"; "sport"; "ip_dst"; "dport" ])
+    sending
+
+let test_firewall_paths () =
+  let p = Nfl.Transform.canonicalize (Nfs.Firewall.program ()) in
+  let body, pkt_var = loop_body_of p in
+  let env = nf_env p ~sym_scalars:[] ~sym_dicts:[ "conn_table" ] ~pkt_var in
+  let paths, _ = Explore.block ~env body in
+  (* outbound; inbound-pinhole; inbound-open-port(strict, tcp);
+     inbound-open-port(strict, non-tcp); inbound-closed.
+     The open-port membership over [80, 443] adds a disjunctive split
+     resolved as one atom, so expect >= 5 paths. *)
+  Alcotest.(check bool) "at least 5 paths" true (List.length paths >= 5);
+  let sending = List.filter (fun q -> q.Explore.sends <> []) paths in
+  Alcotest.(check bool) "at least 3 forwarding" true (List.length sending >= 3)
+
+let suite =
+  [
+    Alcotest.test_case "straight line" `Quick test_straight_line_one_path;
+    Alcotest.test_case "branch forks" `Quick test_branch_forks;
+    Alcotest.test_case "infeasible branch pruned" `Quick test_infeasible_branch_pruned;
+    Alcotest.test_case "concrete condition no fork" `Quick test_concrete_condition_no_fork;
+    Alcotest.test_case "dict membership forks" `Quick test_dict_membership_forks;
+    Alcotest.test_case "loop bound truncation" `Quick test_loop_bound_truncation;
+    Alcotest.test_case "for-in unrolls" `Quick test_for_in_unrolls;
+    Alcotest.test_case "early return drop path" `Quick test_early_return_is_drop_path;
+    Alcotest.test_case "packet rewrite recorded" `Quick test_packet_rewrite_recorded;
+    Alcotest.test_case "max paths overflow" `Quick test_max_paths_overflow;
+    Alcotest.test_case "LB: five paths" `Quick test_lb_paths;
+    Alcotest.test_case "firewall: path census" `Quick test_firewall_paths;
+  ]

@@ -1,0 +1,166 @@
+open Nfl
+
+let parse = Parser.program
+
+let test_simple_call_inlined () =
+  let p =
+    parse
+      {|
+      y = 0;
+      def double(x) { return x + x; }
+      main { while (true) { p = recv(); y = double(p.dport); send(p); } }
+      |}
+  in
+  let p' = Inline.program p in
+  Alcotest.(check int) "no funcs left" 0 (List.length p'.Ast.funcs);
+  (* No user calls remain anywhere. *)
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (_, Ast.Call (f, _)) | Ast.Expr (Ast.Call (f, _)) ->
+          Alcotest.(check bool) ("builtin: " ^ f) true (Builtins.is_builtin f)
+      | _ -> ())
+    p'
+
+let test_early_return_guards () =
+  (* Statements after an early return inside the callee must be guarded. *)
+  let p =
+    parse
+      {|
+      hits = 0;
+      def f(a) {
+        if (a == 1) { return 10; }
+        hits = hits + 1;
+        return 20;
+      }
+      main { while (true) { p = recv(); r = f(p.dport); send(p); } }
+      |}
+  in
+  let p' = Inline.program p in
+  (* There must be an if over a _live variable guarding the hits update. *)
+  let found_guard = ref false in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.If (Ast.Binop (Ast.Eq, Ast.Var v, Ast.Int 1), _, _)
+        when String.length v > 4 && String.sub v (String.length v - 4) 4 = "live" ->
+          found_guard := true
+      | _ -> ())
+    p';
+  Alcotest.(check bool) "live guard present" true !found_guard
+
+let run_inlined_manually src =
+  (* Poor-man's check: pretty-print the inlined program and re-parse. *)
+  let p = Inline.program (parse src) in
+  Check.assert_ok p;
+  p
+
+let test_inlined_program_checks () =
+  let p =
+    run_inlined_manually
+      {|
+      n = 0;
+      def bump(k) { n = n + k; return n; }
+      def twice(k) { a = bump(k); b = bump(k); return b; }
+      main { while (true) { p = recv(); x = twice(2); send(p); } }
+      |}
+  in
+  Alcotest.(check bool) "nested calls expanded" true (List.length (Ast.all_stmts p) > 10)
+
+let test_locals_renamed_globals_shared () =
+  let p =
+    parse
+      {|
+      g = 0;
+      def f(x) { t = x + 1; g = g + t; return t; }
+      main { while (true) { p = recv(); t = 99; r = f(1); send(p); } }
+      |}
+  in
+  let p' = Inline.program p in
+  (* Global g is still assigned under its own name; local t is renamed. *)
+  let g_assigned = ref false and renamed_t = ref false and plain_t_in_callee = ref false in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (Ast.L_var "g", _) -> g_assigned := true
+      | Ast.Assign (Ast.L_var v, Ast.Binop (Ast.Add, Ast.Var v', Ast.Int 1)) ->
+          if v <> "t" then renamed_t := true
+          else if v' <> "x" then plain_t_in_callee := true
+      | _ -> ())
+    p';
+  Alcotest.(check bool) "global kept" true !g_assigned;
+  Alcotest.(check bool) "local renamed" true !renamed_t
+
+let test_return_in_while_exits_loop () =
+  let p =
+    parse
+      {|
+      def find(lst) {
+        i = 0;
+        while (i < len(lst)) {
+          if (lst[i] == 7) { return i; }
+          i = i + 1;
+        }
+        return 0 - 1;
+      }
+      main { while (true) { p = recv(); r = find([1, 7, 3]); send(p); } }
+      |}
+  in
+  let p' = Inline.program p in
+  (* The while condition must now mention the live flag. *)
+  let found = ref false in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.While (Ast.Binop (Ast.And, _, _), _) -> found := true
+      | _ -> ())
+    p';
+  Alcotest.(check bool) "loop condition guarded" true !found
+
+let test_recursion_rejected () =
+  let p =
+    parse
+      {|
+      def f(x) { return f(x); }
+      main { while (true) { p = recv(); y = f(1); send(p); } }
+      |}
+  in
+  match Inline.program p with
+  | exception Inline.Recursive _ -> ()
+  | exception Inline.Unsupported_call _ -> ()
+  | _ -> Alcotest.fail "recursion must be rejected"
+
+let test_call_in_expression_rejected () =
+  let p =
+    parse
+      {|
+      def f(x) { return x; }
+      main { while (true) { p = recv(); y = 1 + f(2); send(p); } }
+      |}
+  in
+  match Inline.program p with
+  | exception Inline.Unsupported_call ("f", _) -> ()
+  | _ -> Alcotest.fail "nested user call must be rejected"
+
+let test_ids_dense_after_inline () =
+  let p =
+    run_inlined_manually
+      {|
+      def f(x) { return x + 1; }
+      main { while (true) { p = recv(); y = f(1); send(p); } }
+      |}
+  in
+  let sids = List.sort compare (List.map (fun s -> s.Ast.sid) (Ast.all_stmts p)) in
+  Alcotest.(check (list int)) "dense ids" (List.init (List.length sids) (fun i -> i + 1)) sids
+
+let suite =
+  [
+    Alcotest.test_case "simple call inlined" `Quick test_simple_call_inlined;
+    Alcotest.test_case "early return guarded" `Quick test_early_return_guards;
+    Alcotest.test_case "nested calls expand" `Quick test_inlined_program_checks;
+    Alcotest.test_case "locals renamed, globals shared" `Quick test_locals_renamed_globals_shared;
+    Alcotest.test_case "return exits while" `Quick test_return_in_while_exits_loop;
+    Alcotest.test_case "recursion rejected" `Quick test_recursion_rejected;
+    Alcotest.test_case "nested user call rejected" `Quick test_call_in_expression_rejected;
+    Alcotest.test_case "ids dense after inline" `Quick test_ids_dense_after_inline;
+  ]

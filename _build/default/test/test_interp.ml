@@ -1,0 +1,240 @@
+open Symexec
+module Smap = Interp.Smap
+
+let canon src = Nfl.Transform.canonicalize (Nfl.Parser.program src)
+
+let pkt ?(flags = Packet.Headers.ack) ?(payload = "") ~src ~sport ~dst ~dport () =
+  Packet.Pkt.make ~ip_src:(Packet.Addr.of_string src) ~ip_dst:(Packet.Addr.of_string dst) ~sport
+    ~dport ~tcp_flags:flags ~payload ()
+
+let test_echo () =
+  let p = canon "main { while (true) { pkt = recv(); send(pkt); } }" in
+  let input = [ pkt ~src:"1.1.1.1" ~sport:1 ~dst:"2.2.2.2" ~dport:2 () ] in
+  let r = Interp.run p ~inputs:input in
+  Alcotest.(check int) "one output" 1 (List.length r.Interp.outputs);
+  Alcotest.(check bool) "unchanged" true (Packet.Pkt.equal (List.hd input) (List.hd r.Interp.outputs));
+  Alcotest.(check bool) "clean end" true (r.Interp.outcome = Interp.Input_exhausted)
+
+let test_rewrite () =
+  let p =
+    canon
+      {|target = 9.9.9.9;
+        main { while (true) { pkt = recv(); pkt.ip_dst = target; pkt.ip_ttl = pkt.ip_ttl - 1; send(pkt); } }|}
+  in
+  let r = Interp.run p ~inputs:[ pkt ~src:"1.1.1.1" ~sport:1 ~dst:"2.2.2.2" ~dport:2 () ] in
+  let out = List.hd r.Interp.outputs in
+  Alcotest.(check int) "dst rewritten" (Packet.Addr.of_string "9.9.9.9") out.Packet.Pkt.ip_dst;
+  Alcotest.(check int) "ttl decremented" 63 out.Packet.Pkt.ip_ttl
+
+let test_conditional_drop () =
+  let p =
+    canon
+      {|main { while (true) { pkt = recv(); if (pkt.dport == 80) { send(pkt); } } }|}
+  in
+  let inputs =
+    [
+      pkt ~src:"1.1.1.1" ~sport:5 ~dst:"2.2.2.2" ~dport:80 ();
+      pkt ~src:"1.1.1.1" ~sport:5 ~dst:"2.2.2.2" ~dport:22 ();
+      pkt ~src:"1.1.1.1" ~sport:6 ~dst:"2.2.2.2" ~dport:80 ();
+    ]
+  in
+  let r = Interp.run p ~inputs in
+  Alcotest.(check int) "two pass" 2 (List.length r.Interp.outputs);
+  Alcotest.(check (list int)) "per-input grouping" [ 1; 0; 1 ]
+    (List.map List.length r.Interp.per_input)
+
+let test_state_accumulates () =
+  let p =
+    canon
+      {|seen = {};
+        cnt = 0;
+        main { while (true) { pkt = recv();
+          key = pkt.ip_src;
+          if (not (key in seen)) { seen[key] = 1; cnt = cnt + 1; }
+          send(pkt); } }|}
+  in
+  let a = pkt ~src:"1.1.1.1" ~sport:1 ~dst:"2.2.2.2" ~dport:2 () in
+  let b = pkt ~src:"3.3.3.3" ~sport:1 ~dst:"2.2.2.2" ~dport:2 () in
+  let r = Interp.run p ~inputs:[ a; a; b; a; b ] in
+  Alcotest.(check bool) "cnt = 2" true
+    (Value.equal (Smap.find "cnt" r.Interp.state) (Value.Int 2))
+
+let test_runtime_error_position () =
+  let p = canon "main { while (true) { pkt = recv(); x = 1 / 0; send(pkt); } }" in
+  match Interp.run p ~inputs:[ pkt ~src:"1.1.1.1" ~sport:1 ~dst:"2.2.2.2" ~dport:2 () ] with
+  | exception Interp.Runtime_error (msg, pos) ->
+      Alcotest.(check string) "message" "division by zero" msg;
+      Alcotest.(check bool) "position recorded" true (pos.Nfl.Ast.line > 0)
+  | _ -> Alcotest.fail "expected runtime error"
+
+let test_step_limit () =
+  (* A loop that burns cycles before ever reaching recv() must be
+     stopped by the step budget, not hang. *)
+  let p =
+    Nfl.Parser.program
+      "x = 0; main { while (x < 100000000) { x = x + 1; } pkt = recv(); send(pkt); }"
+  in
+  let r = Interp.run ~max_steps:5000 p ~inputs:[] in
+  Alcotest.(check bool) "stopped by limit" true (r.Interp.outcome = Interp.Step_limit)
+
+let test_trace_records_loop () =
+  let p = canon "main { while (true) { pkt = recv(); send(pkt); } }" in
+  let r =
+    Interp.run p
+      ~inputs:[ pkt ~src:"1.1.1.1" ~sport:1 ~dst:"2.2.2.2" ~dport:2 ();
+                pkt ~src:"1.1.1.1" ~sport:2 ~dst:"2.2.2.2" ~dport:2 () ]
+  in
+  (* send sid appears twice in the trace. *)
+  let send_sid =
+    List.find_map
+      (fun s -> if Nfl.Builtins.is_pkt_output_stmt s then Some s.Nfl.Ast.sid else None)
+      (Nfl.Ast.all_stmts p)
+  in
+  let send_sid = Option.get send_sid in
+  Alcotest.(check int) "send executed twice" 2
+    (List.length (List.filter (( = ) send_sid) r.Interp.trace))
+
+(* --------------------------------------------------------------- *)
+(* Corpus programs under the interpreter                            *)
+(* --------------------------------------------------------------- *)
+
+let lb_canon () = Nfl.Transform.canonicalize (Nfs.Lb.program ())
+
+let test_lb_round_robin () =
+  let p = lb_canon () in
+  let mk_client i = pkt ~src:"10.0.0.9" ~sport:(4000 + i) ~dst:"3.3.3.3" ~dport:80 () in
+  let r = Interp.run p ~inputs:[ mk_client 1; mk_client 2; mk_client 3 ] in
+  let dsts = List.map (fun (o : Packet.Pkt.t) -> Packet.Addr.to_string o.Packet.Pkt.ip_dst) r.Interp.outputs in
+  Alcotest.(check (list string)) "round robin across backends"
+    [ "1.1.1.1"; "2.2.2.2"; "1.1.1.1" ]
+    dsts;
+  (* Source rewritten to the LB with allocated ports. *)
+  let sports = List.map (fun (o : Packet.Pkt.t) -> o.Packet.Pkt.sport) r.Interp.outputs in
+  Alcotest.(check (list int)) "allocated ports" [ 10000; 10001; 10002 ] sports
+
+let test_lb_existing_flow_reuses_mapping () =
+  let p = lb_canon () in
+  let c = pkt ~src:"10.0.0.9" ~sport:4000 ~dst:"3.3.3.3" ~dport:80 () in
+  let r = Interp.run p ~inputs:[ c; c; c ] in
+  let dsts = List.map (fun (o : Packet.Pkt.t) -> Packet.Addr.to_string o.Packet.Pkt.ip_dst) r.Interp.outputs in
+  Alcotest.(check (list string)) "same backend" [ "1.1.1.1"; "1.1.1.1"; "1.1.1.1" ] dsts
+
+let test_lb_outbound_translated_back () =
+  let p = lb_canon () in
+  let c = pkt ~src:"10.0.0.9" ~sport:4000 ~dst:"3.3.3.3" ~dport:80 () in
+  (* Server reply to the allocated port 10000. *)
+  let reply = pkt ~src:"1.1.1.1" ~sport:80 ~dst:"3.3.3.3" ~dport:10000 () in
+  let r = Interp.run p ~inputs:[ c; reply ] in
+  Alcotest.(check int) "both forwarded" 2 (List.length r.Interp.outputs);
+  let back = List.nth r.Interp.outputs 1 in
+  Alcotest.(check string) "reply to client" "10.0.0.9" (Packet.Addr.to_string back.Packet.Pkt.ip_dst);
+  Alcotest.(check int) "client port restored" 4000 back.Packet.Pkt.dport;
+  Alcotest.(check string) "source is LB" "3.3.3.3" (Packet.Addr.to_string back.Packet.Pkt.ip_src)
+
+let test_lb_unsolicited_outbound_dropped () =
+  let p = lb_canon () in
+  let reply = pkt ~src:"1.1.1.1" ~sport:80 ~dst:"3.3.3.3" ~dport:10000 () in
+  let r = Interp.run p ~inputs:[ reply ] in
+  Alcotest.(check int) "dropped" 0 (List.length r.Interp.outputs);
+  Alcotest.(check bool) "drop_stat = 1" true
+    (Value.equal (Smap.find "drop_stat" r.Interp.state) (Value.Int 1))
+
+let test_nat_translation () =
+  let p = Nfl.Transform.canonicalize (Nfs.Nat.program ()) in
+  let out_pkt = pkt ~src:"10.1.2.3" ~sport:5555 ~dst:"8.8.8.8" ~dport:53 () in
+  let r1 = Interp.run p ~inputs:[ out_pkt ] in
+  let o = List.hd r1.Interp.outputs in
+  Alcotest.(check string) "src rewritten" "5.5.5.5" (Packet.Addr.to_string o.Packet.Pkt.ip_src);
+  Alcotest.(check int) "port allocated" 20000 o.Packet.Pkt.sport;
+  (* Return traffic flows back through. *)
+  let ret = pkt ~src:"8.8.8.8" ~sport:53 ~dst:"5.5.5.5" ~dport:20000 () in
+  let r2 = Interp.run p ~inputs:[ out_pkt; ret ] in
+  let back = List.nth r2.Interp.outputs 1 in
+  Alcotest.(check string) "back to inside host" "10.1.2.3" (Packet.Addr.to_string back.Packet.Pkt.ip_dst);
+  Alcotest.(check int) "inside port" 5555 back.Packet.Pkt.dport;
+  (* Unsolicited inbound dropped. *)
+  let r3 = Interp.run p ~inputs:[ ret ] in
+  Alcotest.(check int) "unsolicited dropped" 0 (List.length r3.Interp.outputs)
+
+let test_firewall_pinhole () =
+  let p = Nfl.Transform.canonicalize (Nfs.Firewall.program ()) in
+  let inside = pkt ~src:"192.168.1.5" ~sport:1234 ~dst:"8.8.8.8" ~dport:9999 () in
+  let reply = pkt ~src:"8.8.8.8" ~sport:9999 ~dst:"192.168.1.5" ~dport:1234 () in
+  (* Reply without pinhole: blocked (9999 not an open port). *)
+  let r1 = Interp.run p ~inputs:[ reply ] in
+  Alcotest.(check int) "no pinhole" 0 (List.length r1.Interp.outputs);
+  (* After outbound, reply passes. *)
+  let r2 = Interp.run p ~inputs:[ inside; reply ] in
+  Alcotest.(check int) "pinhole opened" 2 (List.length r2.Interp.outputs);
+  (* Open service port 80 admits TCP inbound without pinhole. *)
+  let web = pkt ~src:"8.8.8.8" ~sport:1000 ~dst:"192.168.1.5" ~dport:80 () in
+  let r3 = Interp.run p ~inputs:[ web ] in
+  Alcotest.(check int) "service port open" 1 (List.length r3.Interp.outputs)
+
+let test_ratelimiter_blocks_after_limit () =
+  let p = Nfl.Transform.canonicalize (Nfs.Ratelimiter.program ()) in
+  let flood = List.init 120 (fun i -> pkt ~src:"7.7.7.7" ~sport:(1000 + i) ~dst:"2.2.2.2" ~dport:80 ()) in
+  let r = Interp.run p ~inputs:flood in
+  Alcotest.(check int) "limit 100 enforced" 100 (List.length r.Interp.outputs);
+  (* Exempt sources are never limited. *)
+  let exempt = List.init 120 (fun i -> pkt ~src:"10.9.1.1" ~sport:(1000 + i) ~dst:"2.2.2.2" ~dport:80 ()) in
+  let r2 = Interp.run p ~inputs:exempt in
+  Alcotest.(check int) "exempt passes all" 120 (List.length r2.Interp.outputs)
+
+let test_snort_forwards_decodable () =
+  let p = Nfl.Transform.canonicalize (Nfs.Snort_lite.program ()) in
+  let ok = pkt ~src:"10.0.0.1" ~sport:1234 ~dst:"3.3.3.3" ~dport:80 ~payload:"GET /etc/passwd" () in
+  let bad = Packet.Pkt.make ~ip_src:1 ~ip_dst:2 ~sport:1 ~dport:2 ~ip_proto:99 () in
+  let r = Interp.run ~max_steps:10_000_000 p ~inputs:[ ok; bad; ok ] in
+  Alcotest.(check int) "decodable forwarded, bad proto dropped" 2 (List.length r.Interp.outputs);
+  (* The rule engine alerted on the suspicious payload. *)
+  let alerts = Value.as_int (Smap.find "alert_cnt" r.Interp.state) in
+  Alcotest.(check bool) "alerts raised" true (alerts > 0)
+
+let test_balance_relays_after_handshake () =
+  let p = Nfl.Transform.canonicalize (Nfs.Balance.program ()) in
+  let syn = pkt ~flags:Packet.Headers.syn ~src:"10.0.0.5" ~sport:4444 ~dst:"9.9.9.9" ~dport:80 () in
+  let ack = pkt ~flags:Packet.Headers.ack ~src:"10.0.0.5" ~sport:4444 ~dst:"9.9.9.9" ~dport:80 () in
+  let data =
+    pkt ~flags:Packet.(Headers.ack lor Headers.psh) ~payload:"hello" ~src:"10.0.0.5" ~sport:4444
+      ~dst:"9.9.9.9" ~dport:80 ()
+  in
+  (* Data before handshake: dropped (hidden TCP state). *)
+  let r1 = Interp.run p ~inputs:[ data ] in
+  Alcotest.(check int) "no handshake, no relay" 0 (List.length r1.Interp.outputs);
+  (* SYN -> SYN/ACK reply; ACK establishes; data relayed to backend. *)
+  let r2 = Interp.run p ~inputs:[ syn; ack; data ] in
+  Alcotest.(check int) "synack + relayed data" 2 (List.length r2.Interp.outputs);
+  let synack = List.hd r2.Interp.outputs in
+  Alcotest.(check int) "SYN/ACK flags" (Packet.Headers.syn lor Packet.Headers.ack)
+    synack.Packet.Pkt.tcp_flags;
+  let relayed = List.nth r2.Interp.outputs 1 in
+  Alcotest.(check string) "to backend" "1.1.1.1" (Packet.Addr.to_string relayed.Packet.Pkt.ip_dst);
+  Alcotest.(check string) "payload relayed" "hello" relayed.Packet.Pkt.payload
+
+let test_initial_state () =
+  let p = lb_canon () in
+  let st = Interp.initial_state p in
+  Alcotest.(check bool) "mode = 1" true (Value.equal (Smap.find "mode" st) (Value.Int 1));
+  Alcotest.(check bool) "f2b_nat empty" true (Value.equal (Smap.find "f2b_nat" st) Value.dict_empty)
+
+let suite =
+  [
+    Alcotest.test_case "echo" `Quick test_echo;
+    Alcotest.test_case "header rewrite" `Quick test_rewrite;
+    Alcotest.test_case "conditional drop + per-input grouping" `Quick test_conditional_drop;
+    Alcotest.test_case "state accumulates" `Quick test_state_accumulates;
+    Alcotest.test_case "runtime error with position" `Quick test_runtime_error_position;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "trace records loop" `Quick test_trace_records_loop;
+    Alcotest.test_case "LB: round robin" `Quick test_lb_round_robin;
+    Alcotest.test_case "LB: existing flow reuses mapping" `Quick test_lb_existing_flow_reuses_mapping;
+    Alcotest.test_case "LB: reverse translation" `Quick test_lb_outbound_translated_back;
+    Alcotest.test_case "LB: unsolicited outbound dropped" `Quick test_lb_unsolicited_outbound_dropped;
+    Alcotest.test_case "NAT: translation + return + unsolicited" `Quick test_nat_translation;
+    Alcotest.test_case "firewall: pinholes" `Quick test_firewall_pinhole;
+    Alcotest.test_case "rate limiter" `Quick test_ratelimiter_blocks_after_limit;
+    Alcotest.test_case "snort: tap forwarding + alerts" `Quick test_snort_forwards_decodable;
+    Alcotest.test_case "balance: TCP unfolding semantics" `Quick test_balance_relays_after_handshake;
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+  ]

@@ -1,0 +1,96 @@
+open Nfl
+
+let toks src = List.map fst (Lexer.tokens src)
+
+let tok = Alcotest.testable (fun ppf t -> Fmt.string ppf (Lexer.token_to_string t)) ( = )
+
+let test_simple () =
+  Alcotest.(check (list tok))
+    "assignment"
+    [ Lexer.ID "x"; Lexer.ASSIGN; Lexer.INT 1; Lexer.SEMI; Lexer.EOF ]
+    (toks "x = 1;")
+
+let test_keywords_vs_idents () =
+  Alcotest.(check (list tok))
+    "if/else are keywords, iff is an ident"
+    [ Lexer.KW_if; Lexer.KW_else; Lexer.ID "iff"; Lexer.ID "elsex"; Lexer.EOF ]
+    (toks "if else iff elsex")
+
+let test_ip_literal () =
+  Alcotest.(check (list tok))
+    "dotted quad lexes to int"
+    [ Lexer.INT (Packet.Addr.of_string "3.3.3.3"); Lexer.EOF ]
+    (toks "3.3.3.3");
+  Alcotest.(check (list tok))
+    "ip in expression"
+    [ Lexer.ID "a"; Lexer.EQ; Lexer.INT (Packet.Addr.of_string "10.0.0.1"); Lexer.EOF ]
+    (toks "a == 10.0.0.1")
+
+let test_hex_literal () =
+  Alcotest.(check (list tok)) "hex" [ Lexer.INT 0x1F; Lexer.EOF ] (toks "0x1F");
+  Alcotest.(check (list tok)) "hex lower" [ Lexer.INT 255; Lexer.EOF ] (toks "0xff")
+
+let test_operators () =
+  Alcotest.(check (list tok))
+    "two-char operators"
+    [
+      Lexer.EQ; Lexer.NE; Lexer.LE; Lexer.GE; Lexer.SHL; Lexer.SHR; Lexer.AMPAMP;
+      Lexer.PIPEPIPE; Lexer.PLUS_EQ; Lexer.MINUS_EQ; Lexer.EOF;
+    ]
+    (toks "== != <= >= << >> && || += -=");
+  Alcotest.(check (list tok))
+    "one-char operators"
+    [ Lexer.LT; Lexer.GT; Lexer.AMP; Lexer.PIPE; Lexer.BANG; Lexer.ASSIGN; Lexer.EOF ]
+    (toks "< > & | ! =")
+
+let test_string_literal () =
+  Alcotest.(check (list tok)) "plain" [ Lexer.STR "abc"; Lexer.EOF ] (toks {|"abc"|});
+  Alcotest.(check (list tok))
+    "escapes" [ Lexer.STR "a\nb\"c"; Lexer.EOF ]
+    (toks {|"a\nb\"c"|})
+
+let test_comments () =
+  Alcotest.(check (list tok))
+    "comment to eol"
+    [ Lexer.ID "x"; Lexer.SEMI; Lexer.ID "y"; Lexer.EOF ]
+    (toks "x; # comment with stuff == != \"\ny")
+
+let test_positions () =
+  let all = Lexer.tokens "x;\n  y;" in
+  match all with
+  | [ (_, p1); _; (_, p2); _; (Lexer.EOF, _) ] ->
+      Alcotest.(check int) "x line" 1 p1.Ast.line;
+      Alcotest.(check int) "y line" 2 p2.Ast.line;
+      Alcotest.(check int) "y col" 3 p2.Ast.col
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_errors () =
+  let fails s =
+    match Lexer.tokens s with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.failf "expected lexer error on %S" s
+  in
+  fails "\"unterminated";
+  fails "@";
+  fails "1.2.3";
+  fails "300.1.1.1";
+  fails "0x"
+
+let test_figure1_fragment () =
+  (* A line straight out of the paper's Figure-1 style. *)
+  let ts = toks "f2b_nat[cs_ftpl] = cs_btpl; rr_idx = (rr_idx + 1) % len(servers);" in
+  Alcotest.(check int) "token count" 21 (List.length ts)
+
+let suite =
+  [
+    Alcotest.test_case "simple" `Quick test_simple;
+    Alcotest.test_case "keywords vs idents" `Quick test_keywords_vs_idents;
+    Alcotest.test_case "ip literals" `Quick test_ip_literal;
+    Alcotest.test_case "hex literals" `Quick test_hex_literal;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "string literals" `Quick test_string_literal;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "lex errors" `Quick test_errors;
+    Alcotest.test_case "figure-1 fragment" `Quick test_figure1_fragment;
+  ]

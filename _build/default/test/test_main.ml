@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "nfactor"
+    [
+      ("addr", Test_addr.suite);
+      ("pkt", Test_pkt.suite);
+      ("tcp_fsm", Test_tcp_fsm.suite);
+      ("traffic", Test_traffic.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("pretty", Test_pretty.suite);
+      ("inline", Test_inline.suite);
+      ("transform", Test_transform.suite);
+      ("cfg", Test_cfg.suite);
+      ("dominance/cdg", Test_dominance.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("slicing", Test_slice.suite);
+      ("value", Test_value.suite);
+      ("interp", Test_interp.suite);
+      ("sexpr", Test_sexpr.suite);
+      ("solver", Test_solver.suite);
+      ("explore", Test_explore.suite);
+      ("statealyzer", Test_statealyzer.suite);
+      ("extract", Test_extract.suite);
+      ("equiv", Test_equiv.suite);
+      ("verify", Test_verify.suite);
+      ("corpus-ext", Test_corpus_ext.suite);
+      ("properties", Test_properties.suite);
+      ("fsm", Test_fsm.suite);
+      ("model-io", Test_model_io.suite);
+      ("symreach", Test_symreach.suite);
+      ("portknock", Test_portknock.suite);
+      ("model", Test_model.suite);
+      ("codec", Test_codec.suite);
+      ("mirror/flow", Test_mirror_flow.suite);
+      ("misc", Test_misc.suite);
+      ("acl", Test_acl.suite);
+    ]

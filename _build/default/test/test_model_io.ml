@@ -1,0 +1,123 @@
+open Nfactor
+open Symexec
+
+let extract_nf name =
+  let entry = Option.get (Nfs.Corpus.find name) in
+  Extract.run ~name (entry.Nfs.Corpus.program ())
+
+(* Round trip: serialized + reparsed model renders identically. *)
+let test_roundtrip_all_nfs () =
+  List.iter
+    (fun name ->
+      let m = (extract_nf name).Extract.model in
+      let m' = Model_io.of_string (Model_io.to_string m) in
+      Alcotest.(check string) (name ^ " roundtrips") (Model.to_string m) (Model.to_string m'))
+    Nfs.Corpus.names
+
+(* The reparsed model is behaviourally identical, not just textually:
+   drive both through the model interpreter. *)
+let test_roundtrip_behaviour () =
+  let ex = extract_nf "lb" in
+  let m = ex.Extract.model in
+  let m' = Model_io.of_string (Model_io.to_string m) in
+  let store = Model_interp.initial_store ex in
+  let pkts = Packet.Traffic.random_stream ~seed:31337 ~n:300 () in
+  let _, out1 = Model_interp.run m ~store ~pkts in
+  let _, out2 = Model_interp.run m' ~store ~pkts in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same outputs" true
+        (List.length a = List.length b && List.for_all2 Packet.Pkt.equal a b))
+    out1 out2
+
+let test_sexp_atom_quoting () =
+  (* Strings with spaces/specials survive. *)
+  let v = Value.Str "GET /etc/passwd \"x\"\nend" in
+  let s = Model_io.sexp_to_string (Model_io.sexp_of_value v) in
+  let v' = Model_io.value_of_sexp (Model_io.parse_sexp s) in
+  Alcotest.(check bool) "string roundtrip" true (Value.equal v v')
+
+let test_value_roundtrip () =
+  let cases =
+    [
+      Value.Int 42;
+      Value.Int (-7);
+      Value.Bool true;
+      Value.Str "";
+      Value.Tuple [ Value.Int 1; Value.Str "a" ];
+      Value.List [ Value.Tuple [ Value.Int 1; Value.Int 2 ] ];
+      Value.Dict [ (Value.Int 1, Value.Str "x"); (Value.Int 2, Value.Str "y") ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let v' = Model_io.value_of_sexp (Model_io.parse_sexp (Model_io.sexp_to_string (Model_io.sexp_of_value v))) in
+      Alcotest.(check bool) (Value.to_string v) true (Value.equal v v'))
+    cases
+
+let test_expr_roundtrip () =
+  let d = { Sexpr.base = "tbl"; writes = [ (Sexpr.Sym "k", Some (Sexpr.int 1)); (Sexpr.Sym "q", None) ] } in
+  let cases =
+    [
+      Sexpr.Sym "pkt.dport";
+      Sexpr.mk_bin Nfl.Ast.Add (Sexpr.Sym "x") (Sexpr.int 3);
+      Sexpr.Not (Sexpr.Sym "b");
+      Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.int 2 ];
+      Sexpr.Get (Sexpr.Lst [ Sexpr.int 1; Sexpr.int 2 ], Sexpr.Sym "i");
+      Sexpr.Ufun ("hash", [ Sexpr.Sym "x" ]);
+      Sexpr.Mem (d, Sexpr.Sym "key");
+      Sexpr.Dget (d, Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.Sym "b" ]);
+    ]
+  in
+  List.iter
+    (fun e ->
+      let e' = Model_io.expr_of_sexp (Model_io.parse_sexp (Model_io.sexp_to_string (Model_io.sexp_of_expr e))) in
+      Alcotest.(check bool) (Sexpr.to_string e) true (Sexpr.equal e e'))
+    cases
+
+let test_parse_errors () =
+  let fails s =
+    match Model_io.parse_sexp s with
+    | exception Model_io.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" s
+  in
+  fails "";
+  fails "(";
+  fails "(a))";
+  fails "\"open";
+  (match Model_io.of_string "(something-else)" with
+  | exception Model_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "wrong document type accepted");
+  match
+    Model_io.of_string
+      "(nfactor-model (version 99) (name x) (pkt-var p) (cfg-vars) (ois-vars) (entries))"
+  with
+  | exception Model_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "wrong version accepted"
+
+let qcheck_sexp_roundtrip =
+  (* Random nested sexps survive print/parse. *)
+  let rec gen depth rng =
+    if depth = 0 || Packet.Rng.int rng 3 = 0 then
+      Model_io.Atom
+        (Packet.Rng.pick rng [ "a"; "x1"; "with space"; "sym.bol"; ""; "\"q\""; "end\n" ])
+    else
+      Model_io.List (List.init (Packet.Rng.int rng 4) (fun _ -> gen (depth - 1) rng))
+  in
+  QCheck.Test.make ~name:"model_io: sexp print/parse roundtrip" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Packet.Rng.create seed in
+      let s = gen 4 rng in
+      Model_io.parse_sexp (Model_io.sexp_to_string s) = s)
+
+let suite =
+  [
+    Alcotest.test_case "model roundtrip (all NFs)" `Quick test_roundtrip_all_nfs;
+    Alcotest.test_case "behavioural roundtrip" `Quick test_roundtrip_behaviour;
+    Alcotest.test_case "atom quoting" `Quick test_sexp_atom_quoting;
+    Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
+    Alcotest.test_case "expr roundtrip" `Quick test_expr_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    QCheck_alcotest.to_alcotest qcheck_sexp_roundtrip;
+  ]

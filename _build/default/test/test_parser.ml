@@ -1,0 +1,205 @@
+open Nfl
+
+let parse = Parser.program
+
+let lb_mini =
+  {|
+# miniature Figure-1 load balancer
+mode = 1;
+lb_port = 80;
+servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+f2b_nat = {};
+rr_idx = 0;
+pass_stat = 0;
+
+def pkt_callback(pkt) {
+  dp = pkt.dport;
+  if (dp == lb_port) {
+    cs = (pkt.ip_src, pkt.sport, pkt.ip_dst, dp);
+    if (not (cs in f2b_nat)) {
+      server = servers[rr_idx];
+      rr_idx = (rr_idx + 1) % len(servers);
+      f2b_nat[cs] = server;
+    }
+    nat = f2b_nat[cs];
+    pkt.ip_dst = nat[0];
+    pkt.dport = nat[1];
+    pass_stat += 1;
+    send(pkt);
+  } else {
+    return;
+  }
+}
+
+main {
+  sniff(pkt_callback);
+}
+|}
+
+let test_lb_mini_shape () =
+  let p = parse lb_mini in
+  Alcotest.(check int) "globals" 6 (List.length p.Ast.globals);
+  Alcotest.(check int) "funcs" 1 (List.length p.Ast.funcs);
+  Alcotest.(check int) "main stmts" 1 (List.length p.Ast.main);
+  let f = List.hd p.Ast.funcs in
+  Alcotest.(check string) "func name" "pkt_callback" f.Ast.fname;
+  Alcotest.(check (list string)) "params" [ "pkt" ] f.Ast.params
+
+let test_sids_unique () =
+  let p = parse lb_mini in
+  let sids = List.map (fun s -> s.Ast.sid) (Ast.all_stmts p) in
+  Alcotest.(check int) "unique sids" (List.length sids) (List.length (List.sort_uniq compare sids))
+
+let test_precedence () =
+  let expr_of src =
+    let p = parse ("main { x = " ^ src ^ "; }") in
+    match (List.hd p.Ast.main).Ast.kind with
+    | Ast.Assign (_, e) -> e
+    | _ -> Alcotest.fail "expected assignment"
+  in
+  (match expr_of "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)) -> ()
+  | e -> Alcotest.failf "mul binds tighter: %s" (Pretty.expr e));
+  (match expr_of "a == 1 && b == 2" with
+  | Ast.Binop (Ast.And, Ast.Binop (Ast.Eq, _, _), Ast.Binop (Ast.Eq, _, _)) -> ()
+  | e -> Alcotest.failf "cmp binds tighter than and: %s" (Pretty.expr e));
+  (match expr_of "a || b && c" with
+  | Ast.Binop (Ast.Or, Ast.Var "a", Ast.Binop (Ast.And, _, _)) -> ()
+  | e -> Alcotest.failf "and binds tighter than or: %s" (Pretty.expr e));
+  (match expr_of "x & 2 != 0" with
+  | Ast.Binop (Ast.Ne, Ast.Binop (Ast.Band, _, _), Ast.Int 0) -> ()
+  | e -> Alcotest.failf "cmp binds looser than band: %s" (Pretty.expr e));
+  match expr_of "(x + 1) % 4" with
+  | Ast.Binop (Ast.Mod, Ast.Binop (Ast.Add, _, _), Ast.Int 4) -> ()
+  | e -> Alcotest.failf "parens: %s" (Pretty.expr e)
+
+let test_membership () =
+  let p = parse "d = {}; main { if (k in d) { pass; } if (k not in d) { pass; } }" in
+  match List.map (fun s -> s.Ast.kind) p.Ast.main with
+  | [ Ast.If (Ast.Mem (Ast.Var "k", Ast.Var "d"), _, _);
+      Ast.If (Ast.Unop (Ast.Not, Ast.Mem (Ast.Var "k", Ast.Var "d")), _, _) ] ->
+      ()
+  | _ -> Alcotest.fail "membership parse"
+
+let test_multi_assign_desugars () =
+  let p = parse "main { a, b = 1, 2; }" in
+  match List.map (fun s -> s.Ast.kind) p.Ast.main with
+  | [ Ast.Assign (Ast.L_var "a", Ast.Int 1); Ast.Assign (Ast.L_var "b", Ast.Int 2) ] -> ()
+  | _ -> Alcotest.fail "multi-assign should desugar to two assignments"
+
+let test_augmented_assign () =
+  let p = parse "main { x += 2; d[k] -= 1; }" in
+  match List.map (fun s -> s.Ast.kind) p.Ast.main with
+  | [ Ast.Assign (Ast.L_var "x", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 2));
+      Ast.Assign (Ast.L_index ("d", Ast.Var "k"),
+                  Ast.Binop (Ast.Sub, Ast.Index (Ast.Var "d", Ast.Var "k"), Ast.Int 1)) ] ->
+      ()
+  | _ -> Alcotest.fail "augmented assignment desugar"
+
+let test_lvalues () =
+  let p = parse "main { x = 1; d[(a, b)] = 2; pkt.ip_src = 3; }" in
+  match List.map (fun s -> s.Ast.kind) p.Ast.main with
+  | [ Ast.Assign (Ast.L_var "x", _);
+      Ast.Assign (Ast.L_index ("d", Ast.Tuple [ Ast.Var "a"; Ast.Var "b" ]), _);
+      Ast.Assign (Ast.L_field ("pkt", "ip_src"), _) ] ->
+      ()
+  | _ -> Alcotest.fail "lvalue forms"
+
+let test_else_if_chain () =
+  let p = parse "main { if (a) { pass; } else if (b) { pass; } else { x = 1; } }" in
+  match (List.hd p.Ast.main).Ast.kind with
+  | Ast.If (_, _, [ { Ast.kind = Ast.If (_, _, [ _ ]); _ } ]) -> ()
+  | _ -> Alcotest.fail "else-if nesting"
+
+let test_tuple_vs_group () =
+  let p = parse "main { x = (1); y = (1, 2); z = (1,); }" in
+  match List.map (fun s -> s.Ast.kind) p.Ast.main with
+  | [ Ast.Assign (_, Ast.Int 1);
+      Ast.Assign (_, Ast.Tuple [ Ast.Int 1; Ast.Int 2 ]);
+      Ast.Assign (_, Ast.Tuple [ Ast.Int 1 ]) ] ->
+      ()
+  | _ -> Alcotest.fail "tuple vs grouping"
+
+let test_while_for () =
+  let p = parse "main { while (x < 3) { x += 1; } for s in servers { send(s); } }" in
+  match List.map (fun s -> s.Ast.kind) p.Ast.main with
+  | [ Ast.While (Ast.Binop (Ast.Lt, _, _), [ _ ]); Ast.For_in ("s", Ast.Var "servers", [ _ ]) ] ->
+      ()
+  | _ -> Alcotest.fail "loop forms"
+
+let test_del_and_return () =
+  let p = parse "def f(x) { if (x) { return 1; } del d[x]; return; } d = {}; main { f(1); }" in
+  let f = List.hd p.Ast.funcs in
+  (match List.map (fun s -> s.Ast.kind) f.Ast.body with
+  | [ Ast.If (_, [ { Ast.kind = Ast.Return (Some (Ast.Int 1)); _ } ], []);
+      Ast.Delete ("d", Ast.Var "x"); Ast.Return None ] ->
+      ()
+  | _ -> Alcotest.fail "del/return forms")
+
+let test_parse_errors () =
+  let fails s =
+    match parse s with
+    | exception Parser.Error _ -> ()
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" s
+  in
+  fails "main { x = ; }";
+  fails "main { 1 + 2 = x; }";
+  fails "main { if x { } }";
+  fails "x = 1;";
+  (* no main *)
+  fails "main { a, b = 1; }";
+  (* arity mismatch *)
+  fails "def f() { } def f() { }  main { while (true) { recv(); } } extra";
+  fails "main { d = { 1: 2 }; }" (* only empty dict literals *)
+
+let test_roundtrip_through_pretty () =
+  let p1 = parse lb_mini in
+  let src2 = Pretty.program p1 in
+  let p2 = parse src2 in
+  (* Same statement count and same pretty form once re-printed. *)
+  Alcotest.(check int) "stmt count" (Ast.stmt_count p1) (Ast.stmt_count p2);
+  Alcotest.(check string) "fixpoint" src2 (Pretty.program p2)
+
+let qcheck_int_expr_roundtrip =
+  (* Random arithmetic expressions survive print -> parse -> print. *)
+  let rec gen_expr depth rng =
+    if depth = 0 then
+      match Packet.Rng.int rng 3 with
+      | 0 -> Ast.Int (Packet.Rng.int rng 100)
+      | 1 -> Ast.Var (Packet.Rng.pick rng [ "a"; "b"; "c" ])
+      | _ -> Ast.Bool (Packet.Rng.bool rng)
+    else
+      let op =
+        Packet.Rng.pick rng
+          [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Mod; Ast.Eq; Ast.Lt; Ast.And; Ast.Or; Ast.Band; Ast.Shl ]
+      in
+      Ast.Binop (op, gen_expr (depth - 1) rng, gen_expr (depth - 1) rng)
+  in
+  QCheck.Test.make ~name:"parser: expr print/parse roundtrip" ~count:200 QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Packet.Rng.create seed in
+      let e = gen_expr 4 rng in
+      let src = "main { x = " ^ Pretty.expr e ^ "; }" in
+      let p = parse src in
+      match (List.hd p.Ast.main).Ast.kind with
+      | Ast.Assign (_, e') -> Ast.expr_equal e e'
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "figure-1 mini LB shape" `Quick test_lb_mini_shape;
+    Alcotest.test_case "statement ids unique" `Quick test_sids_unique;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "membership" `Quick test_membership;
+    Alcotest.test_case "multi-assign desugar" `Quick test_multi_assign_desugars;
+    Alcotest.test_case "augmented assign desugar" `Quick test_augmented_assign;
+    Alcotest.test_case "lvalue forms" `Quick test_lvalues;
+    Alcotest.test_case "else-if chain" `Quick test_else_if_chain;
+    Alcotest.test_case "tuple vs grouping" `Quick test_tuple_vs_group;
+    Alcotest.test_case "while/for" `Quick test_while_for;
+    Alcotest.test_case "del/return" `Quick test_del_and_return;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "pretty roundtrip" `Quick test_roundtrip_through_pretty;
+    QCheck_alcotest.to_alcotest qcheck_int_expr_roundtrip;
+  ]

@@ -1,0 +1,59 @@
+open Nfl
+
+let parse = Parser.program
+
+let test_expr_strings () =
+  let cases =
+    [
+      (Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)), "1 + 2 * 3");
+      (Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, Ast.Int 1, Ast.Int 2), Ast.Int 3), "(1 + 2) * 3");
+      (Ast.Tuple [ Ast.Var "a"; Ast.Int 2 ], "(a, 2)");
+      (Ast.Index (Ast.Var "d", Ast.Var "k"), "d[k]");
+      (Ast.Field (Ast.Var "pkt", "ip_src"), "pkt.ip_src");
+      (Ast.Mem (Ast.Var "k", Ast.Var "d"), "k in d");
+      (Ast.Unop (Ast.Not, Ast.Mem (Ast.Var "k", Ast.Var "d")), "not (k in d)");
+      (Ast.Call ("len", [ Ast.Var "servers" ]), "len(servers)");
+      (Ast.List_lit [], "[]");
+      (Ast.Dict_lit, "{}");
+      (Ast.Str "a\"b", {|"a\"b"|});
+    ]
+  in
+  List.iter (fun (e, s) -> Alcotest.(check string) s s (Pretty.expr e)) cases
+
+let test_sub_precedence_parenthesized () =
+  (* 1 - (2 - 3) must not print as 1 - 2 - 3. *)
+  let e = Ast.Binop (Ast.Sub, Ast.Int 1, Ast.Binop (Ast.Sub, Ast.Int 2, Ast.Int 3)) in
+  let p = parse ("main { x = " ^ Pretty.expr e ^ "; }") in
+  match (List.hd p.Ast.main).Ast.kind with
+  | Ast.Assign (_, e') -> Alcotest.(check bool) "same tree" true (Ast.expr_equal e e')
+  | _ -> Alcotest.fail "parse"
+
+let test_slice_rendering () =
+  let p = parse "x = 0;\nmain { while (true) { p = recv(); x = x + 1; send(p); } }" in
+  let send_sid =
+    List.find_map
+      (fun s -> if Builtins.is_pkt_output_stmt s then Some s.Ast.sid else None)
+      (Ast.all_stmts p)
+  in
+  let send_sid = Option.get send_sid in
+  let rendered = Pretty.program ~slice:[ send_sid ] p in
+  let lines = String.split_on_char '\n' rendered in
+  let pruned = List.filter (fun l -> String.length (String.trim l) > 0 &&
+                                     String.length l >= 2 &&
+                                     String.trim l |> fun t -> String.length t > 10 &&
+                                     String.sub (String.trim t) 0 10 = "# [pruned]") lines in
+  Alcotest.(check bool) "some lines pruned" true (List.length pruned >= 2);
+  Alcotest.(check bool) "send kept" true
+    (List.exists (fun l -> String.trim l = "send(p);") lines)
+
+let test_stmt_to_string () =
+  let p = parse "main { d[k] = v + 1; }" in
+  Alcotest.(check string) "stmt" "d[k] = v + 1;" (Pretty.stmt_to_string (List.hd p.Ast.main))
+
+let suite =
+  [
+    Alcotest.test_case "expr strings" `Quick test_expr_strings;
+    Alcotest.test_case "sub-precedence parens" `Quick test_sub_precedence_parenthesized;
+    Alcotest.test_case "slice rendering" `Quick test_slice_rendering;
+    Alcotest.test_case "stmt to string" `Quick test_stmt_to_string;
+  ]

@@ -1,0 +1,98 @@
+open Symexec
+
+let se = Alcotest.testable Sexpr.pp Sexpr.equal
+
+let test_constant_folding () =
+  Alcotest.check se "add folds" (Sexpr.int 5)
+    (Sexpr.mk_bin Nfl.Ast.Add (Sexpr.int 2) (Sexpr.int 3));
+  Alcotest.check se "cmp folds" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Lt (Sexpr.int 1) (Sexpr.int 2));
+  Alcotest.check se "band folds" (Sexpr.int 2)
+    (Sexpr.mk_bin Nfl.Ast.Band (Sexpr.int 6) (Sexpr.int 3))
+
+let test_identity_simplifications () =
+  let x = Sexpr.Sym "x" in
+  Alcotest.check se "x+0" x (Sexpr.mk_bin Nfl.Ast.Add x (Sexpr.int 0));
+  Alcotest.check se "0+x" x (Sexpr.mk_bin Nfl.Ast.Add (Sexpr.int 0) x);
+  Alcotest.check se "x*1" x (Sexpr.mk_bin Nfl.Ast.Mul x (Sexpr.int 1));
+  Alcotest.check se "x==x" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Eq x x);
+  Alcotest.check se "x!=x" Sexpr.fls (Sexpr.mk_bin Nfl.Ast.Ne x x);
+  Alcotest.check se "true&&x" x (Sexpr.mk_bin Nfl.Ast.And Sexpr.tru x);
+  Alcotest.check se "x||false" x (Sexpr.mk_bin Nfl.Ast.Or x Sexpr.fls);
+  Alcotest.check se "false&&x" Sexpr.fls (Sexpr.mk_bin Nfl.Ast.And Sexpr.fls x);
+  Alcotest.check se "not not x" x (Sexpr.mk_not (Sexpr.mk_not x))
+
+let test_tuple_key_relation () =
+  let t1 = Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.int 1 ] in
+  let t2 = Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.int 2 ] in
+  let t3 = Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.int 1 ] in
+  Alcotest.check se "distinct component -> Ne" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Ne t1 t2);
+  Alcotest.check se "identical -> Eq" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Eq t1 t3)
+
+let test_get_resolution () =
+  let lst = Sexpr.Lst [ Sexpr.int 10; Sexpr.Sym "y" ] in
+  Alcotest.check se "concrete index" (Sexpr.int 10) (Sexpr.mk_get lst (Sexpr.int 0));
+  Alcotest.check se "symbolic element" (Sexpr.Sym "y") (Sexpr.mk_get lst (Sexpr.int 1));
+  (match Sexpr.mk_get lst (Sexpr.Sym "i") with
+  | Sexpr.Get _ -> ()
+  | e -> Alcotest.failf "symbolic index stays: %s" (Sexpr.to_string e));
+  Alcotest.check se "tuple of consts folds whole"
+    (Sexpr.Const (Value.Int 7))
+    (Sexpr.mk_get (Sexpr.Const (Value.List [ Value.Int 7 ])) (Sexpr.int 0))
+
+let test_dict_membership_resolution () =
+  let d0 = Sexpr.dict_base "tbl" in
+  let k = Sexpr.Sym "k" in
+  (* Unknown base: atom. *)
+  (match Sexpr.mk_mem d0 k with Sexpr.Mem _ -> () | e -> Alcotest.failf "atom expected: %s" (Sexpr.to_string e));
+  (* After inserting k: true. *)
+  let d1 = { d0 with Sexpr.writes = [ (k, Some (Sexpr.int 1)) ] } in
+  Alcotest.check se "inserted" Sexpr.tru (Sexpr.mk_mem d1 k);
+  (* After deleting k: false. *)
+  let d2 = { d0 with Sexpr.writes = [ (k, None) ] } in
+  Alcotest.check se "deleted" Sexpr.fls (Sexpr.mk_mem d2 k);
+  (* Distinct concrete key skips the write. *)
+  let d3 = { d0 with Sexpr.writes = [ (Sexpr.int 5, Some (Sexpr.int 1)) ] } in
+  (match Sexpr.mk_mem d3 (Sexpr.int 6) with
+  | Sexpr.Mem (d, _) -> Alcotest.(check int) "write skipped" 0 (List.length d.Sexpr.writes)
+  | e -> Alcotest.failf "atom expected: %s" (Sexpr.to_string e));
+  (* Empty-base dict bottoms out at false. *)
+  Alcotest.check se "empty dict" Sexpr.fls (Sexpr.mk_mem Sexpr.dict_empty (Sexpr.int 1))
+
+let test_dict_get_resolution () =
+  let d0 = Sexpr.dict_base "tbl" in
+  let k = Sexpr.Sym "k" in
+  let d1 = { d0 with Sexpr.writes = [ (k, Some (Sexpr.int 42)) ] } in
+  Alcotest.check se "read back" (Sexpr.int 42) (Sexpr.mk_dget d1 k);
+  (match Sexpr.mk_dget d0 k with
+  | Sexpr.Dget _ -> ()
+  | e -> Alcotest.failf "unresolved read expected: %s" (Sexpr.to_string e))
+
+let test_hash_folds_on_const () =
+  let v = Value.Tuple [ Value.Int 1 ] in
+  Alcotest.check se "hash folds"
+    (Sexpr.Const (Value.Int (Value.hash_value v)))
+    (Sexpr.mk_ufun "hash" [ Sexpr.Const v ])
+
+let test_subst () =
+  let e = Sexpr.mk_bin Nfl.Ast.Add (Sexpr.Sym "a") (Sexpr.Sym "b") in
+  let f = function "a" -> Some (Value.Int 1) | "b" -> Some (Value.Int 2) | _ -> None in
+  Alcotest.check se "substitution folds" (Sexpr.int 3) (Sexpr.subst f e)
+
+let test_syms () =
+  let d = { Sexpr.base = "tbl"; writes = [ (Sexpr.Sym "k", Some (Sexpr.Sym "v")) ] } in
+  let e = Sexpr.mk_bin Nfl.Ast.And (Sexpr.Mem (d, Sexpr.Sym "q")) (Sexpr.Sym "b") in
+  let names = Sexpr.Sset.elements (Sexpr.syms e) in
+  Alcotest.(check (slist string compare)) "all syms" [ "b"; "k"; "q"; "tbl"; "v" ] names
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "identity simplifications" `Quick test_identity_simplifications;
+    Alcotest.test_case "tuple key relations" `Quick test_tuple_key_relation;
+    Alcotest.test_case "get resolution" `Quick test_get_resolution;
+    Alcotest.test_case "dict membership resolution" `Quick test_dict_membership_resolution;
+    Alcotest.test_case "dict get resolution" `Quick test_dict_get_resolution;
+    Alcotest.test_case "hash folds on constants" `Quick test_hash_folds_on_const;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    Alcotest.test_case "free symbols" `Quick test_syms;
+  ]

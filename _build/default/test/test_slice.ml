@@ -1,0 +1,177 @@
+open Nfl
+module Sset = Ast.Sset
+
+let parse_main src = (Parser.program src).Ast.main
+
+(* The paper's core claim in miniature: slicing from send() discards
+   log statements. ids:
+   1: x = p.dport;  2: logc = logc + 1;  3: q = x + 1;  4: send(q); *)
+let test_log_pruned () =
+  let b = parse_main "main { x = p.dport; logc = logc + 1; q = x + 1; send(q); }" in
+  let ctx = Slicing.Slice.of_block ~entry_defs:(Sset.of_list [ "p"; "logc" ]) b in
+  let slice = Slicing.Slice.backward ctx ~criteria:[ 4 ] in
+  Alcotest.(check (list int)) "log statement pruned" [ 1; 3; 4 ] slice
+
+let test_control_dependence_included () =
+  (* 1: if (c) { 2: x = 1; } 3: send(x); — the branch must be in the slice. *)
+  let b = parse_main "main { if (c) { x = 1; } send(x); }" in
+  let ctx = Slicing.Slice.of_block ~entry_defs:(Sset.of_list [ "c"; "x" ]) b in
+  let slice = Slicing.Slice.backward ctx ~criteria:[ 3 ] in
+  Alcotest.(check (list int)) "branch included" [ 1; 2; 3 ] slice
+
+let test_transitive_data_deps () =
+  (* 1: a=in0; 2: b=a; 3: c=b; 4: d=unrelated; 5: send(c); *)
+  let b = parse_main "main { a = in0; b = a; c = b; d = unrelated; send(c); }" in
+  let ctx = Slicing.Slice.of_block ~entry_defs:(Sset.of_list [ "in0"; "unrelated" ]) b in
+  let slice = Slicing.Slice.backward ctx ~criteria:[ 5 ] in
+  Alcotest.(check (list int)) "chain kept, unrelated dropped" [ 1; 2; 3; 5 ] slice
+
+let test_dict_weak_update_chain () =
+  (* 1: d[k1] = v1; 2: d[k2] = v2; 3: out = d[k]; 4: send(out); —
+     both container writes may affect the read. *)
+  let b = parse_main "main { d[k1] = v1; d[k2] = v2; out = d[k]; send(out); }" in
+  let entry = Sset.of_list [ "d"; "k1"; "k2"; "k"; "v1"; "v2" ] in
+  let ctx = Slicing.Slice.of_block ~entry_defs:entry b in
+  let slice = Slicing.Slice.backward ctx ~criteria:[ 4 ] in
+  Alcotest.(check (list int)) "both dict writes kept" [ 1; 2; 3; 4 ] slice
+
+let test_loop_in_slice () =
+  (* 1: i=0; 2: while (i<n) { 3: acc=acc+i; 4: i=i+1; } 5: send(acc); *)
+  let b = parse_main "main { i = 0; while (i < n) { acc = acc + i; i = i + 1; } send(acc); }" in
+  let ctx = Slicing.Slice.of_block ~entry_defs:(Sset.of_list [ "n"; "acc" ]) b in
+  let slice = Slicing.Slice.backward ctx ~criteria:[ 5 ] in
+  Alcotest.(check (list int)) "whole loop kept" [ 1; 2; 3; 4; 5 ] slice
+
+let test_multiple_criteria_union () =
+  (* 1: a=x; 2: b=y; 3: send(a); 4: send(b); *)
+  let b = parse_main "main { a = x; b = y; send(a); send(b); }" in
+  let ctx = Slicing.Slice.of_block ~entry_defs:(Sset.of_list [ "x"; "y" ]) b in
+  Alcotest.(check (list int)) "slice of send(a)" [ 1; 3 ]
+    (Slicing.Slice.backward ctx ~criteria:[ 3 ]);
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ]
+    (Slicing.Slice.backward_union ctx ~criteria:[ 3; 4 ])
+
+let test_early_return_guard_in_slice () =
+  (* Drop path: 1: if(bad){2: return;} 3: send(p); — the guard controls
+     whether send executes. *)
+  let b = parse_main "main { if (bad) { return; } send(p); }" in
+  let ctx = Slicing.Slice.of_block ~entry_defs:(Sset.of_list [ "bad"; "p" ]) b in
+  let slice = Slicing.Slice.backward ctx ~criteria:[ 3 ] in
+  Alcotest.(check (list int)) "guard + return + send" [ 1; 2; 3 ] slice
+
+let test_find_stmts () =
+  let b = parse_main "main { x = 1; send(x); log(x); send(x); }" in
+  let ctx = Slicing.Slice.of_block b in
+  let sends = Slicing.Slice.find_stmts ctx Builtins.is_pkt_output_stmt in
+  Alcotest.(check (list int)) "both sends" [ 2; 4 ] sends
+
+let test_restrict_block () =
+  let b = parse_main "main { x = p; logc = logc + 1; if (c) { y = x; } send(y); }" in
+  let entry = Sset.of_list [ "p"; "logc"; "c"; "y" ] in
+  let ctx = Slicing.Slice.of_block ~entry_defs:entry b in
+  let slice = Slicing.Slice.backward ctx ~criteria:[ 5 ] in
+  let restricted = Slicing.Slice.restrict_block slice b in
+  (* log statement gone, everything else preserved in structure *)
+  let count = Ast.stmt_count_block restricted in
+  Alcotest.(check int) "4 stmts kept" 4 count;
+  (* restricted block still contains the if with its body *)
+  let has_if =
+    List.exists
+      (fun (s : Ast.stmt) -> match s.Ast.kind with Ast.If (_, [ _ ], _) -> true | _ -> false)
+      restricted
+  in
+  Alcotest.(check bool) "if kept with body" true has_if
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic slicing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_dynamic_smaller_than_static () =
+  (* 1: if(c){2: x=1;}else{3: x=2;} 4: send(x);
+     In an execution where c is true, the dynamic slice excludes s3. *)
+  let b = parse_main "main { if (c) { x = 1; } else { x = 2; } send(x); }" in
+  let ctx = Slicing.Dynamic.ctx_of_block b in
+  let trace = [ 1; 2; 4 ] in
+  let dyn = Slicing.Dynamic.slice ctx trace ~criterion:4 in
+  Alcotest.(check (list int)) "dynamic slice" [ 1; 2; 4 ]
+    (List.sort compare (Slicing.Dynamic.Iset.elements dyn))
+
+let test_dynamic_last_write_wins () =
+  (* 1: x=1; 2: x=2; 3: send(x); executed in order: only s2 matters. *)
+  let b = parse_main "main { x = 1; x = 2; send(x); }" in
+  let ctx = Slicing.Dynamic.ctx_of_block b in
+  let dyn = Slicing.Dynamic.slice ctx [ 1; 2; 3 ] ~criterion:3 in
+  Alcotest.(check (list int)) "only last def" [ 2; 3 ]
+    (List.sort compare (Slicing.Dynamic.Iset.elements dyn))
+
+let test_dynamic_criterion_not_executed () =
+  let b = parse_main "main { x = 1; send(x); }" in
+  let ctx = Slicing.Dynamic.ctx_of_block b in
+  let dyn = Slicing.Dynamic.slice ctx [ 1 ] ~criterion:2 in
+  Alcotest.(check int) "empty" 0 (Slicing.Dynamic.Iset.cardinal dyn)
+
+let test_dynamic_loop_iterations () =
+  (* 1: while(c){ 2: x=x+1; } 3: send(x); trace with two iterations:
+     both instances of s2 contribute (x accumulates). *)
+  let b = parse_main "main { while (c) { x = x + 1; } send(x); }" in
+  let ctx = Slicing.Dynamic.ctx_of_block b in
+  let dyn = Slicing.Dynamic.slice ctx [ 1; 2; 1; 2; 1; 3 ] ~criterion:3 in
+  Alcotest.(check (list int)) "loop + body + send" [ 1; 2; 3 ]
+    (List.sort compare (Slicing.Dynamic.Iset.elements dyn))
+
+let test_dynamic_slice_all () =
+  (* Two sends; union covers both data sources.
+     1: a=u; 2: b=v; 3: send(a); 4: send(b); *)
+  let b = parse_main "main { a = u; b = v; send(a); send(b); }" in
+  let ctx = Slicing.Dynamic.ctx_of_block b in
+  let dyn3 = Slicing.Dynamic.slice ctx [ 1; 2; 3; 4 ] ~criterion:3 in
+  Alcotest.(check (list int)) "send(a) slice" [ 1; 3 ]
+    (List.sort compare (Slicing.Dynamic.Iset.elements dyn3));
+  let all4 = Slicing.Dynamic.slice_all ctx [ 1; 2; 3; 4 ] ~criterion:4 in
+  Alcotest.(check (list int)) "send(b) slice" [ 2; 4 ]
+    (List.sort compare (Slicing.Dynamic.Iset.elements all4))
+
+let qcheck_dynamic_subset_of_static =
+  (* On straight-line programs the dynamic slice of the final send is a
+     subset of the static slice. *)
+  QCheck.Test.make ~name:"slicing: dynamic ⊆ static (straight line)" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Packet.Rng.create seed in
+      let vars = [ "a"; "b"; "c"; "d" ] in
+      let n = 3 + Packet.Rng.int rng 6 in
+      let stmts =
+        List.init n (fun _ ->
+            let tgt = Packet.Rng.pick rng vars in
+            let src = Packet.Rng.pick rng vars in
+            Printf.sprintf "%s = %s + 1;" tgt src)
+      in
+      let src = "main { " ^ String.concat " " stmts ^ " send(a); }" in
+      let b = parse_main src in
+      let entry = Sset.of_list vars in
+      let sctx = Slicing.Slice.of_block ~entry_defs:entry b in
+      let send_sid = n + 1 in
+      let static = Slicing.Slice.backward sctx ~criteria:[ send_sid ] in
+      let dctx = Slicing.Dynamic.ctx_of_block b in
+      let trace = List.init (n + 1) (fun i -> i + 1) in
+      let dyn = Slicing.Dynamic.slice dctx trace ~criterion:send_sid in
+      Slicing.Dynamic.Iset.for_all (fun sid -> List.mem sid static) dyn)
+
+let suite =
+  [
+    Alcotest.test_case "log statements pruned" `Quick test_log_pruned;
+    Alcotest.test_case "control dependence included" `Quick test_control_dependence_included;
+    Alcotest.test_case "transitive data deps" `Quick test_transitive_data_deps;
+    Alcotest.test_case "dict weak-update chain" `Quick test_dict_weak_update_chain;
+    Alcotest.test_case "loop in slice" `Quick test_loop_in_slice;
+    Alcotest.test_case "multiple criteria union" `Quick test_multiple_criteria_union;
+    Alcotest.test_case "early-return guard in slice" `Quick test_early_return_guard_in_slice;
+    Alcotest.test_case "find_stmts" `Quick test_find_stmts;
+    Alcotest.test_case "restrict_block" `Quick test_restrict_block;
+    Alcotest.test_case "dynamic < static on one path" `Quick test_dynamic_smaller_than_static;
+    Alcotest.test_case "dynamic: last write wins" `Quick test_dynamic_last_write_wins;
+    Alcotest.test_case "dynamic: criterion not executed" `Quick test_dynamic_criterion_not_executed;
+    Alcotest.test_case "dynamic: loop iterations" `Quick test_dynamic_loop_iterations;
+    Alcotest.test_case "dynamic: slice_all" `Quick test_dynamic_slice_all;
+    QCheck_alcotest.to_alcotest qcheck_dynamic_subset_of_static;
+  ]

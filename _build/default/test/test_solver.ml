@@ -1,0 +1,180 @@
+open Symexec
+
+let x = Sexpr.Sym "x"
+let y = Sexpr.Sym "y"
+let bin = Sexpr.mk_bin
+let lit e b = Solver.lit e b
+
+let sat lits = Alcotest.(check bool) "sat" true (Solver.check lits = Solver.Sat)
+let unsat lits = Alcotest.(check bool) "unsat" true (Solver.check lits = Solver.Unsat)
+
+let test_trivial () =
+  sat [];
+  sat [ lit Sexpr.tru true ];
+  unsat [ lit Sexpr.tru false ];
+  unsat [ lit Sexpr.fls true ]
+
+let test_eq_contradiction () =
+  unsat [ lit (bin Nfl.Ast.Eq x (Sexpr.int 1)) true; lit (bin Nfl.Ast.Eq x (Sexpr.int 2)) true ];
+  sat [ lit (bin Nfl.Ast.Eq x (Sexpr.int 1)) true; lit (bin Nfl.Ast.Eq y (Sexpr.int 2)) true ]
+
+let test_eq_ne_same_value () =
+  unsat [ lit (bin Nfl.Ast.Eq x (Sexpr.int 5)) true; lit (bin Nfl.Ast.Ne x (Sexpr.int 5)) true ];
+  sat [ lit (bin Nfl.Ast.Eq x (Sexpr.int 5)) true; lit (bin Nfl.Ast.Ne x (Sexpr.int 6)) true ]
+
+let test_interval_conflicts () =
+  (* x < 5 && x > 10 *)
+  unsat [ lit (bin Nfl.Ast.Lt x (Sexpr.int 5)) true; lit (bin Nfl.Ast.Gt x (Sexpr.int 10)) true ];
+  (* x < 5 && x >= 5 *)
+  unsat [ lit (bin Nfl.Ast.Lt x (Sexpr.int 5)) true; lit (bin Nfl.Ast.Ge x (Sexpr.int 5)) true ];
+  (* x <= 5 && x >= 5 is exactly x = 5 *)
+  sat [ lit (bin Nfl.Ast.Le x (Sexpr.int 5)) true; lit (bin Nfl.Ast.Ge x (Sexpr.int 5)) true ];
+  (* ... and then x != 5 kills it *)
+  unsat
+    [
+      lit (bin Nfl.Ast.Le x (Sexpr.int 5)) true;
+      lit (bin Nfl.Ast.Ge x (Sexpr.int 5)) true;
+      lit (bin Nfl.Ast.Ne x (Sexpr.int 5)) true;
+    ]
+
+let test_negated_literals () =
+  (* ¬(x == 1) && x == 1 *)
+  unsat [ lit (bin Nfl.Ast.Eq x (Sexpr.int 1)) false; lit (bin Nfl.Ast.Eq x (Sexpr.int 1)) true ];
+  (* ¬(x < 5) means x >= 5; conflicts with x == 3 *)
+  unsat [ lit (bin Nfl.Ast.Lt x (Sexpr.int 5)) false; lit (bin Nfl.Ast.Eq x (Sexpr.int 3)) true ]
+
+let test_equality_propagation () =
+  (* x == y && x == 1 && y == 2 *)
+  unsat
+    [
+      lit (bin Nfl.Ast.Eq x y) true;
+      lit (bin Nfl.Ast.Eq x (Sexpr.int 1)) true;
+      lit (bin Nfl.Ast.Eq y (Sexpr.int 2)) true;
+    ];
+  sat
+    [
+      lit (bin Nfl.Ast.Eq x y) true;
+      lit (bin Nfl.Ast.Eq x (Sexpr.int 1)) true;
+      lit (bin Nfl.Ast.Eq y (Sexpr.int 1)) true;
+    ]
+
+let test_linear_arithmetic () =
+  (* x + 1 == 5 && x == 4 : sat; && x == 3 : unsat *)
+  let xp1 = bin Nfl.Ast.Add x (Sexpr.int 1) in
+  sat [ lit (bin Nfl.Ast.Eq xp1 (Sexpr.int 5)) true; lit (bin Nfl.Ast.Eq x (Sexpr.int 4)) true ];
+  unsat [ lit (bin Nfl.Ast.Eq xp1 (Sexpr.int 5)) true; lit (bin Nfl.Ast.Eq x (Sexpr.int 3)) true ]
+
+let test_conjunction_decomposition () =
+  let conj = bin Nfl.Ast.And (bin Nfl.Ast.Eq x (Sexpr.int 1)) (bin Nfl.Ast.Eq y (Sexpr.int 2)) in
+  sat [ lit conj true ];
+  unsat [ lit conj true; lit (bin Nfl.Ast.Ne x (Sexpr.int 1)) true ];
+  (* ¬(a || b) decomposes to ¬a && ¬b *)
+  let disj = bin Nfl.Ast.Or (bin Nfl.Ast.Eq x (Sexpr.int 1)) (bin Nfl.Ast.Eq x (Sexpr.int 2)) in
+  unsat [ lit disj false; lit (bin Nfl.Ast.Eq x (Sexpr.int 1)) true ]
+
+let test_membership_atoms () =
+  let d = Sexpr.dict_base "tbl" in
+  let m = Sexpr.Mem (d, Sexpr.Sym "k") in
+  sat [ lit m true ];
+  sat [ lit m false ];
+  unsat [ lit m true; lit m false ];
+  (* Different keys are independent atoms. *)
+  sat [ lit m true; lit (Sexpr.Mem (d, Sexpr.Sym "k2")) false ]
+
+let test_tuple_equality_decomposition () =
+  let t1 = Sexpr.Tup [ x; Sexpr.int 1 ] in
+  let t2 = Sexpr.Tup [ Sexpr.int 9; Sexpr.int 1 ] in
+  (* (x, 1) == (9, 1) forces x == 9 *)
+  unsat [ lit (bin Nfl.Ast.Eq t1 t2) true; lit (bin Nfl.Ast.Eq x (Sexpr.int 8)) true ];
+  sat [ lit (bin Nfl.Ast.Eq t1 t2) true; lit (bin Nfl.Ast.Eq x (Sexpr.int 9)) true ]
+
+let test_opaque_terms_conservative () =
+  (* hash(x) == 1 && hash(x) == 2: same opaque term, conflicting. *)
+  let h = Sexpr.Ufun ("hash", [ x ]) in
+  unsat [ lit (bin Nfl.Ast.Eq h (Sexpr.int 1)) true; lit (bin Nfl.Ast.Eq h (Sexpr.int 2)) true ];
+  (* Nonlinear x*y: conservative Sat. *)
+  let xy = Sexpr.Bin (Nfl.Ast.Mul, x, y) in
+  sat [ lit (bin Nfl.Ast.Eq xy (Sexpr.int 7)) true; lit (bin Nfl.Ast.Eq xy (Sexpr.int 7)) true ]
+
+let test_concretize () =
+  let lits =
+    [
+      lit (bin Nfl.Ast.Eq x (Sexpr.int 80)) true;
+      lit (bin Nfl.Ast.Ge y (Sexpr.int 1024)) true;
+    ]
+  in
+  match Solver.concretize lits with
+  | None -> Alcotest.fail "should concretize"
+  | Some m ->
+      Alcotest.(check bool) "x = 80" true
+        (Value.equal (Solver.Smap.find "x" m) (Value.Int 80));
+      (match Solver.Smap.find "y" m with
+      | Value.Int v -> Alcotest.(check bool) "y >= 1024" true (v >= 1024)
+      | _ -> Alcotest.fail "int expected")
+
+let test_concretize_avoids_disequalities () =
+  let lits =
+    [
+      lit (bin Nfl.Ast.Ge x (Sexpr.int 10)) true;
+      lit (bin Nfl.Ast.Ne x (Sexpr.int 10)) true;
+      lit (bin Nfl.Ast.Ne x (Sexpr.int 11)) true;
+    ]
+  in
+  match Solver.concretize lits with
+  | None -> Alcotest.fail "should concretize"
+  | Some m -> (
+      match Solver.Smap.find "x" m with
+      | Value.Int v -> Alcotest.(check bool) "avoids 10, 11" true (v >= 12)
+      | _ -> Alcotest.fail "int expected")
+
+let test_concretize_unsat () =
+  let lits =
+    [ lit (bin Nfl.Ast.Eq x (Sexpr.int 1)) true; lit (bin Nfl.Ast.Eq x (Sexpr.int 2)) true ]
+  in
+  Alcotest.(check bool) "none" true (Solver.concretize lits = None)
+
+let qcheck_point_constraints =
+  (* Random point assignments are always satisfiable and concretize to
+     the exact assignment. *)
+  QCheck.Test.make ~name:"solver: point constraints concretize exactly" ~count:200
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (a, b) ->
+      let lits =
+        [ lit (bin Nfl.Ast.Eq x (Sexpr.int a)) true; lit (bin Nfl.Ast.Eq y (Sexpr.int b)) true ]
+      in
+      match Solver.concretize lits with
+      | Some m ->
+          Value.equal (Solver.Smap.find "x" m) (Value.Int a)
+          && Value.equal (Solver.Smap.find "y" m) (Value.Int b)
+      | None -> false)
+
+let qcheck_interval_soundness =
+  (* x in [lo, hi] is unsat iff lo > hi. *)
+  QCheck.Test.make ~name:"solver: interval emptiness" ~count:300
+    QCheck.(pair (int_range (-100) 100) (int_range (-100) 100))
+    (fun (lo, hi) ->
+      let lits =
+        [ lit (bin Nfl.Ast.Ge x (Sexpr.int lo)) true; lit (bin Nfl.Ast.Le x (Sexpr.int hi)) true ]
+      in
+      let verdict = Solver.check lits in
+      if lo > hi then verdict = Solver.Unsat else verdict = Solver.Sat)
+
+let suite =
+  [
+    Alcotest.test_case "trivial" `Quick test_trivial;
+    Alcotest.test_case "eq contradiction" `Quick test_eq_contradiction;
+    Alcotest.test_case "eq/ne same value" `Quick test_eq_ne_same_value;
+    Alcotest.test_case "interval conflicts" `Quick test_interval_conflicts;
+    Alcotest.test_case "negated literals" `Quick test_negated_literals;
+    Alcotest.test_case "equality propagation" `Quick test_equality_propagation;
+    Alcotest.test_case "linear arithmetic" `Quick test_linear_arithmetic;
+    Alcotest.test_case "conjunction decomposition" `Quick test_conjunction_decomposition;
+    Alcotest.test_case "membership atoms" `Quick test_membership_atoms;
+    Alcotest.test_case "tuple equality decomposition" `Quick test_tuple_equality_decomposition;
+    Alcotest.test_case "opaque terms" `Quick test_opaque_terms_conservative;
+    Alcotest.test_case "concretize" `Quick test_concretize;
+    Alcotest.test_case "concretize avoids disequalities" `Quick test_concretize_avoids_disequalities;
+    Alcotest.test_case "concretize unsat" `Quick test_concretize_unsat;
+    QCheck_alcotest.to_alcotest qcheck_point_constraints;
+    QCheck_alcotest.to_alcotest qcheck_interval_soundness;
+  ]

@@ -1,0 +1,134 @@
+open Statealyzer
+
+let canon program = Nfl.Transform.canonicalize program
+
+let cat = Alcotest.testable Varclass.pp_category ( = )
+
+let analyze_lb () = Varclass.analyze (canon (Nfs.Lb.program ()))
+
+(* The paper's Table 1, on the paper's own example. *)
+let test_lb_table1 () =
+  let t = analyze_lb () in
+  let check v expected =
+    match Varclass.category_of t v with
+    | Some c -> Alcotest.check cat v expected c
+    | None -> Alcotest.failf "%s not classified" v
+  in
+  check "mode" Varclass.Cfg_var;
+  check "lb_ip" Varclass.Cfg_var;
+  check "lb_port" Varclass.Cfg_var;
+  check "servers" Varclass.Cfg_var;
+  check "f2b_nat" Varclass.Ois_var;
+  check "b2f_nat" Varclass.Ois_var;
+  check "rr_idx" Varclass.Ois_var;
+  check "cur_port" Varclass.Ois_var;
+  check "pass_stat" Varclass.Log_var;
+  check "drop_stat" Varclass.Log_var
+
+let test_lb_pkt_var () =
+  let t = analyze_lb () in
+  (* The callback's parameter was inlined; the receive variable is the
+     loop's recv target. *)
+  Alcotest.(check bool) "pkt var classified" true
+    (Varclass.category_of t t.Varclass.pkt_var = Some Varclass.Pkt_var)
+
+let test_lb_locals () =
+  let t = analyze_lb () in
+  (* Scratch variables inside the callback are locals (inlined and
+     renamed, so look them up by suffix). *)
+  let locals = Varclass.vars_of_category t Varclass.Local in
+  Alcotest.(check bool) "has locals" true (List.length locals > 3);
+  Alcotest.(check bool) "nat tuple is local" true
+    (List.exists (fun v -> Filename.check_suffix v "nat_tpl") locals)
+
+let test_lb_features () =
+  let t = analyze_lb () in
+  let f v = List.assoc v t.Varclass.features in
+  let mode = f "mode" in
+  Alcotest.(check bool) "mode persistent" true mode.Varclass.persistent;
+  Alcotest.(check bool) "mode top-level" true mode.Varclass.top_level;
+  Alcotest.(check bool) "mode not updateable" false mode.Varclass.updateable;
+  let rr = f "rr_idx" in
+  Alcotest.(check bool) "rr_idx updateable" true rr.Varclass.updateable;
+  Alcotest.(check bool) "rr_idx output-impacting" true rr.Varclass.output_impacting;
+  let ps = f "pass_stat" in
+  Alcotest.(check bool) "pass_stat not output-impacting" false ps.Varclass.output_impacting
+
+let test_unused_cfg () =
+  (* MTU and the HASH_MODE constant are declared but never used by the
+     loop in our transliteration. *)
+  let t = analyze_lb () in
+  let unused = Varclass.vars_of_category t Varclass.Unused_cfg in
+  Alcotest.(check bool) "MTU unused" true (List.mem "MTU" unused)
+
+let test_nat_classification () =
+  let t = Varclass.analyze (canon (Nfs.Nat.program ())) in
+  let check v expected =
+    Alcotest.check cat v expected (Option.get (Varclass.category_of t v))
+  in
+  check "nat_ip" Varclass.Cfg_var;
+  check "inside_net" Varclass.Cfg_var;
+  check "fwd_map" Varclass.Ois_var;
+  check "rev_map" Varclass.Ois_var;
+  check "next_port" Varclass.Ois_var;
+  check "translated" Varclass.Log_var;
+  check "dropped" Varclass.Log_var
+
+let test_firewall_classification () =
+  let t = Varclass.analyze (canon (Nfs.Firewall.program ())) in
+  let check v expected =
+    Alcotest.check cat v expected (Option.get (Varclass.category_of t v))
+  in
+  check "open_ports" Varclass.Cfg_var;
+  check "strict_mode" Varclass.Cfg_var;
+  check "conn_table" Varclass.Ois_var;
+  check "allowed" Varclass.Log_var;
+  check "blocked" Varclass.Log_var
+
+let test_snort_no_ois () =
+  (* snort as a tap: all its mutable state is log-only. *)
+  let t = Varclass.analyze (canon (Nfs.Snort_lite.program ())) in
+  Alcotest.(check (list string)) "no output-impacting state" []
+    (Varclass.vars_of_category t Varclass.Ois_var);
+  (* ... but there is plenty of log state. *)
+  Alcotest.(check bool) "log vars present" true
+    (List.length (Varclass.vars_of_category t Varclass.Log_var) >= 5)
+
+let test_balance_ois () =
+  let t = Varclass.analyze (canon (Nfs.Balance.program ())) in
+  let ois = Varclass.vars_of_category t Varclass.Ois_var in
+  (* After TCP unfolding: connection state, backend choice and the
+     round-robin index all impact output. *)
+  List.iter
+    (fun v -> Alcotest.(check bool) (v ^ " is ois") true (List.mem v ois))
+    [ "_tcp"; "_backend"; "idx" ];
+  let logs = Varclass.vars_of_category t Varclass.Log_var in
+  Alcotest.(check bool) "relay counters are log vars" true (List.mem "bytes_relayed" logs)
+
+let test_pkt_slice_excludes_logs () =
+  let t = analyze_lb () in
+  (* No statement assigning pass_stat/drop_stat may be in the packet
+     slice. *)
+  let p = canon (Nfs.Lb.program ()) in
+  Nfl.Ast.iter_program
+    (fun s ->
+      match s.Nfl.Ast.kind with
+      | Nfl.Ast.Assign (Nfl.Ast.L_var v, _) when v = "pass_stat" || v = "drop_stat" ->
+          Alcotest.(check bool) (v ^ " assignment outside slice") false
+            (List.mem s.Nfl.Ast.sid t.Varclass.pkt_slice)
+      | _ -> ())
+    p
+
+let suite =
+  [
+    Alcotest.test_case "LB Table 1" `Quick test_lb_table1;
+    Alcotest.test_case "LB pkt var" `Quick test_lb_pkt_var;
+    Alcotest.test_case "LB locals" `Quick test_lb_locals;
+    Alcotest.test_case "LB features" `Quick test_lb_features;
+    Alcotest.test_case "unused config" `Quick test_unused_cfg;
+    Alcotest.test_case "NAT classification" `Quick test_nat_classification;
+    Alcotest.test_case "firewall classification" `Quick test_firewall_classification;
+    Alcotest.test_case "snort has no ois state" `Quick test_snort_no_ois;
+    Alcotest.test_case "balance ois after unfolding" `Quick test_balance_ois;
+    Alcotest.test_case "packet slice excludes log updates" `Quick test_pkt_slice_excludes_logs;
+  ]

@@ -1,0 +1,89 @@
+open Packet
+open Tcp_fsm
+
+let st = Alcotest.testable Tcp_fsm.pp Tcp_fsm.equal
+
+let test_passive_open () =
+  (* Server-side: LISTEN -> SYN_RCVD -> ESTABLISHED on SYN, ACK. *)
+  let s = step Listen (ev From_peer Headers.syn) in
+  Alcotest.check st "SYN" Syn_rcvd s;
+  let s = step s (ev From_peer Headers.ack) in
+  Alcotest.check st "ACK completes" Established s
+
+let test_active_open () =
+  let s = step Closed (ev To_peer Headers.syn) in
+  Alcotest.check st "SYN sent" Syn_sent s;
+  let s = step s (ev From_peer (Headers.syn lor Headers.ack)) in
+  Alcotest.check st "SYN/ACK establishes" Established s
+
+let test_simultaneous_open () =
+  let s = step Syn_sent (ev From_peer Headers.syn) in
+  Alcotest.check st "crossing SYNs" Syn_rcvd s
+
+let test_rst_resets_everything () =
+  List.iter
+    (fun s0 ->
+      Alcotest.check st (state_to_string s0 ^ " + RST") Closed (step s0 (ev From_peer Headers.rst)))
+    all_states
+
+let test_active_close () =
+  let s = step Established (ev To_peer (Headers.fin lor Headers.ack)) in
+  Alcotest.check st "our FIN" Fin_wait_1 s;
+  let s = step s (ev From_peer Headers.ack) in
+  Alcotest.check st "peer ACK" Fin_wait_2 s;
+  let s = step s (ev From_peer (Headers.fin lor Headers.ack)) in
+  Alcotest.check st "peer FIN" Time_wait s
+
+let test_passive_close () =
+  let s = step Established (ev From_peer (Headers.fin lor Headers.ack)) in
+  Alcotest.check st "peer FIN" Close_wait s;
+  let s = step s (ev To_peer (Headers.fin lor Headers.ack)) in
+  Alcotest.check st "our FIN" Last_ack s;
+  let s = step s (ev From_peer Headers.ack) in
+  Alcotest.check st "final ACK" Closed s
+
+let test_data_before_handshake_invalid () =
+  Alcotest.(check bool) "LISTEN" false (valid_data Listen);
+  Alcotest.(check bool) "SYN_RCVD" false (valid_data Syn_rcvd);
+  Alcotest.(check bool) "ESTABLISHED" true (valid_data Established);
+  Alcotest.(check bool) "CLOSE_WAIT" true (valid_data Close_wait);
+  Alcotest.(check bool) "TIME_WAIT" false (valid_data Time_wait)
+
+let test_invalid_events_keep_state () =
+  (* A bare ACK out of nowhere in LISTEN is ignored, not a transition. *)
+  Alcotest.check st "ACK in LISTEN" Listen (step Listen (ev From_peer Headers.ack));
+  Alcotest.check st "FIN in LISTEN" Listen (step Listen (ev From_peer Headers.fin))
+
+let test_int_encoding_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.check st (state_to_string s) s (of_int (to_int s)))
+    all_states
+
+let test_int_encoding_distinct () =
+  let codes = List.map to_int all_states in
+  Alcotest.(check int) "all distinct" (List.length codes) (List.length (List.sort_uniq compare codes))
+
+let qcheck_step_total =
+  (* step never raises, whatever the flag combination. *)
+  QCheck.Test.make ~name:"tcp_fsm: step is total" ~count:1000
+    QCheck.(pair (int_bound 10) (pair bool (int_bound 63)))
+    (fun (si, (dir, flags)) ->
+      let s = of_int si in
+      let d = if dir then From_peer else To_peer in
+      ignore (step s (ev d flags));
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "passive open" `Quick test_passive_open;
+    Alcotest.test_case "active open" `Quick test_active_open;
+    Alcotest.test_case "simultaneous open" `Quick test_simultaneous_open;
+    Alcotest.test_case "RST resets" `Quick test_rst_resets_everything;
+    Alcotest.test_case "active close" `Quick test_active_close;
+    Alcotest.test_case "passive close" `Quick test_passive_close;
+    Alcotest.test_case "hidden-state data validity" `Quick test_data_before_handshake_invalid;
+    Alcotest.test_case "invalid events ignored" `Quick test_invalid_events_keep_state;
+    Alcotest.test_case "int encoding roundtrip" `Quick test_int_encoding_roundtrip;
+    Alcotest.test_case "int encoding distinct" `Quick test_int_encoding_distinct;
+    QCheck_alcotest.to_alcotest qcheck_step_total;
+  ]

@@ -1,0 +1,108 @@
+open Packet
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 100 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_pick () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picks member" true (List.mem (Rng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick rng []))
+
+let test_random_stream_deterministic () =
+  let a = Traffic.random_stream ~seed:99 ~n:50 () in
+  let b = Traffic.random_stream ~seed:99 ~n:50 () in
+  Alcotest.(check int) "length" 50 (List.length a);
+  Alcotest.(check bool) "identical" true (List.for_all2 Pkt.equal a b)
+
+let test_random_stream_fields_from_profile () =
+  let profile = Traffic.default_profile in
+  let pkts = Traffic.random_stream ~seed:5 ~n:200 () in
+  List.iter
+    (fun p ->
+      let inbound = List.mem p.Pkt.ip_dst profile.Traffic.server_ips in
+      let outbound = List.mem p.Pkt.ip_src profile.Traffic.server_ips in
+      Alcotest.(check bool) "inbound or outbound" true (inbound || outbound))
+    pkts
+
+let test_conversation_shape () =
+  let client = Addr.of_string "10.0.0.1" and server = Addr.of_string "3.3.3.3" in
+  let pkts =
+    Traffic.conversation ~client ~cport:5555 ~server ~sport:80 ~data_pkts:2 ~payload:"x"
+  in
+  (* SYN, SYN/ACK, ACK, 2*(data, ack), FIN, FIN, ACK = 10 *)
+  Alcotest.(check int) "packet count" 10 (List.length pkts);
+  let first = List.hd pkts in
+  Alcotest.(check bool) "starts with SYN" true (Headers.has first.Pkt.tcp_flags Headers.syn);
+  Alcotest.(check bool)
+    "SYN has no ACK" false
+    (Headers.has first.Pkt.tcp_flags Headers.ack)
+
+let test_conversation_drives_fsm_to_established () =
+  (* Feed the server-side FSM the client's segments: it must reach
+     ESTABLISHED before any data flows. *)
+  let client = Addr.of_string "10.0.0.1" and server = Addr.of_string "3.3.3.3" in
+  let pkts =
+    Traffic.conversation ~client ~cport:5555 ~server ~sport:80 ~data_pkts:1 ~payload:"hi"
+  in
+  let st = ref Tcp_fsm.Listen in
+  let seen_data_in_established = ref false in
+  List.iter
+    (fun p ->
+      if p.Pkt.ip_src = client then begin
+        if p.Pkt.payload <> "" then
+          seen_data_in_established := !seen_data_in_established || Tcp_fsm.valid_data !st;
+        st := Tcp_fsm.step !st (Tcp_fsm.ev Tcp_fsm.From_peer p.Pkt.tcp_flags)
+      end)
+    pkts;
+  Alcotest.(check bool) "data only after handshake" true !seen_data_in_established
+
+let test_flow_stream_interleaves () =
+  let pkts = Traffic.flow_stream ~seed:11 ~flows:3 ~data_pkts:1 () in
+  (* 3 flows x (3 handshake + 2 data + 3 teardown) = 24 *)
+  Alcotest.(check int) "total" 24 (List.length pkts);
+  (* Round-robin: the first three packets are the three SYNs. *)
+  let syns = List.filteri (fun i _ -> i < 3) pkts in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "leading SYNs" true (Headers.has p.Pkt.tcp_flags Headers.syn))
+    syns
+
+let qcheck_stream_length =
+  QCheck.Test.make ~name:"traffic: stream length is n" ~count:50
+    QCheck.(pair (int_bound 1000) (int_bound 200))
+    (fun (seed, n) ->
+      let n = max 1 n in
+      List.length (Traffic.random_stream ~seed ~n ()) = n)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng pick" `Quick test_rng_pick;
+    Alcotest.test_case "random stream deterministic" `Quick test_random_stream_deterministic;
+    Alcotest.test_case "random stream profile fields" `Quick test_random_stream_fields_from_profile;
+    Alcotest.test_case "conversation shape" `Quick test_conversation_shape;
+    Alcotest.test_case "conversation satisfies TCP FSM" `Quick test_conversation_drives_fsm_to_established;
+    Alcotest.test_case "flow stream interleaves" `Quick test_flow_stream_interleaves;
+    QCheck_alcotest.to_alcotest qcheck_stream_length;
+  ]

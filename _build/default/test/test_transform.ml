@@ -1,0 +1,162 @@
+open Nfl
+
+let parse = Parser.program
+
+let callback_src =
+  {|
+  cnt = 0;
+  def cb(pkt) { cnt = cnt + 1; send(pkt); }
+  main { sniff(cb); }
+  |}
+
+let consumer_producer_src =
+  {|
+  q = 0;
+  def read_loop() { pkt = recv(); queue_push(q, pkt); }
+  def proc_loop() { p2 = queue_pop(q); send(p2); }
+  main { spawn(read_loop); spawn(proc_loop); }
+  |}
+
+let balance_src =
+  {|
+  # Figure-3 balance: accept/fork relay.
+  servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+  idx = 0;
+  lport = 80;
+  main {
+    ls = listen(lport);
+    while (true) {
+      c = accept(ls);
+      server = servers[idx];
+      idx = (idx + 1) % len(servers);
+      child = fork();
+      if (child == 0) {
+        s = connect(server);
+        while (true) {
+          buf = sock_recv(c);
+          out = buf;
+          sock_send(s, out);
+        }
+      }
+    }
+  }
+  |}
+
+let single_loop_src = "main { while (true) { pkt = recv(); send(pkt); } }"
+
+let test_detect () =
+  let check name src expected =
+    Alcotest.(check string)
+      name
+      (Transform.structure_to_string expected)
+      (Transform.structure_to_string (Transform.detect (parse src)))
+  in
+  check "callback" callback_src Transform.Callback;
+  check "consumer-producer" consumer_producer_src Transform.Consumer_producer;
+  check "nested" balance_src Transform.Nested_loop;
+  check "single" single_loop_src Transform.Single_loop
+
+let test_detect_unknown () =
+  match Transform.detect (parse "main { x = 1; }") with
+  | exception Transform.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "unknown structure must be rejected"
+
+let has_packet_loop p =
+  match Transform.packet_loop p with _, _, _ -> true | exception Transform.Not_applicable _ -> false
+
+let test_callback_to_loop () =
+  let p' = Transform.callback_to_loop (parse callback_src) in
+  Alcotest.(check bool) "has packet loop" true (has_packet_loop p');
+  (* cb is now called inside the loop. *)
+  let calls_cb = ref false in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Expr (Ast.Call ("cb", [ Ast.Var "pkt" ])) -> calls_cb := true
+      | _ -> ())
+    p';
+  Alcotest.(check bool) "callback invoked" true !calls_cb
+
+let test_fuse_consumer_producer () =
+  let p' = Transform.fuse_consumer_producer (parse consumer_producer_src) in
+  (* queue builtins gone. *)
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Expr (Ast.Call (f, _)) | Ast.Assign (_, Ast.Call (f, _)) ->
+          Alcotest.(check bool) ("no queue op: " ^ f) false
+            (f = Builtins.queue_push || f = Builtins.queue_pop)
+      | _ -> ())
+    p';
+  (* the spawned functions survive until inlining flattens them *)
+  Alcotest.(check int) "funcs kept for inlining" 2 (List.length p'.Ast.funcs);
+  (* after full canonicalization the packet loop exists *)
+  let pc = Inline.program p' in
+  Alcotest.(check bool) "canonical has packet loop" true (has_packet_loop pc)
+
+let test_unfold_accept_fork () =
+  let p' = Transform.unfold_accept_fork (parse balance_src) in
+  Check.assert_ok p';
+  Alcotest.(check bool) "has packet loop" true (has_packet_loop p');
+  (* No socket builtins survive unfolding. *)
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Expr (Ast.Call (f, _)) | Ast.Assign (_, Ast.Call (f, _)) ->
+          Alcotest.(check bool) ("no socket op: " ^ f) false (Builtins.is_socket f)
+      | _ -> ())
+    p';
+  (* The hidden TCP state became an explicit dictionary. *)
+  let has_tcp_dict =
+    List.exists
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Assign (Ast.L_var "_tcp", Ast.Dict_lit) -> true
+        | _ -> false)
+      p'.Ast.globals
+  in
+  Alcotest.(check bool) "_tcp dictionary" true has_tcp_dict;
+  (* Backend-selection statements were spliced in. *)
+  let has_selection = ref false in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.kind with
+      | Ast.Assign (Ast.L_var "server", Ast.Index (Ast.Var "servers", _)) -> has_selection := true
+      | _ -> ())
+    p';
+  Alcotest.(check bool) "selection spliced" true !has_selection
+
+let test_canonicalize_all_structures () =
+  List.iter
+    (fun (name, src) ->
+      let p = Transform.canonicalize (parse src) in
+      Alcotest.(check bool) (name ^ ": canonical") true (has_packet_loop p);
+      Alcotest.(check int) (name ^ ": no funcs") 0 (List.length p.Ast.funcs))
+    [
+      ("callback", callback_src);
+      ("consumer-producer", consumer_producer_src);
+      ("nested", balance_src);
+      ("single", single_loop_src);
+    ]
+
+let test_not_applicable_errors () =
+  (match Transform.callback_to_loop (parse single_loop_src) with
+  | exception Transform.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "callback_to_loop on single loop");
+  (match Transform.fuse_consumer_producer (parse callback_src) with
+  | exception Transform.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "fuse on callback");
+  match Transform.unfold_accept_fork (parse single_loop_src) with
+  | exception Transform.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "unfold on single loop"
+
+let suite =
+  [
+    Alcotest.test_case "detect structures" `Quick test_detect;
+    Alcotest.test_case "detect unknown" `Quick test_detect_unknown;
+    Alcotest.test_case "callback -> loop" `Quick test_callback_to_loop;
+    Alcotest.test_case "consumer-producer fusion" `Quick test_fuse_consumer_producer;
+    Alcotest.test_case "accept/fork unfolding" `Quick test_unfold_accept_fork;
+    Alcotest.test_case "canonicalize all structures" `Quick test_canonicalize_all_structures;
+    Alcotest.test_case "not-applicable errors" `Quick test_not_applicable_errors;
+  ]
