@@ -82,17 +82,51 @@ let slice_cmd =
     (Cmd.info "slice" ~doc:"Render the canonical source with non-slice statements pruned.")
     Term.(const run $ nf_arg)
 
+(* Exploration + solver telemetry, shared by `extract --stats` and
+   `paths --stats`. The baseline is the historical 2-calls-per-branch
+   accounting (every undecided branch checked both sides afresh). *)
+let pp_telemetry name (ex : Nfactor.Extract.result) =
+  let s = ex.Nfactor.Extract.stats in
+  let open Symexec.Explore in
+  Fmt.pr "@.solver telemetry for %s:@." name;
+  Fmt.pr "  branch decisions    %d (%d fork(s), max pc depth %d)@." s.decides s.forks
+    s.max_fork_depth;
+  Fmt.pr "  solver calls        %d (baseline 2 per branch: %d)@." s.solver_calls
+    (2 * s.decides);
+  Fmt.pr "  cache hits/misses   %d/%d@." s.solver_cache_hits s.solver_cache_misses;
+  let per_branch =
+    if s.decides = 0 then 0. else s.solver_time_s *. 1e6 /. float_of_int s.decides
+  in
+  Fmt.pr "  solver time         %.3f ms (%.1f us per branch)@." (s.solver_time_s *. 1e3)
+    per_branch;
+  Fmt.pr "  fork depth histogram %s@."
+    (if Imap.is_empty s.fork_depths then "-"
+     else
+       String.concat " "
+         (List.map
+            (fun (d, n) -> Printf.sprintf "%d:%d" d n)
+            (Imap.bindings s.fork_depths)));
+  Fmt.pr "  stage wall-clock    %s@."
+    (String.concat ", "
+       (List.map
+          (fun (stage, t) -> Printf.sprintf "%s %.2fms" stage (t *. 1e3))
+          ex.Nfactor.Extract.stage_times))
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Also print exploration and solver telemetry.")
+
 let extract_cmd =
-  let run =
+  let run stats =
     with_nf (fun name _ p ->
         let ex = Nfactor.Extract.run ~name p in
-        Fmt.pr "%a" Nfactor.Model.pp ex.Nfactor.Extract.model)
+        Fmt.pr "%a" Nfactor.Model.pp ex.Nfactor.Extract.model;
+        if stats then pp_telemetry name ex)
   in
   Cmd.v (Cmd.info "extract" ~doc:"Synthesize and print the forwarding model (Figure 6).")
-    Term.(const run $ nf_arg)
+    Term.(const run $ stats_flag $ nf_arg)
 
 let paths_cmd =
-  let run =
+  let run stats =
     with_nf (fun name _ p ->
         let ex = Nfactor.Extract.run ~name p in
         let s = ex.Nfactor.Extract.stats in
@@ -108,9 +142,11 @@ let paths_cmd =
               (match path.Symexec.Explore.sends with
               | [] -> "drop"
               | l -> Printf.sprintf "%d send(s)" (List.length l)))
-          ex.Nfactor.Extract.paths)
+          ex.Nfactor.Extract.paths;
+        if stats then pp_telemetry name ex)
   in
-  Cmd.v (Cmd.info "paths" ~doc:"Show execution paths of the slice union.") Term.(const run $ nf_arg)
+  Cmd.v (Cmd.info "paths" ~doc:"Show execution paths of the slice union.")
+    Term.(const run $ stats_flag $ nf_arg)
 
 let report_cmd =
   let budget =

@@ -28,6 +28,8 @@ type result = {
   sliced_body : Nfl.Ast.block;  (** loop body restricted to the slice union *)
   paths : Explore.path list;
   stats : Explore.stats;
+  stage_times : (string * float) list;  (** wall-clock seconds per pipeline stage *)
+  solver_memo : Solver.memo;  (** verdict cache; reusable for further explorations *)
 }
 
 (* Variables whose initial value should stay concrete even when the
@@ -119,8 +121,15 @@ let ensure_canonical (p : Nfl.Ast.program) =
     (structure-normalized and inlined) first, so any of the Figure-4
     shapes is accepted. *)
 let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
-  let p = ensure_canonical p in
-  let classes = Statealyzer.Varclass.analyze p in
+  let stage_times = ref [] in
+  let timed stage f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    stage_times := (stage, Unix.gettimeofday () -. t0) :: !stage_times;
+    r
+  in
+  let p = timed "canonicalize" (fun () -> ensure_canonical p) in
+  let classes = timed "classify" (fun () -> Statealyzer.Varclass.analyze p) in
   let pkt_var = classes.Statealyzer.Varclass.pkt_var in
   let cfg_vars = Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Cfg_var in
   let ois_vars = Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Ois_var in
@@ -142,7 +151,9 @@ let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
         |> Nfl.Ast.Sset.exists (fun v -> List.mem v ois_vars))
   in
   let state_slice =
-    if ois_update_sids = [] then [] else Slicing.Slice.backward_union ctx ~criteria:ois_update_sids
+    timed "slice" (fun () ->
+        if ois_update_sids = [] then []
+        else Slicing.Slice.backward_union ctx ~criteria:ois_update_sids)
   in
   let union_slice = distinct_sorted (pkt_slice @ state_slice) in
   (* Restrict the program to the slice union. *)
@@ -157,9 +168,13 @@ let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
   (* Line 10: execution paths over the slice union. *)
   let init = Interp.initial_state p in
   let env = symbolic_env ~classes ~init ~pkt_var in
-  let paths, stats = Explore.block ~config ~env body_no_recv in
+  let solver_memo = Solver.memo_create () in
+  let paths, stats =
+    timed "explore" (fun () -> Explore.block ~config ~memo:solver_memo ~env body_no_recv)
+  in
   (* Lines 11-16: refinement into model entries. *)
   let entries =
+    timed "refine" @@ fun () ->
     List.map
       (fun (path : Explore.path) ->
         let config_l, flow_l, state_l =
@@ -199,4 +214,6 @@ let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
     sliced_body = sliced_loop_body;
     paths;
     stats;
+    stage_times = List.rev !stage_times;
+    solver_memo;
   }

@@ -18,6 +18,13 @@ type result = {
   sliced_body : Nfl.Ast.block;  (** loop body restricted to the slice *)
   paths : Explore.path list;
   stats : Explore.stats;
+  stage_times : (string * float) list;
+      (** wall-clock seconds per pipeline stage, in pipeline order:
+          canonicalize, classify, slice, explore, refine *)
+  solver_memo : Solver.memo;
+      (** the exploration's verdict cache; pass to further explorations
+          of the same program (e.g. the unsliced original) to reuse
+          path-condition verdicts *)
 }
 
 val ensure_canonical : Nfl.Ast.program -> Nfl.Ast.program

@@ -41,19 +41,21 @@ let extraction_env (ex : Extract.result) =
 
 (** Explore the *unsliced* loop body under the extraction environment,
     with a budget. Programs whose original code cannot be symbolically
-    executed within the budget report lower bounds. *)
-let explore_original ?(config = Explore.default_config) (ex : Extract.result) =
+    executed within the budget report lower bounds. [memo] (e.g. the
+    extraction's [solver_memo]) reuses path-condition verdicts — the
+    original program re-decides the slice's branch conditions. *)
+let explore_original ?(config = Explore.default_config) ?memo (ex : Extract.result) =
   let _, body, _ = Nfl.Transform.packet_loop ex.Extract.program in
   let body_no_recv = List.filter (fun s -> not (Nfl.Builtins.is_pkt_input_stmt s)) body in
-  Explore.block ~config ~env:(extraction_env ex) body_no_recv
+  Explore.block ~config ?memo ~env:(extraction_env ex) body_no_recv
 
 (** Re-explore the packet+state slice in isolation (the measurement the
     SE-on-slice column reports). *)
-let explore_slice ?(config = Explore.default_config) (ex : Extract.result) =
+let explore_slice ?(config = Explore.default_config) ?memo (ex : Extract.result) =
   let body_no_recv =
     List.filter (fun s -> not (Nfl.Builtins.is_pkt_input_stmt s)) ex.Extract.sliced_body
   in
-  Explore.block ~config ~env:(extraction_env ex) body_no_recv
+  Explore.block ~config ?memo ~env:(extraction_env ex) body_no_recv
 
 (** Measure one NF end to end. [se_budget] caps the original-program
     exploration (the slice side should never need it). *)
@@ -78,10 +80,12 @@ let measure ?(config = Explore.default_config) ?(se_budget = 1000) ~name ~source
            slice. *)
         ignore (Statealyzer.Varclass.analyze (Extract.ensure_canonical program)))
   in
-  let _, se_time_slice_s = time (fun () -> explore_slice ~config ex) in
+  (* Both SE measurements reuse the extraction's verdict cache: the
+     memoized-solver speedup is part of the measured system. *)
+  let _, se_time_slice_s = time (fun () -> explore_slice ~config ~memo:ex.Extract.solver_memo ex) in
   let orig_config = { config with Explore.max_paths = se_budget } in
   let (orig_paths, orig_stats), se_time_orig_s =
-    time (fun () -> explore_original ~config:orig_config ex)
+    time (fun () -> explore_original ~config:orig_config ~memo:ex.Extract.solver_memo ex)
   in
   ignore orig_paths;
   let ep_orig =

@@ -24,11 +24,14 @@ type row = {
 val time : (unit -> 'a) -> 'a * float
 (** Wall-clock timing helper. *)
 
-val explore_original : ?config:Explore.config -> Extract.result -> Explore.path list * Explore.stats
+val explore_original :
+  ?config:Explore.config -> ?memo:Solver.memo -> Extract.result -> Explore.path list * Explore.stats
 (** Symbolic execution of the {e unsliced} loop body under the
-    extraction environment (the paper's "orig" columns). *)
+    extraction environment (the paper's "orig" columns). [memo] reuses
+    path-condition verdicts, e.g. the extraction's [solver_memo]. *)
 
-val explore_slice : ?config:Explore.config -> Extract.result -> Explore.path list * Explore.stats
+val explore_slice :
+  ?config:Explore.config -> ?memo:Solver.memo -> Extract.result -> Explore.path list * Explore.stats
 (** Re-exploration of the slice in isolation (the "slice" columns). *)
 
 val measure :

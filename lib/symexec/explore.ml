@@ -34,10 +34,13 @@ let rec sval_of_value (v : Value.t) =
   | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Tuple _ -> Scalar (Sexpr.Const v)
   | Value.List vs -> Listv (List.map sval_of_value vs)
   | Value.Dict kvs ->
+      (* Writes are read newest-first, and concrete dict lookups take
+         the first binding, so the lift must preserve source order —
+         reversing would flip precedence between duplicate keys. *)
       Dictv
         {
           Sexpr.base = Sexpr.empty_base;
-          writes = List.rev_map (fun (k, v) -> (Sexpr.Const k, Some (Sexpr.Const v))) kvs;
+          writes = List.map (fun (k, v) -> (Sexpr.Const k, Some (Sexpr.Const v))) kvs;
         }
   | Value.Pkt p ->
       Pktv
@@ -70,8 +73,14 @@ type path = {
 type stats = {
   mutable paths : int;
   mutable truncated_paths : int;
-  mutable solver_calls : int;
+  mutable decides : int;  (** branch decisions that consulted the solver *)
+  mutable solver_calls : int;  (** actual decision-procedure invocations *)
+  mutable solver_cache_hits : int;
+  mutable solver_cache_misses : int;
+  mutable solver_time_s : float;  (** CPU time inside the decision procedure *)
   mutable forks : int;
+  mutable max_fork_depth : int;  (** deepest path condition at a fork *)
+  mutable fork_depths : int Imap.t;  (** pc depth at fork -> fork count *)
   mutable overflowed : bool;  (** [max_paths] reached; enumeration incomplete *)
 }
 
@@ -98,7 +107,12 @@ let copy ps =
     truncated = ps.truncated;
   }
 
-exception Cut  (* abandon this path (infeasible or budget) *)
+exception Cut  (* abandon this path (infeasible or per-path budget) *)
+
+exception Overflow
+(* [max_paths] spent: unlike [Cut], this is not caught by fork
+   handlers, so it unwinds the whole exploration promptly instead of
+   letting sibling branches keep exploring a dead budget. *)
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation                                              *)
@@ -190,6 +204,7 @@ let rec eval ps (e : Nfl.Ast.expr) : sval =
 type t = {
   cfgc : config;
   stats : stats;
+  ctx : Solver.Ctx.t;  (** incremental solver; stack mirrors the pc *)
   mutable done_paths : path list;
 }
 
@@ -206,8 +221,6 @@ let finish t ps =
     }
     :: t.done_paths
 
-let budget_ok t = t.stats.paths < t.cfgc.max_paths
-
 let tick t ps (s : Nfl.Ast.stmt) =
   ps.trace_rev <- s.Nfl.Ast.sid :: ps.trace_rev;
   ps.steps <- ps.steps + 1;
@@ -219,21 +232,37 @@ let tick t ps (s : Nfl.Ast.stmt) =
     raise Cut
   end
 
-(* Decide a branch condition under the current path condition. *)
-let decide t ps (cond : Sexpr.t) =
+(* Decide a branch condition under the current path condition, which
+   the solver context holds asserted incrementally. The exploration
+   invariant — the current pc is Sat (every pushed literal extended an
+   unrefuted conjunction) — lets an Unsat on one side answer the other
+   side for free: ¬sat_t ⇒ sat_f. Constant conditions and cache hits
+   cost no solver calls; [stats.solver_calls] counts actual
+   decision-procedure invocations only. *)
+let decide t (cond : Sexpr.t) =
   match cond with
   | Sexpr.Const (Value.Bool b) -> if b then `True else `False
   | Sexpr.Const (Value.Int n) -> if n <> 0 then `True else `False
   | _ ->
-      t.stats.solver_calls <- t.stats.solver_calls + 2;
-      let pc = List.rev ps.pc_rev in
-      let sat_t = Solver.check (pc @ [ Solver.lit cond true ]) = Solver.Sat in
-      let sat_f = Solver.check (pc @ [ Solver.lit cond false ]) = Solver.Sat in
-      (match (sat_t, sat_f) with
-      | true, true -> `Fork
-      | true, false -> `True
-      | false, true -> `False
-      | false, false -> `Dead)
+      t.stats.decides <- t.stats.decides + 1;
+      if Solver.Ctx.check_extended t.ctx (Solver.lit cond true) = Solver.Unsat then `False
+      else if Solver.Ctx.check_extended t.ctx (Solver.lit cond false) = Solver.Unsat then `True
+      else `Fork
+
+(* Extend the path condition for the dynamic extent of [f]: the solver
+   context must mirror [ps.pc_rev] at every [decide], including through
+   [Cut]/[Overflow] unwinding. *)
+let with_lit t ps l f =
+  ps.pc_rev <- l :: ps.pc_rev;
+  Solver.Ctx.push t.ctx l;
+  Fun.protect ~finally:(fun () -> Solver.Ctx.pop t.ctx) f
+
+let record_fork t =
+  let d = Solver.Ctx.depth t.ctx in
+  t.stats.forks <- t.stats.forks + 1;
+  t.stats.max_fork_depth <- max t.stats.max_fork_depth d;
+  t.stats.fork_depths <-
+    Imap.update d (function None -> Some 1 | Some n -> Some (n + 1)) t.stats.fork_depths
 
 let rec exec_block t ps (block : Nfl.Ast.block) (k : pstate -> unit) =
   match block with
@@ -241,9 +270,16 @@ let rec exec_block t ps (block : Nfl.Ast.block) (k : pstate -> unit) =
   | s :: rest -> exec_stmt t ps s (fun ps -> exec_block t ps rest k)
 
 and exec_stmt t ps (s : Nfl.Ast.stmt) (k : pstate -> unit) =
-  if not (budget_ok t) then begin
+  if t.stats.paths + 1 >= t.cfgc.max_paths then begin
+    (* The in-flight path is the last one the budget admits: record it
+       as truncated rather than dropping it, then unwind the whole
+       enumeration — [Overflow] is not caught by fork handlers. *)
     t.stats.overflowed <- true;
-    raise Cut
+    if t.stats.paths < t.cfgc.max_paths then begin
+      ps.truncated <- true;
+      finish t ps
+    end;
+    raise Overflow
   end;
   tick t ps s;
   match s.Nfl.Ast.kind with
@@ -297,27 +333,24 @@ and exec_stmt t ps (s : Nfl.Ast.stmt) (k : pstate -> unit) =
       finish t ps
   | Nfl.Ast.If (c, b1, b2) -> (
       let cv = scalar (eval ps c) in
-      match decide t ps cv with
+      match decide t cv with
       | `True -> exec_block t ps b1 k
       | `False -> exec_block t ps b2 k
-      | `Dead -> raise Cut
       | `Fork ->
-          t.stats.forks <- t.stats.forks + 1;
+          record_fork t;
           let ps' = copy ps in
           (* True side. *)
-          ps.pc_rev <- Solver.lit cv true :: ps.pc_rev;
-          (try exec_block t ps b1 k with Cut -> ());
+          with_lit t ps (Solver.lit cv true) (fun () ->
+              try exec_block t ps b1 k with Cut -> ());
           (* False side. *)
-          ps'.pc_rev <- Solver.lit cv false :: ps'.pc_rev;
-          exec_block t ps' b2 k)
+          with_lit t ps' (Solver.lit cv false) (fun () -> exec_block t ps' b2 k))
   | Nfl.Ast.While (c, body) ->
       let sid = s.Nfl.Ast.sid in
       let rec iterate ps k =
         let count = Option.value ~default:0 (Imap.find_opt sid ps.iters) in
         let cv = scalar (eval ps c) in
-        match decide t ps cv with
+        match decide t cv with
         | `False -> k ps
-        | `Dead -> raise Cut
         | `True when count >= t.cfgc.loop_bound ->
             (* Bound hit and the loop cannot exit: record the path as
                truncated. *)
@@ -327,19 +360,17 @@ and exec_stmt t ps (s : Nfl.Ast.stmt) (k : pstate -> unit) =
             (* Bound hit: cut the continuing side, keep the feasible
                exiting side, mark the path truncated. *)
             ps.truncated <- true;
-            ps.pc_rev <- Solver.lit cv false :: ps.pc_rev;
-            k ps
+            with_lit t ps (Solver.lit cv false) (fun () -> k ps)
         | `True ->
             ps.iters <- Imap.add sid (count + 1) ps.iters;
             exec_block t ps body (fun ps -> iterate ps k)
         | `Fork ->
-            t.stats.forks <- t.stats.forks + 1;
+            record_fork t;
             let ps' = copy ps in
-            ps.pc_rev <- Solver.lit cv true :: ps.pc_rev;
             ps.iters <- Imap.add sid (count + 1) ps.iters;
-            (try exec_block t ps body (fun ps -> iterate ps k) with Cut -> ());
-            ps'.pc_rev <- Solver.lit cv false :: ps'.pc_rev;
-            k ps'
+            with_lit t ps (Solver.lit cv true) (fun () ->
+                try exec_block t ps body (fun ps -> iterate ps k) with Cut -> ());
+            with_lit t ps' (Solver.lit cv false) (fun () -> k ps')
       in
       iterate ps k
   | Nfl.Ast.For_in (x, e, body) -> (
@@ -369,12 +400,30 @@ and exec_stmt t ps (s : Nfl.Ast.stmt) (k : pstate -> unit) =
 (* ------------------------------------------------------------------ *)
 
 (** [block cfg ~env b] explores [b] from symbolic store [env], returning
-    all completed paths and exploration statistics. *)
-let block ?(config = default_config) ~env (b : Nfl.Ast.block) =
+    all completed paths and exploration statistics. [memo] shares a
+    solver verdict cache across explorations (cache hit/miss stats
+    report this exploration's deltas). *)
+let block ?(config = default_config) ?memo ~env (b : Nfl.Ast.block) =
+  let memo = match memo with Some m -> m | None -> Solver.memo_create () in
+  let hits0 = Solver.memo_hits memo and misses0 = Solver.memo_misses memo in
   let t =
     {
       cfgc = config;
-      stats = { paths = 0; truncated_paths = 0; solver_calls = 0; forks = 0; overflowed = false };
+      stats =
+        {
+          paths = 0;
+          truncated_paths = 0;
+          decides = 0;
+          solver_calls = 0;
+          solver_cache_hits = 0;
+          solver_cache_misses = 0;
+          solver_time_s = 0.;
+          forks = 0;
+          max_fork_depth = 0;
+          fork_depths = Imap.empty;
+          overflowed = false;
+        };
+      ctx = Solver.Ctx.create ~memo ();
       done_paths = [];
     }
   in
@@ -389,5 +438,9 @@ let block ?(config = default_config) ~env (b : Nfl.Ast.block) =
       truncated = false;
     }
   in
-  (try exec_block t ps b (fun ps -> finish t ps) with Cut -> ());
+  (try exec_block t ps b (fun ps -> finish t ps) with Cut | Overflow -> ());
+  t.stats.solver_calls <- Solver.Ctx.checks t.ctx;
+  t.stats.solver_cache_hits <- Solver.memo_hits memo - hits0;
+  t.stats.solver_cache_misses <- Solver.memo_misses memo - misses0;
+  t.stats.solver_time_s <- Solver.Ctx.solver_time t.ctx;
   (List.rev t.done_paths, t.stats)

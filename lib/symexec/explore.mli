@@ -8,6 +8,7 @@
     emitted packets and the final symbolic store. *)
 
 module Smap : Map.S with type key = string
+module Imap : Map.S with type key = int
 
 exception Unsupported of string
 (** Raised on constructs outside the supported symbolic fragment
@@ -49,12 +50,21 @@ type path = {
 type stats = {
   mutable paths : int;
   mutable truncated_paths : int;
-  mutable solver_calls : int;
+  mutable decides : int;  (** branch decisions that consulted the solver *)
+  mutable solver_calls : int;  (** actual decision-procedure invocations *)
+  mutable solver_cache_hits : int;  (** checks answered from the memo/context *)
+  mutable solver_cache_misses : int;  (** checks that ran the procedure *)
+  mutable solver_time_s : float;  (** CPU time inside the decision procedure *)
   mutable forks : int;
+  mutable max_fork_depth : int;  (** deepest path condition at a fork *)
+  mutable fork_depths : int Imap.t;  (** pc depth at fork -> fork count *)
   mutable overflowed : bool;  (** [max_paths] reached; enumeration incomplete *)
 }
 
-val block : ?config:config -> env:sval Smap.t -> Nfl.Ast.block -> path list * stats
+val block :
+  ?config:config -> ?memo:Solver.memo -> env:sval Smap.t -> Nfl.Ast.block -> path list * stats
 (** [block ~env b] explores [b] from symbolic store [env]. Reads of
     variables absent from [env] yield fresh symbols (uninitialized
-    locals). *)
+    locals). [memo] shares a solver verdict cache across explorations
+    (e.g. slice and original of the same program); the cache stats in
+    the result are this exploration's deltas. *)

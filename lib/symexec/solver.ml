@@ -346,6 +346,201 @@ let rec check_split depth (literals : literal list) =
     disjunctions are case-split up to a bounded depth. *)
 let check (literals : literal list) = check_split 12 literals
 
+(* ------------------------------------------------------------------ *)
+(* Incremental context with memoized path-condition checks            *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical, polarity-tagged rendering of a literal. Two literals with
+   the same key denote the same constraint, so conjunction verdicts are
+   a function of the key *set* alone — the basis of the memo table. *)
+let lit_key l = (if l.positive then "+" else "-") ^ canonical_atom l.atom
+
+let negate_key k =
+  if String.length k = 0 then k
+  else (if k.[0] = '+' then "-" else "+") ^ String.sub k 1 (String.length k - 1)
+
+type memo = {
+  table : (string, verdict) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+(** Verdict cache keyed on the canonicalized (sorted, deduplicated)
+    literal set of the whole conjunction. Keys are order-insensitive
+    and idempotent, so the table is sound to share across explorations
+    — even of different programs: equal keys mean equal formulas. *)
+
+let memo_create () = { table = Hashtbl.create 256; hits = 0; misses = 0 }
+let memo_hits m = m.hits
+let memo_misses m = m.misses
+let memo_size m = Hashtbl.length m.table
+
+(* Snapshot/restore of the theory state: every field holds an immutable
+   value, so a snapshot is an O(1) record copy. *)
+let state_snapshot (st : state) =
+  {
+    parent = st.parent;
+    bounds = st.bounds;
+    disequal = st.disequal;
+    bools = st.bools;
+    pending = st.pending;
+    opaque = st.opaque;
+  }
+
+let state_restore (st : state) (s : state) =
+  st.parent <- s.parent;
+  st.bounds <- s.bounds;
+  st.disequal <- s.disequal;
+  st.bools <- s.bools;
+  st.pending <- s.pending;
+  st.opaque <- s.opaque
+
+(* A literal whose refutation may need DPLL case splitting: the
+   incremental direct-assertion path would be weaker than [check] on
+   these, so they force a fallback to the full procedure. [lit] folds
+   [Not] into the polarity, but stay conservative on a raw [Not]. *)
+let splittable l =
+  match (l.atom, l.positive) with
+  | Sexpr.Bin (Nfl.Ast.Or, _, _), true | Sexpr.Bin (Nfl.Ast.And, _, _), false -> true
+  | Sexpr.Not _, _ -> true
+  | _ -> false
+
+module Ctx = struct
+  type frame = {
+    f_key : string;
+    f_snap : state;  (** theory state before this literal was asserted *)
+    f_splittable : bool;
+    f_broken_before : bool;
+  }
+
+  type t = {
+    st : state;  (** theory state with every pushed literal asserted *)
+    mutable frames : frame list;
+    mutable keys : string list;  (** canonical keys of the stack, sorted *)
+    mutable lits_rev : literal list;  (** pushed literals, newest first *)
+    mutable splittables : int;  (** splittable literals on the stack *)
+    mutable broken : bool;  (** a push refuted the stack directly *)
+    memo : memo;
+    mutable checks : int;  (** decision-procedure invocations (= misses) *)
+    mutable time : float;  (** cumulative seconds inside the procedure *)
+  }
+
+  let create ?memo () =
+    let memo = match memo with Some m -> m | None -> memo_create () in
+    {
+      st = fresh_state ();
+      frames = [];
+      keys = [];
+      lits_rev = [];
+      splittables = 0;
+      broken = false;
+      memo;
+      checks = 0;
+      time = 0.;
+    }
+
+  let depth c = List.length c.frames
+  let path_condition c = List.rev c.lits_rev
+  let memo c = c.memo
+  let checks c = c.checks
+  let solver_time c = c.time
+
+  let rec insert_sorted k = function
+    | [] -> [ k ]
+    | k' :: rest as l -> if k <= k' then k :: l else k' :: insert_sorted k rest
+
+  let rec remove_first k = function
+    | [] -> []
+    | k' :: rest -> if String.equal k k' then rest else k' :: remove_first k rest
+
+  let push c l =
+    let key = lit_key l in
+    c.frames <-
+      { f_key = key; f_snap = state_snapshot c.st; f_splittable = splittable l;
+        f_broken_before = c.broken }
+      :: c.frames;
+    c.keys <- insert_sorted key c.keys;
+    c.lits_rev <- l :: c.lits_rev;
+    if splittable l then c.splittables <- c.splittables + 1;
+    if not c.broken then
+      try assert_atom c.st l.atom l.positive with Contradiction -> c.broken <- true
+
+  let pop c =
+    match c.frames with
+    | [] -> invalid_arg "Solver.Ctx.pop: empty context"
+    | f :: rest ->
+        c.frames <- rest;
+        state_restore c.st f.f_snap;
+        c.keys <- remove_first f.f_key c.keys;
+        c.lits_rev <- List.tl c.lits_rev;
+        if f.f_splittable then c.splittables <- c.splittables - 1;
+        c.broken <- f.f_broken_before
+
+  (* Sorted + deduplicated conjunction key: idempotent, so re-testing a
+     literal already on the stack maps to an already-cached key. *)
+  let conj_key c k =
+    let rec dedup = function
+      | a :: (b :: _ as rest) -> if String.equal a b then dedup rest else a :: dedup rest
+      | l -> l
+    in
+    String.concat " ∧ " (dedup (insert_sorted k c.keys))
+
+  (* Direct incremental check of [stack ∧ l]: assert the one new
+     literal against the accumulated theory state, run the same
+     propagation rounds as [check_direct], restore. Equivalent to
+     [check_direct (stack @ [l])] because assertions are independent of
+     the propagation rounds that follow them. *)
+  let check_incremental c l =
+    let snap = state_snapshot c.st in
+    let v =
+      match
+        assert_atom c.st l.atom l.positive;
+        propagate_opaque c.st;
+        check_pending c.st;
+        propagate_opaque c.st;
+        check_pending c.st
+      with
+      | () -> Sat
+      | exception Contradiction -> Unsat
+    in
+    state_restore c.st snap;
+    v
+
+  let check_extended c l =
+    let k = lit_key l in
+    if c.broken then begin
+      (* The stack itself is refuted: every extension is Unsat. *)
+      c.memo.hits <- c.memo.hits + 1;
+      Unsat
+    end
+    else if List.exists (String.equal k) c.keys then begin
+      (* Subsumed: stack ∧ l = stack, and the stack is not refuted. *)
+      c.memo.hits <- c.memo.hits + 1;
+      Sat
+    end
+    else if List.exists (String.equal (negate_key k)) c.keys then begin
+      (* The stack contains the canonical negation: genuinely Unsat. *)
+      c.memo.hits <- c.memo.hits + 1;
+      Unsat
+    end
+    else
+      let key = conj_key c k in
+      match Hashtbl.find_opt c.memo.table key with
+      | Some v ->
+          c.memo.hits <- c.memo.hits + 1;
+          v
+      | None ->
+          c.memo.misses <- c.memo.misses + 1;
+          c.checks <- c.checks + 1;
+          let t0 = Sys.time () in
+          let v =
+            if c.splittables = 0 && not (splittable l) then check_incremental c l
+            else check (List.rev (l :: c.lits_rev))
+          in
+          c.time <- c.time +. (Sys.time () -. t0);
+          Hashtbl.add c.memo.table key v;
+          v
+end
+
 (** Best-effort satisfying assignment for the *constrained* named
     symbolic variables in [literals]: fixed terms get their value,
     bounded terms a bound endpoint, terms carrying disequalities the

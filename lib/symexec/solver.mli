@@ -28,3 +28,63 @@ val concretize : ?default:int -> literal list -> Value.t Smap.t option
     symbols (fixed terms, bound endpoints, disequality-avoiding
     values). Symbols seen only inside opaque atoms are absent — callers
     supply those from domain candidate pools. [None] when refutable. *)
+
+(** {1 Incremental checking} *)
+
+val lit_key : literal -> string
+(** Canonical polarity-tagged rendering; equal keys denote the same
+    constraint. *)
+
+type memo
+(** Verdict cache keyed on canonicalized (sorted, deduplicated) literal
+    sets. Order-insensitive and idempotent, hence sound to share across
+    explorations — equal keys mean equal formulas. *)
+
+val memo_create : unit -> memo
+val memo_hits : memo -> int
+val memo_misses : memo -> int
+val memo_size : memo -> int
+
+(** Incremental solver context: a push/pop stack of path-condition
+    literals kept asserted in an accumulated theory state, so checking
+    a branch costs one new-literal assertion instead of re-solving the
+    whole conjunction. Verdicts are memoized in the (possibly shared)
+    {!memo}. The caller maintains the invariant that every pushed
+    literal extended a conjunction the solver had not refuted (the
+    exploration invariant: the current path condition is Sat). *)
+module Ctx : sig
+  type t
+
+  val create : ?memo:memo -> unit -> t
+  (** Fresh context with an empty stack; [memo] defaults to a private
+      cache. *)
+
+  val push : t -> literal -> unit
+  (** Assert a literal onto the path condition. *)
+
+  val pop : t -> unit
+  (** Undo the most recent {!push}. Raises [Invalid_argument] on an
+      empty stack. *)
+
+  val depth : t -> int
+  (** Number of pushed literals. *)
+
+  val path_condition : t -> literal list
+  (** The pushed literals, oldest first. *)
+
+  val check_extended : t -> literal -> verdict
+  (** Feasibility of [path-condition ∧ l]. Fast paths, in order:
+      stack already refuted; [l] subsumed by the stack; the stack
+      carries [l]'s canonical negation; memo hit. Otherwise one
+      incremental assertion against the accumulated state (falling
+      back to the full case-splitting {!check} when disjunctive
+      shapes are involved), memoized. *)
+
+  val memo : t -> memo
+  val checks : t -> int
+  (** Decision-procedure invocations (= cache misses through this
+      context). *)
+
+  val solver_time : t -> float
+  (** Cumulative CPU seconds spent inside the decision procedure. *)
+end

@@ -1,0 +1,228 @@
+(* Exploration budgets and the incremental/memoizing solver layer:
+   loop-bound truncation, prompt [max_paths] overflow, exact solver-call
+   accounting, cache-hit behavior on repeated sub-conditions, and the
+   write-order of concrete-dictionary lifting. *)
+
+open Symexec
+module Smap = Explore.Smap
+
+let parse_main src = (Nfl.Parser.program src).Nfl.Ast.main
+
+let env_with bindings =
+  List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty bindings
+
+let sym_pkt_env extra = env_with (("pkt", Explore.sym_pkt "pkt") :: extra)
+
+(* Eight independent bit tests: 2^8 feasible paths. *)
+let wide_block ?(tail = "") () =
+  let conds =
+    String.concat " "
+      (List.init 8 (fun i -> Printf.sprintf "if ((pkt.ip_len & %d) != 0) { x = %d; }" (1 lsl i) i))
+  in
+  parse_main ("main { x = 0; " ^ conds ^ " " ^ tail ^ " send(pkt); }")
+
+(* ----------------------------------------------------------------- *)
+(* Loop-bound truncation                                             *)
+(* ----------------------------------------------------------------- *)
+
+let test_loop_bound_truncation () =
+  let b = parse_main "main { i = 0; while (i < pkt.ip_len) { i = i + 1; } send(pkt); }" in
+  let paths, stats =
+    Explore.block
+      ~config:{ Explore.default_config with Explore.loop_bound = 2 }
+      ~env:(sym_pkt_env []) b
+  in
+  Alcotest.(check bool) "truncated recorded" true (stats.Explore.truncated_paths >= 1);
+  Alcotest.(check bool) "not overflowed" false stats.Explore.overflowed;
+  (* Exits after 0, 1, 2 iterations plus the truncated continuation. *)
+  Alcotest.(check bool) "bounded path count" true (List.length paths <= 4);
+  let truncated = List.filter (fun (p : Explore.path) -> p.Explore.truncated) paths in
+  Alcotest.(check int) "truncated paths returned, not dropped"
+    stats.Explore.truncated_paths (List.length truncated)
+
+(* ----------------------------------------------------------------- *)
+(* max_paths overflow                                                 *)
+(* ----------------------------------------------------------------- *)
+
+let test_overflow_stops_promptly () =
+  let _, stats =
+    Explore.block
+      ~config:{ Explore.default_config with Explore.max_paths = 10 }
+      ~env:(sym_pkt_env []) (wide_block ())
+  in
+  Alcotest.(check bool) "overflowed" true stats.Explore.overflowed;
+  Alcotest.(check bool) "within budget" true (stats.Explore.paths <= 10);
+  Alcotest.(check bool) "in-flight path recorded as truncated" true
+    (stats.Explore.truncated_paths >= 1)
+
+let test_overflow_not_swallowed_by_fork_handlers () =
+  (* A forking loop as the last statement: overflow raised inside it
+     must unwind past the loop's and the ifs' fork handlers without
+     sibling branches finishing more paths past the budget. *)
+  let b = wide_block ~tail:"i = 0; while (i < pkt.ip_len) { i = i + 1; }" () in
+  let _, stats =
+    Explore.block
+      ~config:{ Explore.default_config with Explore.max_paths = 6 }
+      ~env:(sym_pkt_env []) b
+  in
+  Alcotest.(check bool) "overflowed" true stats.Explore.overflowed;
+  Alcotest.(check bool) "hard cap respected" true (stats.Explore.paths <= 6)
+
+let test_no_overflow_under_budget () =
+  let b = parse_main "main { if (pkt.dport == 80) { send(pkt); } }" in
+  let paths, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  Alcotest.(check bool) "no overflow" false stats.Explore.overflowed;
+  Alcotest.(check int) "no truncation" 0 stats.Explore.truncated_paths
+
+(* ----------------------------------------------------------------- *)
+(* Solver-call accounting                                             *)
+(* ----------------------------------------------------------------- *)
+
+let test_constant_fold_zero_calls () =
+  let b = parse_main "main { x = 5; if (x == 5) { send(pkt); } else { drop(); } }" in
+  let paths, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "one path" 1 (List.length paths);
+  Alcotest.(check int) "no solver consultation" 0 stats.Explore.decides;
+  Alcotest.(check int) "no solver calls" 0 stats.Explore.solver_calls
+
+let test_fork_costs_two_calls () =
+  let b = parse_main "main { if (pkt.dport == 80) { send(pkt); } }" in
+  let _, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "one decision" 1 stats.Explore.decides;
+  Alcotest.(check int) "two calls" 2 stats.Explore.solver_calls;
+  Alcotest.(check int) "one fork" 1 stats.Explore.forks
+
+let test_short_circuit_one_call () =
+  (* Inner true-side is refutable under the outer pc: the SAT invariant
+     (¬sat_t ⇒ sat_f) answers the false side without a second call. *)
+  let b =
+    parse_main
+      "main { if (pkt.dport == 80) { if (pkt.dport == 81) { drop(); } else { send(pkt); } } }"
+  in
+  let _, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "two decisions" 2 stats.Explore.decides;
+  (* Pre-change accounting charged 2 per decision = 4. *)
+  Alcotest.(check int) "three actual calls" 3 stats.Explore.solver_calls;
+  Alcotest.(check int) "one fork" 1 stats.Explore.forks
+
+let test_repeated_condition_hits_cache () =
+  (* The inner repetition of the outer condition is answered entirely
+     from the context: subsumption for the true side, the canonical
+     negation for the false side. *)
+  let b =
+    parse_main
+      "main { if (pkt.dport == 80) { if (pkt.dport == 80) { send(pkt); } else { drop(); } } }"
+  in
+  let paths, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  Alcotest.(check int) "two decisions" 2 stats.Explore.decides;
+  Alcotest.(check int) "only the outer fork pays" 2 stats.Explore.solver_calls;
+  Alcotest.(check bool) "cache hits recorded" true (stats.Explore.solver_cache_hits >= 2)
+
+let test_shared_memo_across_explorations () =
+  let b = wide_block () in
+  let memo = Solver.memo_create () in
+  let paths1, stats1 = Explore.block ~memo ~env:(sym_pkt_env []) b in
+  let paths2, stats2 = Explore.block ~memo ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "same path census" (List.length paths1) (List.length paths2);
+  Alcotest.(check bool) "first run pays" true (stats1.Explore.solver_calls > 0);
+  Alcotest.(check int) "second run fully cached" 0 stats2.Explore.solver_calls;
+  Alcotest.(check bool) "second run hits" true (stats2.Explore.solver_cache_hits > 0);
+  (* Per-exploration deltas, not cumulative cache totals. *)
+  Alcotest.(check int) "delta misses" 0 stats2.Explore.solver_cache_misses
+
+let test_fork_depth_histogram () =
+  let b =
+    parse_main
+      "main { if (pkt.dport == 80) { if (pkt.sport == 1) { send(pkt); } } send(pkt); }"
+  in
+  let _, stats = Explore.block ~env:(sym_pkt_env []) b in
+  Alcotest.(check int) "outer fork at depth 0" 1
+    (Option.value ~default:0 (Explore.Imap.find_opt 0 stats.Explore.fork_depths));
+  Alcotest.(check int) "inner fork at depth 1" 1
+    (Option.value ~default:0 (Explore.Imap.find_opt 1 stats.Explore.fork_depths));
+  Alcotest.(check int) "max depth" 1 stats.Explore.max_fork_depth
+
+(* ----------------------------------------------------------------- *)
+(* Solver context unit behavior                                       *)
+(* ----------------------------------------------------------------- *)
+
+let test_ctx_push_pop () =
+  let x = Sexpr.Sym "x" in
+  let eq n = Solver.lit (Sexpr.mk_bin Nfl.Ast.Eq x (Sexpr.int n)) true in
+  let c = Solver.Ctx.create () in
+  Solver.Ctx.push c (eq 1);
+  Alcotest.(check int) "depth" 1 (Solver.Ctx.depth c);
+  Alcotest.(check bool) "x=2 refuted incrementally" true
+    (Solver.Ctx.check_extended c (eq 2) = Solver.Unsat);
+  Alcotest.(check bool) "x=1 subsumed" true (Solver.Ctx.check_extended c (eq 1) = Solver.Sat);
+  Alcotest.(check bool) "¬(x=1) contradicts the stack" true
+    (Solver.Ctx.check_extended c (Solver.lit (Sexpr.mk_bin Nfl.Ast.Eq x (Sexpr.int 1)) false)
+    = Solver.Unsat);
+  Solver.Ctx.pop c;
+  Alcotest.(check int) "depth restored" 0 (Solver.Ctx.depth c);
+  Alcotest.(check bool) "x=2 feasible after pop" true
+    (Solver.Ctx.check_extended c (eq 2) = Solver.Sat)
+
+let test_ctx_matches_check () =
+  (* The incremental verdict agrees with the from-scratch procedure on
+     conjunction-only path conditions. *)
+  let x = Sexpr.Sym "x" and y = Sexpr.Sym "y" in
+  let lits =
+    [
+      Solver.lit (Sexpr.mk_bin Nfl.Ast.Ge x (Sexpr.int 10)) true;
+      Solver.lit (Sexpr.mk_bin Nfl.Ast.Eq y x) true;
+    ]
+  in
+  let probes =
+    [
+      Solver.lit (Sexpr.mk_bin Nfl.Ast.Lt y (Sexpr.int 5)) true;
+      Solver.lit (Sexpr.mk_bin Nfl.Ast.Eq y (Sexpr.int 12)) true;
+      Solver.lit (Sexpr.mk_bin Nfl.Ast.Le x (Sexpr.int 9)) true;
+    ]
+  in
+  let c = Solver.Ctx.create () in
+  List.iter (Solver.Ctx.push c) lits;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Fmt.str "agrees on %a" Solver.pp_literal p)
+        true
+        (Solver.Ctx.check_extended c p = Solver.check (lits @ [ p ])))
+    probes
+
+(* ----------------------------------------------------------------- *)
+(* Concrete-dictionary lifting preserves write precedence             *)
+(* ----------------------------------------------------------------- *)
+
+let test_dict_lift_preserves_order () =
+  (* Concrete lookups take the first binding; the lift must agree. *)
+  let dup = Value.Dict [ (Value.Int 1, Value.Int 10); (Value.Int 1, Value.Int 20) ] in
+  Alcotest.(check bool) "concrete lookup: first binding" true
+    (Value.equal (Value.index dup (Value.Int 1)) (Value.Int 10));
+  match Explore.sval_of_value dup with
+  | Explore.Dictv d ->
+      let read = Sexpr.mk_dget d (Sexpr.Const (Value.Int 1)) in
+      Alcotest.(check bool) "symbolic read: same binding" true
+        (Sexpr.equal read (Sexpr.Const (Value.Int 10)))
+  | _ -> Alcotest.fail "Dictv expected"
+
+let suite =
+  [
+    Alcotest.test_case "loop bound truncation" `Quick test_loop_bound_truncation;
+    Alcotest.test_case "overflow stops promptly" `Quick test_overflow_stops_promptly;
+    Alcotest.test_case "overflow unwinds fork handlers" `Quick
+      test_overflow_not_swallowed_by_fork_handlers;
+    Alcotest.test_case "no overflow under budget" `Quick test_no_overflow_under_budget;
+    Alcotest.test_case "constant fold: zero calls" `Quick test_constant_fold_zero_calls;
+    Alcotest.test_case "fork: two calls" `Quick test_fork_costs_two_calls;
+    Alcotest.test_case "short-circuit: one call" `Quick test_short_circuit_one_call;
+    Alcotest.test_case "repeated condition hits cache" `Quick test_repeated_condition_hits_cache;
+    Alcotest.test_case "shared memo across explorations" `Quick
+      test_shared_memo_across_explorations;
+    Alcotest.test_case "fork depth histogram" `Quick test_fork_depth_histogram;
+    Alcotest.test_case "ctx push/pop" `Quick test_ctx_push_pop;
+    Alcotest.test_case "ctx matches check" `Quick test_ctx_matches_check;
+    Alcotest.test_case "dict lift preserves order" `Quick test_dict_lift_preserves_order;
+  ]

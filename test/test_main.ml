@@ -19,6 +19,7 @@ let () =
       ("sexpr", Test_sexpr.suite);
       ("solver", Test_solver.suite);
       ("explore", Test_explore.suite);
+      ("explore-budget", Test_explore_budget.suite);
       ("statealyzer", Test_statealyzer.suite);
       ("extract", Test_extract.suite);
       ("equiv", Test_equiv.suite);
