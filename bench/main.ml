@@ -203,42 +203,170 @@ let scaling () =
    original re-decides the slice's branch conditions, so its checks hit.
    "baseline" is the pre-memoization accounting: two fresh full-pc
    solver calls per undecided branch. *)
+type telemetry_row = {
+  tr_name : string;
+  tr_slice_paths : int;
+  tr_orig_paths : int;
+  tr_decides : int;
+  tr_calls : int;
+  tr_hits : int;
+  tr_misses : int;
+  tr_hit_rate : float;
+  tr_solver_ms : float;
+  tr_depth : int;
+  tr_explore_slice_ms : float;  (** extraction's explore-stage wall-clock *)
+  tr_explore_orig_ms : float;  (** shared-cache original exploration wall-clock *)
+  tr_stage_ms : (string * float) list;
+}
+
 let solver_telemetry () =
   section "Solver telemetry: incremental context + memoized path-condition checks";
   Fmt.pr "%-12s | %7s %8s %7s | %6s %6s | %8s | %9s %5s@." "NF" "decides" "baseline" "calls"
     "hits" "misses" "hit-rate" "time(ms)" "depth";
-  List.iter
-    (fun (e : Nfs.Corpus.entry) ->
-      let name = e.Nfs.Corpus.name in
-      let ex = Nfactor.Extract.run ~name (e.Nfs.Corpus.program ()) in
-      let budget =
-        { Symexec.Explore.default_config with Symexec.Explore.max_paths = 1000 }
-      in
-      let _, o =
-        Nfactor.Report.explore_original ~config:budget ~memo:ex.Nfactor.Extract.solver_memo ex
-      in
-      let s = ex.Nfactor.Extract.stats in
-      let open Symexec.Explore in
-      let decides = s.decides + o.decides in
-      let calls = s.solver_calls + o.solver_calls in
-      let hits = s.solver_cache_hits + o.solver_cache_hits in
-      let misses = s.solver_cache_misses + o.solver_cache_misses in
-      let checks = hits + misses in
-      let rate = if checks = 0 then 0. else 100. *. float_of_int hits /. float_of_int checks in
-      Fmt.pr "%-12s | %7d %8d %7d | %6d %6d | %7.1f%% | %9.2f %5d@." name decides (2 * decides)
-        calls hits misses rate
-        ((s.solver_time_s +. o.solver_time_s) *. 1e3)
-        (max s.max_fork_depth o.max_fork_depth);
-      if name = "balance" || name = "snort" then
-        Fmt.pr "%14s fork depth histogram (slice): %s@." ""
-          (String.concat " "
-             (List.map
-                (fun (d, n) -> Printf.sprintf "%d:%d" d n)
-                (Imap.bindings s.fork_depths))))
-    Nfs.Corpus.all;
+  let rows =
+    List.map
+      (fun (e : Nfs.Corpus.entry) ->
+        let name = e.Nfs.Corpus.name in
+        let ex = Nfactor.Extract.run ~name (e.Nfs.Corpus.program ()) in
+        let budget =
+          { Symexec.Explore.default_config with Symexec.Explore.max_paths = 1000 }
+        in
+        let (_, o), orig_wall =
+          Nfactor.Report.time (fun () ->
+              Nfactor.Report.explore_original ~config:budget
+                ~memo:ex.Nfactor.Extract.solver_memo ex)
+        in
+        let s = ex.Nfactor.Extract.stats in
+        let open Symexec.Explore in
+        let decides = s.decides + o.decides in
+        let calls = s.solver_calls + o.solver_calls in
+        let hits = s.solver_cache_hits + o.solver_cache_hits in
+        let misses = s.solver_cache_misses + o.solver_cache_misses in
+        let checks = hits + misses in
+        let rate = if checks = 0 then 0. else 100. *. float_of_int hits /. float_of_int checks in
+        let solver_ms = (s.solver_time_s +. o.solver_time_s) *. 1e3 in
+        let depth = max s.max_fork_depth o.max_fork_depth in
+        Fmt.pr "%-12s | %7d %8d %7d | %6d %6d | %7.1f%% | %9.2f %5d@." name decides (2 * decides)
+          calls hits misses rate solver_ms depth;
+        if name = "balance" || name = "snort" then
+          Fmt.pr "%14s fork depth histogram (slice): %s@." ""
+            (String.concat " "
+               (List.map
+                  (fun (d, n) -> Printf.sprintf "%d:%d" d n)
+                  (Imap.bindings s.fork_depths)));
+        let stage_ms =
+          List.map (fun (st, t) -> (st, t *. 1e3)) ex.Nfactor.Extract.stage_times
+        in
+        {
+          tr_name = name;
+          tr_slice_paths = s.paths;
+          tr_orig_paths = o.paths;
+          tr_decides = decides;
+          tr_calls = calls;
+          tr_hits = hits;
+          tr_misses = misses;
+          tr_hit_rate = rate;
+          tr_solver_ms = solver_ms;
+          tr_depth = depth;
+          tr_explore_slice_ms =
+            (try List.assoc "explore" stage_ms with Not_found -> 0.);
+          tr_explore_orig_ms = orig_wall *. 1e3;
+          tr_stage_ms = stage_ms;
+        })
+      Nfs.Corpus.all
+  in
   Fmt.pr "@.(decides = undecided branches; baseline = pre-memoization cost of 2 fresh@.";
   Fmt.pr " full-pc checks per branch; calls = actual decision-procedure runs after@.";
-  Fmt.pr " the ¬sat_t ⇒ sat_f short-circuit and cache; slice + shared-cache original.)@."
+  Fmt.pr " the ¬sat_t ⇒ sat_f short-circuit and cache; slice + shared-cache original.)@.";
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable telemetry (BENCH_pr2.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* PR-1 telemetry on the same harness and budgets: the reference the
+   hash-consed term layer is measured against. Two sets of timings:
+   [recorded] is bench/baseline_pr1.txt as captured when PR 1 landed;
+   [same_machine] re-runs the PR-1 commit's bench alongside this one
+   (minimum of three runs), which is the honest comparison point when
+   machine load differs between sessions. Counts are identical either
+   way — the memoization structure did not change, only its keys. *)
+let pr1_baseline =
+  [
+    (* name, (decides, calls, hits, rate, recorded solver ms, same-machine
+       solver ms, recorded SE-orig ms, same-machine SE-orig ms) *)
+    ("snort", (33496, 3420, 54415, 94.1, 10.48, 16.55, 342.52, 322.00));
+    ("balance", (53, 80, 18, 18.4, 0.22, 0.22, 1.01, 0.59));
+  ]
+
+let emit_json path rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"pr\": 2,\n";
+  add "  \"subject\": \"hash-consed symbolic term layer: id-keyed solver, memo, telemetry\",\n";
+  add "  \"budgets\": { \"se_orig_max_paths\": 1000 },\n";
+  add "  \"baseline_pr1\": {\n";
+  List.iteri
+    (fun i (name, (decides, calls, hits, rate, solver_rec, solver_sm, orig_rec, orig_sm)) ->
+      add
+        "    %S: { \"decides\": %d, \"solver_calls\": %d, \"memo_hits\": %d, \
+         \"hit_rate_pct\": %.1f,\n"
+        name decides calls hits rate;
+      add
+        "           \"solver_time_ms_recorded\": %.2f, \"solver_time_ms_same_machine\": %.2f,\n"
+        solver_rec solver_sm;
+      add
+        "           \"explore_orig_ms_recorded\": %.2f, \"explore_orig_ms_same_machine\": %.2f }%s\n"
+        orig_rec orig_sm
+        (if i = List.length pr1_baseline - 1 then "" else ","))
+    pr1_baseline;
+  add "  },\n";
+  add "  \"nfs\": [\n";
+  List.iteri
+    (fun i r ->
+      add "    { \"name\": %S, \"paths_slice\": %d, \"paths_orig\": %d,\n" r.tr_name
+        r.tr_slice_paths r.tr_orig_paths;
+      add
+        "      \"decides\": %d, \"solver_calls\": %d, \"memo_hits\": %d, \"memo_misses\": %d, \
+         \"hit_rate_pct\": %.1f,\n"
+        r.tr_decides r.tr_calls r.tr_hits r.tr_misses r.tr_hit_rate;
+      add
+        "      \"solver_time_ms\": %.3f, \"max_fork_depth\": %d, \"explore_slice_ms\": %.3f, \
+         \"explore_orig_ms\": %.3f,\n"
+        r.tr_solver_ms r.tr_depth r.tr_explore_slice_ms r.tr_explore_orig_ms;
+      add "      \"stage_ms\": { %s } }%s\n"
+        (String.concat ", "
+           (List.map (fun (st, t) -> Printf.sprintf "%S: %.3f" st t) r.tr_stage_ms))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  (* Acceptance comparison: solver time and explore wall-clock at or
+     below the PR-1 baseline on the paper's two subjects, against the
+     same-machine re-measurement. *)
+  add "  \"comparison_vs_pr1\": {\n";
+  List.iteri
+    (fun i (name, (_, _, _, _, _, base_solver_ms, _, base_orig_ms)) ->
+      match List.find_opt (fun r -> r.tr_name = name) rows with
+      | None -> ()
+      | Some r ->
+          add
+            "    %S: { \"solver_time_ms\": %.3f, \"baseline_ms\": %.2f, \"solver_ok\": %b,\n"
+            name r.tr_solver_ms base_solver_ms
+            (r.tr_solver_ms <= base_solver_ms);
+          add
+            "           \"explore_orig_ms\": %.3f, \"baseline_orig_ms\": %.2f, \
+             \"explore_ok\": %b }%s\n"
+            r.tr_explore_orig_ms base_orig_ms
+            (r.tr_explore_orig_ms <= base_orig_ms)
+            (if i = List.length pr1_baseline - 1 then "" else ","))
+    pr1_baseline;
+  add "  }\n";
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "@.machine-readable telemetry written to %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
@@ -355,14 +483,41 @@ let run_micro () =
       Fmt.pr "%-48s %14s@." name human)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [--smoke] runs the fast sections only (CI gate); [--json PATH]
+   writes the machine-readable solver telemetry next to the printed
+   tables. *)
 let () =
+  let smoke = ref false in
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("usage: bench [--smoke] [--json PATH]; unknown argument " ^ arg);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   table1 ();
   figure6 ();
-  table2 ();
-  accuracy ();
+  if not !smoke then begin
+    table2 ();
+    accuracy ()
+  end;
   path_equivalence ();
-  applications ();
-  scaling ();
-  solver_telemetry ();
-  run_micro ();
+  if not !smoke then begin
+    applications ();
+    scaling ()
+  end;
+  let rows = solver_telemetry () in
+  Option.iter (fun path -> emit_json path rows) !json_path;
+  if not !smoke then run_micro ();
   Fmt.pr "@.done.@."

@@ -34,7 +34,12 @@ let signature_of_path (p : Explore.path) =
   (signature_of_literals p.Explore.pc, signature_of_sends p.Explore.sends)
 
 let signature_of_entry (e : Model.entry) =
-  let lits = e.Model.config @ e.Model.flow_match @ e.Model.state_match in
+  (* Residual literals are part of the path's condition even though the
+     classifier could not attribute them; without them an entry with
+     unclassifiable atoms would never match its originating path. *)
+  let lits =
+    e.Model.config @ e.Model.flow_match @ e.Model.state_match @ e.Model.residual_match
+  in
   let sends =
     match e.Model.pkt_action with Model.Drop -> [] | Model.Forward snaps -> snaps
   in

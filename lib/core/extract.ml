@@ -51,18 +51,18 @@ let symbolic_env ~(classes : Statealyzer.Varclass.t) ~init ~pkt_var =
         let sval =
           match cat name with
           | Some Statealyzer.Varclass.Cfg_var when scalar_config init name ->
-              Explore.Scalar (Sexpr.Sym name)
+              Explore.Scalar (Sexpr.sym name)
           | Some Statealyzer.Varclass.Ois_var -> (
               match v with
               | Value.Dict _ -> Explore.Dictv (Sexpr.dict_base name)
-              | Value.Int _ | Value.Bool _ -> Explore.Scalar (Sexpr.Sym name)
+              | Value.Int _ | Value.Bool _ -> Explore.Scalar (Sexpr.sym name)
               | _ -> Explore.sval_of_value v)
           | _ -> Explore.sval_of_value v
         in
         Explore.Smap.add name sval acc)
       init Explore.Smap.empty
   in
-  Explore.Smap.add pkt_var (Explore.sym_pkt "pkt") env
+  Explore.Smap.add pkt_var (Explore.sym_pkt pkt_var) env
 
 (* ------------------------------------------------------------------ *)
 (* Literal classification (Algorithm 1 lines 12-14)                   *)
@@ -74,10 +74,16 @@ type lit_class = L_config | L_flow | L_state | L_other
    a flow key in a state table); flow predicates may mention config
    constants (dport == lb_port); only predicates purely over config
    variables go to the config field — so Figure 6's tables split on
-   [mode] alone, not on every header test against a config value. *)
-let classify_literal ~cfg_vars ~ois_vars (l : Solver.literal) =
+   [mode] alone, not on every header test against a config value. The
+   packet-field prefix is derived from the classified packet variable,
+   so NFs that do not literally call it [pkt] classify the same way. *)
+let classify_literal ~pkt_var ~cfg_vars ~ois_vars (l : Solver.literal) =
   let syms = Sexpr.syms l.Solver.atom in
-  let mentions_pkt = Sexpr.Sset.exists (fun s -> String.length s > 4 && String.sub s 0 4 = "pkt.") syms in
+  let prefix = pkt_var ^ "." in
+  let plen = String.length prefix in
+  let mentions_pkt =
+    Sexpr.Sset.exists (fun s -> String.length s > plen && String.sub s 0 plen = prefix) syms
+  in
   let mentions v = Sexpr.Sset.mem v syms in
   if List.exists mentions ois_vars then L_state
   else if mentions_pkt then L_flow
@@ -96,7 +102,7 @@ let state_updates_of_path ~ois_vars (path : Explore.path) =
           if d.Sexpr.writes = [] then None
           else Some (v, Model.Dict_ops (List.rev d.Sexpr.writes))
       | Some (Explore.Scalar e) ->
-          if Sexpr.equal e (Sexpr.Sym v) then None else Some (v, Model.Set_scalar e)
+          if Sexpr.equal e (Sexpr.sym v) then None else Some (v, Model.Set_scalar e)
       | Some (Explore.Pktv _) | Some (Explore.Listv _) | None -> None)
     ois_vars
 
@@ -177,15 +183,15 @@ let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
     timed "refine" @@ fun () ->
     List.map
       (fun (path : Explore.path) ->
-        let config_l, flow_l, state_l =
+        let config_l, flow_l, state_l, other_l =
           List.fold_left
-            (fun (c, f, s) l ->
-              match classify_literal ~cfg_vars ~ois_vars l with
-              | L_config -> (l :: c, f, s)
-              | L_flow -> (c, l :: f, s)
-              | L_state -> (c, f, l :: s)
-              | L_other -> (c, f, s))
-            ([], [], []) path.Explore.pc
+            (fun (c, f, s, o) l ->
+              match classify_literal ~pkt_var ~cfg_vars ~ois_vars l with
+              | L_config -> (l :: c, f, s, o)
+              | L_flow -> (c, l :: f, s, o)
+              | L_state -> (c, f, l :: s, o)
+              | L_other -> (c, f, s, l :: o))
+            ([], [], [], []) path.Explore.pc
         in
         let pkt_action =
           match path.Explore.sends with
@@ -196,6 +202,7 @@ let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
           Model.config = List.rev config_l;
           flow_match = List.rev flow_l;
           state_match = List.rev state_l;
+          residual_match = List.rev other_l;
           pkt_action;
           state_update = state_updates_of_path ~ois_vars path;
           path_sids = distinct_sorted path.Explore.trace;

@@ -41,10 +41,15 @@ val symbolic_env :
 type lit_class = L_config | L_flow | L_state | L_other
 
 val classify_literal :
-  cfg_vars:string list -> ois_vars:string list -> Solver.literal -> lit_class
-(** Algorithm 1 lines 12-14: state atoms may mention packet fields,
-    flow atoms may mention config constants; only pure-config atoms
-    split tables. *)
+  pkt_var:string ->
+  cfg_vars:string list ->
+  ois_vars:string list ->
+  Solver.literal ->
+  lit_class
+(** Algorithm 1 lines 12-14: state atoms may mention packet fields
+    (prefix [pkt_var ^ "."]), flow atoms may mention config constants;
+    only pure-config atoms split tables. Literals classifying [L_other]
+    are recorded on the entry's [residual_match]. *)
 
 val run : ?config:Explore.config -> name:string -> Nfl.Ast.program -> result
 (** Run the whole pipeline. Accepts any Figure-4 structure (the

@@ -70,7 +70,9 @@ let witness_bases =
         addrs)
     addrs
 
-let witness_packet store (e : Model.entry) =
+let witness_packet ~pkt_var store (e : Model.entry) =
+  let prefix = pkt_var ^ "." in
+  let plen = String.length prefix in
   let resolve (l : Solver.literal) =
     { l with Solver.atom = Sexpr.subst (fun n -> Model_interp.Smap.find_opt n store) l.Solver.atom }
   in
@@ -81,8 +83,8 @@ let witness_packet store (e : Model.entry) =
       let overlay base =
         Solver.Smap.fold
           (fun name v pkt ->
-            if String.length name > 4 && String.sub name 0 4 = "pkt." then
-              let f = String.sub name 4 (String.length name - 4) in
+            if String.length name > plen && String.sub name 0 plen = prefix then
+              let f = String.sub name plen (String.length name - plen) in
               match v with
               | Value.Int n when Packet.Headers.is_int_field f ->
                   Packet.Pkt.set_int pkt f (((n mod 65536) + 65536) mod 65536)
@@ -92,7 +94,9 @@ let witness_packet store (e : Model.entry) =
           assignment base
       in
       let flow_holds pkt =
-        List.for_all (Model_interp.literal_holds store pkt) (e.Model.config @ e.Model.flow_match)
+        List.for_all
+          (Model_interp.literal_holds ~pkt_var store pkt)
+          (e.Model.config @ e.Model.flow_match)
       in
       let candidates = List.map overlay (List.hd witness_bases :: witness_bases) in
       (match List.find_opt flow_holds candidates with
@@ -103,6 +107,7 @@ let witness_packet store (e : Model.entry) =
     initial store for semantic successor computation. *)
 let of_extraction (ex : Extract.result) =
   let m = ex.Extract.model in
+  let pkt_var = m.Model.pkt_var in
   let init_store = Model_interp.initial_store ex in
   (* Distinct abstract states, in entry order. *)
   let states =
@@ -123,7 +128,7 @@ let of_extraction (ex : Extract.result) =
     List.concat
       (List.mapi
          (fun idx (e : Model.entry) ->
-           match witness_packet init_store e with
+           match witness_packet ~pkt_var init_store e with
            | None -> []
            | Some pkt -> (
                let from_label = state_signature e in
@@ -135,7 +140,7 @@ let of_extraction (ex : Extract.result) =
                       state; approximate by checking matchability and
                       falling back to a syntactic self-check). *)
                    let store_after =
-                     if Model_interp.entry_matches init_store pkt e then
+                     if Model_interp.entry_matches ~pkt_var init_store pkt e then
                        (Model_interp.step m init_store pkt).Model_interp.store
                      else
                        (* Apply the update list directly. *)
@@ -143,7 +148,7 @@ let of_extraction (ex : Extract.result) =
                          (fun st (v, upd) ->
                            match upd with
                            | Model.Set_scalar expr -> (
-                               match Model_interp.eval st pkt expr with
+                               match Model_interp.eval ~pkt_var st pkt expr with
                                | value -> Model_interp.Smap.add v value st
                                | exception _ -> st)
                            | Model.Dict_ops ops ->
@@ -155,9 +160,9 @@ let of_extraction (ex : Extract.result) =
                                let updated =
                                  List.fold_left
                                    (fun acc (k, op) ->
-                                     match (Model_interp.eval st pkt k, op) with
+                                     match (Model_interp.eval ~pkt_var st pkt k, op) with
                                      | kv, Some value -> (
-                                         match Model_interp.eval st pkt value with
+                                         match Model_interp.eval ~pkt_var st pkt value with
                                          | vv -> Value.dict_set acc kv vv
                                          | exception _ -> acc)
                                      | kv, None -> Value.dict_remove acc kv
@@ -172,7 +177,7 @@ let of_extraction (ex : Extract.result) =
                       flow (decoupled from any particular next packet's
                       guard, so multi-step protocols progress). *)
                    let holds (s : state) =
-                     List.for_all (Model_interp.literal_holds store_after pkt) s.literals
+                     List.for_all (Model_interp.literal_holds ~pkt_var store_after pkt) s.literals
                    in
                    let specificity (s : state) =
                      let positives =
@@ -193,7 +198,7 @@ let of_extraction (ex : Extract.result) =
                        to_state;
                        entry_index = idx;
                        guard = Fmt.str "%a" Model.pp_literals e.Model.flow_match;
-                       action = Fmt.str "%a" Model.pp_action e.Model.pkt_action;
+                       action = Fmt.str "%a" (Model.pp_action ~pkt_var) e.Model.pkt_action;
                      };
                    ]))
          m.Model.entries)
@@ -203,8 +208,8 @@ let of_extraction (ex : Extract.result) =
   let initial =
     List.find_map
       (fun (e : Model.entry) ->
-        match witness_packet init_store e with
-        | Some pkt when Model_interp.entry_matches init_store pkt e ->
+        match witness_packet ~pkt_var init_store e with
+        | Some pkt when Model_interp.entry_matches ~pkt_var init_store pkt e ->
             Option.map (fun s -> s.id) (state_of_label (state_signature e))
         | _ -> None)
       m.Model.entries

@@ -27,6 +27,11 @@ type entry = {
   config : Solver.literal list;  (** predicates over cfgVars *)
   flow_match : Solver.literal list;  (** predicates over packet fields *)
   state_match : Solver.literal list;  (** predicates over oisVars *)
+  residual_match : Solver.literal list;
+      (** path-condition literals the classifier could not attribute to
+          config, flow or state — kept so no constraint is silently
+          lost; informational for matching, but part of the path's
+          signature *)
   pkt_action : pkt_action;
   state_update : (string * state_update) list;  (** per oisVar, absent = unchanged *)
   path_sids : int list;  (** distinct statement ids of the originating path *)
@@ -68,7 +73,7 @@ let matched_fields m =
     Sexpr.Sset.iter
       (fun s ->
         match String.index_opt s '.' with
-        | Some i when String.sub s 0 i = "pkt" ->
+        | Some i when String.sub s 0 i = m.pkt_var ->
             let f = String.sub s (i + 1) (String.length s - i - 1) in
             if not (List.mem f !fields) then fields := f :: !fields
         | _ -> ())
@@ -90,7 +95,9 @@ let modified_fields m =
       | Forward snaps ->
           List.iter
             (List.iter (fun (f, v) ->
-                 if (not (Sexpr.equal v (Sexpr.Sym ("pkt." ^ f)))) && not (List.mem f !fields)
+                 if
+                   (not (Sexpr.equal v (Sexpr.sym (m.pkt_var ^ "." ^ f))))
+                   && not (List.mem f !fields)
                  then fields := f :: !fields))
             snaps)
     m.entries;
@@ -106,13 +113,15 @@ let pp_literals ppf = function
   | [] -> Fmt.string ppf "*"
   | lits -> Fmt.(list ~sep:(any " && ") Solver.pp_literal) ppf lits
 
-let pp_action ppf = function
+let pp_action ?(pkt_var = "pkt") ppf = function
   | Drop -> Fmt.string ppf "drop"
   | Forward snaps ->
       Fmt.(list ~sep:(any "; "))
         (fun ppf snap ->
           let rewrites =
-            List.filter (fun (f, v) -> not (Sexpr.equal v (Sexpr.Sym ("pkt." ^ f)))) snap
+            List.filter
+              (fun (f, v) -> not (Sexpr.equal v (Sexpr.sym (pkt_var ^ "." ^ f))))
+              snap
           in
           if rewrites = [] then Fmt.string ppf "send(pkt)"
           else
@@ -132,10 +141,11 @@ let pp_state_update ppf (v, u) =
           | None -> Fmt.pf ppf "del %s[%a]" v Sexpr.pp k)
         ppf ops
 
-let pp_entry ppf e =
+let pp_entry ?pkt_var ppf e =
   Fmt.pf ppf "match flow : %a@." pp_literals e.flow_match;
   Fmt.pf ppf "match state: %a@." pp_literals e.state_match;
-  Fmt.pf ppf "action pkt : %a@." pp_action e.pkt_action;
+  if e.residual_match <> [] then Fmt.pf ppf "residual   : %a@." pp_literals e.residual_match;
+  Fmt.pf ppf "action pkt : %a@." (pp_action ?pkt_var) e.pkt_action;
   if e.state_update <> [] then
     Fmt.pf ppf "action st  : %a@." Fmt.(list ~sep:(any "; ") pp_state_update) e.state_update;
   if e.truncated then Fmt.pf ppf "(truncated path)@."
@@ -154,7 +164,7 @@ let pp ppf m =
       List.iteri
         (fun i e ->
           Fmt.pf ppf "-- entry %d --@." i;
-          pp_entry ppf e)
+          pp_entry ~pkt_var:m.pkt_var ppf e)
         (entries_for_config m key))
     (config_groups m)
 

@@ -21,6 +21,9 @@ type entry = {
   config : Solver.literal list;  (** predicates over cfgVars *)
   flow_match : Solver.literal list;  (** predicates over packet fields *)
   state_match : Solver.literal list;  (** predicates over oisVars *)
+  residual_match : Solver.literal list;
+      (** unclassifiable path-condition literals, kept so no constraint
+          is silently dropped *)
   pkt_action : pkt_action;
   state_update : (string * state_update) list;  (** absent = unchanged *)
   path_sids : int list;  (** statements of the originating path *)
@@ -56,8 +59,12 @@ val is_stateful : t -> bool
 (** {1 Rendering (Figure-6 style)} *)
 
 val pp_literals : Format.formatter -> Solver.literal list -> unit
-val pp_action : Format.formatter -> pkt_action -> unit
+
+val pp_action : ?pkt_var:string -> Format.formatter -> pkt_action -> unit
+(** [pkt_var] (default ["pkt"]) names the packet variable so identity
+    rewrites [f := pkt_var.f] are elided. *)
+
 val pp_state_update : Format.formatter -> string * state_update -> unit
-val pp_entry : Format.formatter -> entry -> unit
+val pp_entry : ?pkt_var:string -> Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -34,9 +34,12 @@ let initial_store (ex : Extract.result) =
 (* Symbolic-expression evaluation under a concrete environment        *)
 (* ------------------------------------------------------------------ *)
 
-let lookup_sym store (pkt : Packet.Pkt.t) name =
-  if String.length name > 4 && String.sub name 0 4 = "pkt." then begin
-    let f = String.sub name 4 (String.length name - 4) in
+(* [prefix] is the packet variable's field prefix (["pkt_var."]): a
+   symbol under it reads the packet, anything else reads the store. *)
+let lookup_sym ~prefix store (pkt : Packet.Pkt.t) name =
+  let plen = String.length prefix in
+  if String.length name > plen && String.sub name 0 plen = prefix then begin
+    let f = String.sub name plen (String.length name - plen) in
     if Packet.Headers.is_int_field f then Value.Int (Packet.Pkt.get_int pkt f)
     else if Packet.Headers.is_str_field f then Value.Str (Packet.Pkt.get_str pkt f)
     else raise (Unresolved name)
@@ -46,10 +49,11 @@ let lookup_sym store (pkt : Packet.Pkt.t) name =
     | Some v -> v
     | None -> raise (Unresolved name)
 
-let rec eval store pkt (e : Sexpr.t) : Value.t =
-  match e with
+let rec eval_p ~prefix store pkt (e : Sexpr.t) : Value.t =
+  let eval = eval_p ~prefix in
+  match Sexpr.view e with
   | Sexpr.Const v -> v
-  | Sexpr.Sym s -> lookup_sym store pkt s
+  | Sexpr.Sym s -> lookup_sym ~prefix store pkt s
   | Sexpr.Bin (op, a, b) -> Value.binop op (eval store pkt a) (eval store pkt b)
   | Sexpr.Not a -> Value.unop Nfl.Ast.Not (eval store pkt a)
   | Sexpr.Neg a -> Value.unop Nfl.Ast.Neg (eval store pkt a)
@@ -58,17 +62,18 @@ let rec eval store pkt (e : Sexpr.t) : Value.t =
   | Sexpr.Get (c, i) -> Value.index (eval store pkt c) (eval store pkt i)
   | Sexpr.Ufun (f, args) -> Value.apply_pure f (List.map (eval store pkt) args)
   | Sexpr.Mem (d, k) ->
-      let dict = dict_after_writes store pkt d in
+      let dict = dict_after_writes ~prefix store pkt d in
       Value.mem (eval store pkt k) (Value.Dict dict)
   | Sexpr.Dget (d, k) -> (
-      let dict = dict_after_writes store pkt d in
+      let dict = dict_after_writes ~prefix store pkt d in
       match Value.dict_get dict (eval store pkt k) with
       | Some v -> v
       | None -> raise (Unresolved ("missing key in " ^ d.Sexpr.base)))
 
 (* A dictionary snapshot: the store's value for the base, with the
    snapshot's (chronological) writes applied. *)
-and dict_after_writes store pkt (d : Sexpr.dict_state) =
+and dict_after_writes ~prefix store pkt (d : Sexpr.dict_state) =
+  let eval = eval_p ~prefix in
   let base =
     if d.Sexpr.base = Sexpr.empty_base then []
     else
@@ -85,8 +90,10 @@ and dict_after_writes store pkt (d : Sexpr.dict_state) =
     base
     (List.rev d.Sexpr.writes)
 
-let literal_holds store pkt (l : Solver.literal) =
-  match eval store pkt l.Solver.atom with
+let eval ?(pkt_var = "pkt") store pkt e = eval_p ~prefix:(pkt_var ^ ".") store pkt e
+
+let literal_holds ?(pkt_var = "pkt") store pkt (l : Solver.literal) =
+  match eval ~pkt_var store pkt l.Solver.atom with
   | Value.Bool b -> b = l.Solver.positive
   | Value.Int n -> n <> 0 = l.Solver.positive
   | _ -> false
@@ -97,15 +104,15 @@ let literal_holds store pkt (l : Solver.literal) =
 (* Entry matching and application                                     *)
 (* ------------------------------------------------------------------ *)
 
-let entry_matches store pkt (e : Model.entry) =
-  List.for_all (literal_holds store pkt) e.Model.config
-  && List.for_all (literal_holds store pkt) e.Model.flow_match
-  && List.for_all (literal_holds store pkt) e.Model.state_match
+let entry_matches ?(pkt_var = "pkt") store pkt (e : Model.entry) =
+  List.for_all (literal_holds ~pkt_var store pkt) e.Model.config
+  && List.for_all (literal_holds ~pkt_var store pkt) e.Model.flow_match
+  && List.for_all (literal_holds ~pkt_var store pkt) e.Model.state_match
 
-let build_packet store pkt snapshot =
+let build_packet ~pkt_var store pkt snapshot =
   List.fold_left
     (fun acc (f, e) ->
-      let v = eval store pkt e in
+      let v = eval ~pkt_var store pkt e in
       if Packet.Headers.is_int_field f then Packet.Pkt.set_int acc f (Value.as_int v)
       else
         match v with
@@ -116,7 +123,8 @@ let build_packet store pkt snapshot =
 (* Compute the post-value of one state variable. All expressions are
    evaluated against the pre-state [store], so updates to different
    variables cannot observe each other. *)
-let computed_update store pkt (v, upd) =
+let computed_update ~pkt_var store pkt (v, upd) =
+  let eval = eval ~pkt_var in
   match upd with
   | Model.Set_scalar e -> (v, eval store pkt e)
   | Model.Dict_ops ops ->
@@ -146,9 +154,10 @@ type step = {
     evaluated against the pre-state, then the state transition commits
     — matching one iteration of the original loop. *)
 let step (m : Model.t) store pkt =
+  let pkt_var = m.Model.pkt_var in
   let rec find i = function
     | [] -> None
-    | e :: rest -> if entry_matches store pkt e then Some (i, e) else find (i + 1) rest
+    | e :: rest -> if entry_matches ~pkt_var store pkt e then Some (i, e) else find (i + 1) rest
   in
   match find 0 m.Model.entries with
   | None -> { outputs = []; store; matched = None }
@@ -156,9 +165,9 @@ let step (m : Model.t) store pkt =
       let outputs =
         match e.Model.pkt_action with
         | Model.Drop -> []
-        | Model.Forward snaps -> List.map (build_packet store pkt) snaps
+        | Model.Forward snaps -> List.map (build_packet ~pkt_var store pkt) snaps
       in
-      let updates = List.map (computed_update store pkt) e.Model.state_update in
+      let updates = List.map (computed_update ~pkt_var store pkt) e.Model.state_update in
       let store' = List.fold_left (fun st (v, value) -> Smap.add v value st) store updates in
       { outputs; store = store'; matched = Some i }
 

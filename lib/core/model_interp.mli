@@ -16,13 +16,14 @@ type store = Value.t Smap.t
 val initial_store : Extract.result -> store
 (** Extraction-time initial values of the model's variables. *)
 
-val eval : store -> Packet.Pkt.t -> Sexpr.t -> Value.t
+val eval : ?pkt_var:string -> store -> Packet.Pkt.t -> Sexpr.t -> Value.t
 (** Evaluate a symbolic expression under a concrete store and packet;
     dictionary snapshots resolve against the store with their write
-    lists replayed. *)
+    lists replayed. Symbols under [pkt_var ^ "."] (default ["pkt."])
+    read the packet. *)
 
-val literal_holds : store -> Packet.Pkt.t -> Solver.literal -> bool
-val entry_matches : store -> Packet.Pkt.t -> Model.entry -> bool
+val literal_holds : ?pkt_var:string -> store -> Packet.Pkt.t -> Solver.literal -> bool
+val entry_matches : ?pkt_var:string -> store -> Packet.Pkt.t -> Model.entry -> bool
 
 type step = {
   outputs : Packet.Pkt.t list;

@@ -9,12 +9,22 @@
 
     The format is self-describing and versioned:
 
+    Terms are hash-consed with session-local ids ({!Sexpr.id}), so the
+    encoding is purely structural: writing renders term structure, and
+    parsing rebuilds terms through the interning smart constructors, so
+    a parsed model's terms are unique representatives in the {e
+    reader's} intern table whatever process wrote the file.
+
+    The format is self-describing and versioned:
+
     {v
-    (nfactor-model (version 1) (name lb)
+    (nfactor-model (version 2) (name lb)
       (pkt-var pkt) (cfg-vars mode ...) (ois-vars f2b_nat ...)
-      (entries (entry (config ...) (flow ...) (state ...)
+      (entries (entry (config ...) (flow ...) (state ...) (residual ...)
                       (action ...) (updates ...)) ...))
-    v} *)
+    v}
+
+    Version 1 documents (no [residual] clause) still parse. *)
 
 open Symexec
 
@@ -183,7 +193,8 @@ let binop_of_name s =
   | Some op -> op
   | None -> raise (Parse_error ("unknown operator " ^ s))
 
-let rec sexp_of_expr = function
+let rec sexp_of_expr e =
+  match Sexpr.view e with
   | Sexpr.Const v -> List [ Atom "const"; sexp_of_value v ]
   | Sexpr.Sym s -> List [ Atom "sym"; Atom s ]
   | Sexpr.Bin (op, a, b) -> List [ Atom "bin"; Atom (binop_name op); sexp_of_expr a; sexp_of_expr b ]
@@ -206,19 +217,22 @@ and sexp_of_dict (d : Sexpr.dict_state) =
            | None -> List [ Atom "del"; sexp_of_expr k ])
          d.Sexpr.writes)
 
+(* Parsing rebuilds terms through the smart constructors, re-interning
+   (and re-folding, a no-op for terms the constructors built in the
+   first place) in the current session's table. *)
 let rec expr_of_sexp = function
-  | List [ Atom "const"; v ] -> Sexpr.Const (value_of_sexp v)
-  | List [ Atom "sym"; Atom s ] -> Sexpr.Sym s
+  | List [ Atom "const"; v ] -> Sexpr.const (value_of_sexp v)
+  | List [ Atom "sym"; Atom s ] -> Sexpr.sym s
   | List [ Atom "bin"; Atom op; a; b ] ->
-      Sexpr.Bin (binop_of_name op, expr_of_sexp a, expr_of_sexp b)
-  | List [ Atom "not"; a ] -> Sexpr.Not (expr_of_sexp a)
-  | List [ Atom "neg"; a ] -> Sexpr.Neg (expr_of_sexp a)
-  | List (Atom "tup" :: es) -> Sexpr.Tup (List.map expr_of_sexp es)
-  | List (Atom "lst" :: es) -> Sexpr.Lst (List.map expr_of_sexp es)
-  | List [ Atom "get"; a; b ] -> Sexpr.Get (expr_of_sexp a, expr_of_sexp b)
-  | List (Atom "ufun" :: Atom f :: args) -> Sexpr.Ufun (f, List.map expr_of_sexp args)
-  | List [ Atom "mem"; d; k ] -> Sexpr.Mem (dict_of_sexp d, expr_of_sexp k)
-  | List [ Atom "dget"; d; k ] -> Sexpr.Dget (dict_of_sexp d, expr_of_sexp k)
+      Sexpr.mk_bin (binop_of_name op) (expr_of_sexp a) (expr_of_sexp b)
+  | List [ Atom "not"; a ] -> Sexpr.mk_not (expr_of_sexp a)
+  | List [ Atom "neg"; a ] -> Sexpr.mk_neg (expr_of_sexp a)
+  | List (Atom "tup" :: es) -> Sexpr.mk_tuple (List.map expr_of_sexp es)
+  | List (Atom "lst" :: es) -> Sexpr.mk_list (List.map expr_of_sexp es)
+  | List [ Atom "get"; a; b ] -> Sexpr.mk_get (expr_of_sexp a) (expr_of_sexp b)
+  | List (Atom "ufun" :: Atom f :: args) -> Sexpr.mk_ufun f (List.map expr_of_sexp args)
+  | List [ Atom "mem"; d; k ] -> Sexpr.mk_mem (dict_of_sexp d) (expr_of_sexp k)
+  | List [ Atom "dget"; d; k ] -> Sexpr.mk_dget (dict_of_sexp d) (expr_of_sexp k)
   | s -> raise (Parse_error ("bad expression: " ^ sexp_to_string s))
 
 and dict_of_sexp = function
@@ -306,6 +320,7 @@ let sexp_of_entry (e : Model.entry) =
       List (Atom "config" :: List.map sexp_of_literal e.Model.config);
       List (Atom "flow" :: List.map sexp_of_literal e.Model.flow_match);
       List (Atom "state" :: List.map sexp_of_literal e.Model.state_match);
+      List (Atom "residual" :: List.map sexp_of_literal e.Model.residual_match);
       List [ Atom "action"; sexp_of_action e.Model.pkt_action ];
       List (Atom "updates" :: List.map sexp_of_update e.Model.state_update);
       List (Atom "path" :: List.map (fun sid -> Atom (string_of_int sid)) e.Model.path_sids);
@@ -314,31 +329,42 @@ let sexp_of_entry (e : Model.entry) =
 
 let entry_of_sexp = function
   | List
-      [
-        Atom "entry";
-        List (Atom "config" :: config);
-        List (Atom "flow" :: flow);
-        List (Atom "state" :: state);
-        List [ Atom "action"; action ];
-        List (Atom "updates" :: updates);
-        List (Atom "path" :: path);
-        List [ Atom "truncated"; Atom trunc ];
+      (Atom "entry"
+      :: List (Atom "config" :: config)
+      :: List (Atom "flow" :: flow)
+      :: List (Atom "state" :: state)
+      :: rest) -> (
+      (* The [residual] clause arrived in version 2; version-1 entries
+         lack it and parse with an empty residual. *)
+      let residual, rest =
+        match rest with
+        | List (Atom "residual" :: residual) :: rest -> (residual, rest)
+        | _ -> ([], rest)
+      in
+      match rest with
+      | [
+       List [ Atom "action"; action ];
+       List (Atom "updates" :: updates);
+       List (Atom "path" :: path);
+       List [ Atom "truncated"; Atom trunc ];
       ] ->
-      {
-        Model.config = List.map literal_of_sexp config;
-        flow_match = List.map literal_of_sexp flow;
-        state_match = List.map literal_of_sexp state;
-        pkt_action = action_of_sexp action;
-        state_update = List.map update_of_sexp updates;
-        path_sids =
-          List.map
-            (function Atom s -> int_of_string s | _ -> raise (Parse_error "bad sid"))
-            path;
-        truncated = bool_of_string trunc;
-      }
+          {
+            Model.config = List.map literal_of_sexp config;
+            flow_match = List.map literal_of_sexp flow;
+            state_match = List.map literal_of_sexp state;
+            residual_match = List.map literal_of_sexp residual;
+            pkt_action = action_of_sexp action;
+            state_update = List.map update_of_sexp updates;
+            path_sids =
+              List.map
+                (function Atom s -> int_of_string s | _ -> raise (Parse_error "bad sid"))
+                path;
+            truncated = bool_of_string trunc;
+          }
+      | _ -> raise (Parse_error "bad entry body"))
   | s -> raise (Parse_error ("bad entry: " ^ sexp_to_string s))
 
-let version = 1
+let version = 2
 
 (** Serialize a model to its interchange text. *)
 let to_string (m : Model.t) =
@@ -368,8 +394,9 @@ let of_string input =
         List (Atom "ois-vars" :: ois);
         List (Atom "entries" :: entries);
       ] ->
-      if int_of_string v <> version then
-        raise (Parse_error (Printf.sprintf "unsupported version %s" v));
+      let v = int_of_string v in
+      if v < 1 || v > version then
+        raise (Parse_error (Printf.sprintf "unsupported version %d" v));
       let names l =
         List.map (function Atom s -> s | _ -> raise (Parse_error "bad name")) l
       in

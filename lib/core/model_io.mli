@@ -21,6 +21,10 @@ val parse_sexp : string -> sexp
 val sexp_of_value : Value.t -> sexp
 val value_of_sexp : sexp -> Value.t
 val sexp_of_expr : Sexpr.t -> sexp
+
+(** Rebuilds through the interning smart constructors: term ids are
+    session-local, so parsing re-interns structurally in the reader's
+    table. *)
 val expr_of_sexp : sexp -> Sexpr.t
 val sexp_of_literal : Solver.literal -> sexp
 val literal_of_sexp : sexp -> Solver.literal

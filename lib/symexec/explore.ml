@@ -31,7 +31,7 @@ let rec pp_sval ppf = function
 (** Lift a concrete value into the symbolic domain. *)
 let rec sval_of_value (v : Value.t) =
   match v with
-  | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Tuple _ -> Scalar (Sexpr.Const v)
+  | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Tuple _ -> Scalar (Sexpr.const v)
   | Value.List vs -> Listv (List.map sval_of_value vs)
   | Value.Dict kvs ->
       (* Writes are read newest-first, and concrete dict lookups take
@@ -40,19 +40,19 @@ let rec sval_of_value (v : Value.t) =
       Dictv
         {
           Sexpr.base = Sexpr.empty_base;
-          writes = List.map (fun (k, v) -> (Sexpr.Const k, Some (Sexpr.Const v))) kvs;
+          writes = List.map (fun (k, v) -> (Sexpr.const k, Some (Sexpr.const v))) kvs;
         }
   | Value.Pkt p ->
       Pktv
-        (List.map (fun f -> (f, Sexpr.Const (Value.Int (Packet.Pkt.get_int p f)))) Packet.Headers.int_fields
+        (List.map (fun f -> (f, Sexpr.int (Packet.Pkt.get_int p f))) Packet.Headers.int_fields
         @ List.map
-            (fun f -> (f, Sexpr.Const (Value.Str (Packet.Pkt.get_str p f))))
+            (fun f -> (f, Sexpr.const (Value.Str (Packet.Pkt.get_str p f))))
             Packet.Headers.str_fields)
 
 (** Fully symbolic packet named [name]: field [f] is the symbol
     ["name.f"]. *)
 let sym_pkt name =
-  Pktv (List.map (fun f -> (f, Sexpr.Sym (name ^ "." ^ f))) (Packet.Headers.int_fields @ Packet.Headers.str_fields))
+  Pktv (List.map (fun f -> (f, Sexpr.sym (name ^ "." ^ f))) (Packet.Headers.int_fields @ Packet.Headers.str_fields))
 
 type config = {
   loop_bound : int;  (** max iterations per loop statement per path *)
@@ -133,8 +133,8 @@ let scalar = function
 let rec eval ps (e : Nfl.Ast.expr) : sval =
   match e with
   | Nfl.Ast.Int n -> Scalar (Sexpr.int n)
-  | Nfl.Ast.Bool b -> Scalar (Sexpr.Const (Value.Bool b))
-  | Nfl.Ast.Str s -> Scalar (Sexpr.Const (Value.Str s))
+  | Nfl.Ast.Bool b -> Scalar (Sexpr.const (Value.Bool b))
+  | Nfl.Ast.Str s -> Scalar (Sexpr.const (Value.Str s))
   | Nfl.Ast.Var x -> (
       match Smap.find_opt x ps.env with
       | Some v -> v
@@ -142,7 +142,7 @@ let rec eval ps (e : Nfl.Ast.expr) : sval =
           (* A read of a local never assigned on this path (e.g. log
              code peeking at another iteration's scratch): a fresh
              symbolic scalar, as KLEE treats uninitialized memory. *)
-          Scalar (Sexpr.Sym x))
+          Scalar (Sexpr.sym x))
   | Nfl.Ast.Tuple es -> Scalar (Sexpr.mk_tuple (List.map (fun e -> scalar (eval ps e)) es))
   | Nfl.Ast.List_lit es -> Listv (List.map (eval ps) es)
   | Nfl.Ast.Dict_lit -> Dictv Sexpr.dict_empty
@@ -154,7 +154,7 @@ let rec eval ps (e : Nfl.Ast.expr) : sval =
       match eval ps c with
       | Dictv d -> Scalar (Sexpr.mk_dget d kv)
       | Listv vs -> (
-          match kv with
+          match Sexpr.view kv with
           | Sexpr.Const (Value.Int i) when i >= 0 && i < List.length vs -> List.nth vs i
           | Sexpr.Const (Value.Int _) -> raise (Unsupported "list index out of range")
           | _ ->
@@ -176,7 +176,7 @@ let rec eval ps (e : Nfl.Ast.expr) : sval =
           match List.assoc_opt f fields with
           | Some v -> Scalar v
           | None -> raise (Unsupported ("unknown packet field " ^ f)))
-      | Scalar t -> Scalar (Sexpr.mk_get t (Sexpr.Const (Value.Str f)))
+      | Scalar t -> Scalar (Sexpr.mk_get t (Sexpr.const (Value.Str f)))
       | Dictv _ | Listv _ -> raise (Unsupported "field access on container"))
   | Nfl.Ast.Mem (k, d) -> (
       let kv = scalar (eval ps k) in
@@ -240,7 +240,7 @@ let tick t ps (s : Nfl.Ast.stmt) =
    cost no solver calls; [stats.solver_calls] counts actual
    decision-procedure invocations only. *)
 let decide t (cond : Sexpr.t) =
-  match cond with
+  match Sexpr.view cond with
   | Sexpr.Const (Value.Bool b) -> if b then `True else `False
   | Sexpr.Const (Value.Int n) -> if n <> 0 then `True else `False
   | _ ->
@@ -295,7 +295,7 @@ and exec_stmt t ps (s : Nfl.Ast.stmt) (k : pstate -> unit) =
               let vv = scalar v in
               ps.env <- Smap.add d (Dictv { ds with Sexpr.writes = (kv, Some vv) :: ds.Sexpr.writes }) ps.env
           | Some (Listv vs) -> (
-              match kv with
+              match Sexpr.view kv with
               | Sexpr.Const (Value.Int i) when i >= 0 && i < List.length vs ->
                   ps.env <-
                     Smap.add d (Listv (List.mapi (fun j x -> if j = i then v else x) vs)) ps.env
@@ -384,7 +384,7 @@ and exec_stmt t ps (s : Nfl.Ast.stmt) (k : pstate -> unit) =
                 exec_block t ps body (fun ps -> iterate ps rest k)
           in
           iterate ps vs k
-      | Scalar (Sexpr.Const (Value.List vs)) ->
+      | Scalar { Sexpr.node = Sexpr.Const (Value.List vs); _ } ->
           let rec iterate ps vs k =
             match vs with
             | [] -> k ps

@@ -1,13 +1,18 @@
-(** Symbolic expressions.
+(** Hash-consed symbolic expressions.
 
     Terms over concrete {!Value.t} constants, named symbolic variables
     (packet fields, state at loop entry, configuration knobs),
     uninterpreted functions ([hash]), symbolic container reads and
-    dictionary-membership atoms. Smart constructors constant-fold so
-    that fully concrete programs symbolically evaluate to constants —
-    that property is what the path/model equivalence tests rely on. *)
+    dictionary-membership atoms. All construction goes through
+    interning smart constructors, so structurally equal terms are
+    physically equal and equality/hashing are O(1). Smart constructors
+    constant-fold so that fully concrete programs symbolically evaluate
+    to constants — that property is what the path/model equivalence
+    tests rely on. *)
 
-type t =
+type t = { id : int; node : node }
+
+and node =
   | Const of Value.t
   | Sym of string  (** free symbolic variable, e.g. ["pkt.dport"], ["rr_idx"] *)
   | Bin of Nfl.Ast.binop * t * t
@@ -25,6 +30,9 @@ type t =
     [Some v] is an insert, [None] a delete. *)
 and dict_state = { base : string; writes : (t * t option) list }
 
+let view e = e.node
+let id e = e.id
+
 let dict_base name = { base = name; writes = [] }
 
 (** Base marking a dictionary known to start empty (created by [{}]
@@ -34,10 +42,126 @@ let empty_base = "<empty>"
 
 let dict_empty = { base = empty_base; writes = [] }
 
-let equal (a : t) (b : t) = Stdlib.compare a b = 0
-let compare (a : t) (b : t) = Stdlib.compare a b
+(* ------------------------------------------------------------------ *)
+(* Interning                                                          *)
+(* ------------------------------------------------------------------ *)
 
-let rec pp ppf = function
+(* Shallow node equality/hashing: children are already interned, so
+   they compare by physical identity and hash by id — a node probe is
+   O(width), never O(depth). *)
+module Node = struct
+  type nonrec t = node
+
+  let equal_write (k1, v1) (k2, v2) =
+    k1 == k2
+    && match (v1, v2) with
+       | Some a, Some b -> a == b
+       | None, None -> true
+       | _ -> false
+
+  let equal_dict d1 d2 =
+    String.equal d1.base d2.base && List.equal equal_write d1.writes d2.writes
+
+  let equal n1 n2 =
+    match (n1, n2) with
+    | Const a, Const b -> Value.equal a b
+    | Sym a, Sym b -> String.equal a b
+    | Bin (o1, a1, b1), Bin (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+    | Not a, Not b | Neg a, Neg b -> a == b
+    | Tup xs, Tup ys | Lst xs, Lst ys -> List.equal ( == ) xs ys
+    | Get (a1, b1), Get (a2, b2) -> a1 == a2 && b1 == b2
+    | Ufun (f, xs), Ufun (g, ys) -> String.equal f g && List.equal ( == ) xs ys
+    | Mem (d1, k1), Mem (d2, k2) | Dget (d1, k1), Dget (d2, k2) ->
+        k1 == k2 && equal_dict d1 d2
+    | _ -> false
+
+  let comb acc h = (acc * 65599) + h
+  let hash_children = List.fold_left (fun acc e -> comb acc e.id)
+
+  let hash_dict d =
+    List.fold_left
+      (fun acc (k, v) ->
+        comb (comb acc k.id) (match v with Some v -> v.id | None -> -1))
+      (Hashtbl.hash d.base) d.writes
+
+  let hash = function
+    | Const v -> comb 1 (Hashtbl.hash v)
+    | Sym s -> comb 2 (Hashtbl.hash s)
+    | Bin (op, a, b) -> comb (comb (comb 3 (Hashtbl.hash op)) a.id) b.id
+    | Not a -> comb 4 a.id
+    | Neg a -> comb 5 a.id
+    | Tup es -> hash_children 6 es
+    | Lst es -> hash_children 7 es
+    | Get (a, b) -> comb (comb 8 a.id) b.id
+    | Ufun (f, es) -> hash_children (comb 9 (Hashtbl.hash f)) es
+    | Mem (d, k) -> comb (comb 10 (hash_dict d)) k.id
+    | Dget (d, k) -> comb (comb 11 (hash_dict d)) k.id
+end
+
+module H = Hashtbl.Make (Node)
+
+let table : t H.t = H.create 4096
+let symtab : (string, t) Hashtbl.t = Hashtbl.create 256
+let counter = ref 0
+
+let intern node =
+  match H.find_opt table node with
+  | Some e -> e
+  | None ->
+      let e = { id = !counter; node } in
+      incr counter;
+      H.add table node e;
+      e
+
+let const v = intern (Const v)
+
+let sym s =
+  match Hashtbl.find_opt symtab s with
+  | Some e -> e
+  | None ->
+      let e = intern (Sym s) in
+      Hashtbl.add symtab s e;
+      e
+
+let intern_count () = !counter
+
+(* ------------------------------------------------------------------ *)
+(* Equality                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let equal (a : t) (b : t) = a == b
+let compare (a : t) (b : t) = Int.compare a.id b.id
+let hash (e : t) = Hashtbl.hash e.id
+
+let rec equal_structural a b =
+  a == b
+  ||
+  match (a.node, b.node) with
+  | Const x, Const y -> Value.equal x y
+  | Sym x, Sym y -> String.equal x y
+  | Bin (o1, x1, y1), Bin (o2, x2, y2) ->
+      o1 = o2 && equal_structural x1 x2 && equal_structural y1 y2
+  | Not x, Not y | Neg x, Neg y -> equal_structural x y
+  | Tup xs, Tup ys | Lst xs, Lst ys -> List.equal equal_structural xs ys
+  | Get (x1, y1), Get (x2, y2) -> equal_structural x1 x2 && equal_structural y1 y2
+  | Ufun (f, xs), Ufun (g, ys) -> String.equal f g && List.equal equal_structural xs ys
+  | Mem (d1, k1), Mem (d2, k2) | Dget (d1, k1), Dget (d2, k2) ->
+      equal_structural k1 k2 && equal_structural_dict d1 d2
+  | _ -> false
+
+and equal_structural_dict d1 d2 =
+  String.equal d1.base d2.base
+  && List.equal
+       (fun (k1, v1) (k2, v2) ->
+         equal_structural k1 k2 && Option.equal equal_structural v1 v2)
+       d1.writes d2.writes
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp ppf e =
+  match e.node with
   | Const v -> Value.pp ppf v
   | Sym s -> Fmt.string ppf s
   | Bin (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp a (Nfl.Pretty.binop_str op) pp b
@@ -63,22 +187,41 @@ and pp_dict ppf d =
 
 let to_string e = Fmt.str "%a" pp e
 
-let is_const = function Const _ -> true | _ -> false
-let const_of = function Const v -> Some v | _ -> None
+let is_const e = match e.node with Const _ -> true | _ -> false
+let const_of e = match e.node with Const v -> Some v | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Smart constructors                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let tru = Const (Value.Bool true)
-let fls = Const (Value.Bool false)
-let int n = Const (Value.Int n)
+let tru = const (Value.Bool true)
+let fls = const (Value.Bool false)
+let int n = const (Value.Int n)
+let zero = int 0
+let one = int 1
 
-(** Can two symbolic keys be proven different / equal syntactically? *)
+(* Module-level constants survive {!unsafe_reset_intern}: the reset
+   re-seeds them into the fresh table (same nodes, same ids 0..3), so
+   the [==]-based folds above stay sound for terms built afterwards. *)
+let pinned = [ tru; fls; zero; one ]
+
+let unsafe_reset_intern () =
+  H.reset table;
+  Hashtbl.reset symtab;
+  counter := 0;
+  List.iter
+    (fun e ->
+      H.add table e.node e;
+      counter := max !counter (e.id + 1))
+    pinned
+
+(** Can two symbolic keys be proven different / equal syntactically?
+    Interning makes the equal case O(1); only constants and tuples need
+    inspection. *)
 let key_relation a b =
-  if equal a b then `Equal
+  if a == b then `Equal
   else
-    match (a, b) with
+    match (a.node, b.node) with
     | Const va, Const vb -> if Value.equal va vb then `Equal else `Distinct
     | Tup xs, Tup ys when List.length xs = List.length ys ->
         (* Tuples are distinct if any component is provably distinct,
@@ -86,104 +229,110 @@ let key_relation a b =
         let rec go = function
           | [], [] -> `Equal
           | x :: xs, y :: ys -> (
-              match (x, y) with
+              match (x.node, y.node) with
               | Const vx, Const vy when not (Value.equal vx vy) -> `Distinct
-              | _ -> if equal x y then go (xs, ys) else `Unknown)
+              | _ -> if x == y then go (xs, ys) else `Unknown)
           | _ -> `Unknown
         in
         go (xs, ys)
     | _ -> `Unknown
 
-let mk_not = function
-  | Const (Value.Bool b) -> Const (Value.Bool (not b))
-  | Not e -> e
-  | e -> Not e
+let mk_not e =
+  match e.node with
+  | Const (Value.Bool b) -> const (Value.Bool (not b))
+  | Not a -> a
+  | _ -> intern (Not e)
 
-let mk_neg = function Const (Value.Int n) -> Const (Value.Int (-n)) | e -> Neg e
+let mk_neg e =
+  match e.node with Const (Value.Int n) -> const (Value.Int (-n)) | _ -> intern (Neg e)
 
 let mk_bin op a b =
-  match (a, b, op) with
+  match (a.node, b.node, op) with
   | Const va, Const vb, _ -> (
       (* Fold; fall back to the symbolic node on type errors so the
          solver reports infeasibility instead of crashing. *)
-      try Const (Value.binop op va vb) with Value.Type_error _ -> Bin (op, a, b))
-  | _, _, Nfl.Ast.Eq when equal a b -> tru
-  | _, _, Nfl.Ast.Ne when equal a b -> fls
+      try const (Value.binop op va vb) with Value.Type_error _ -> intern (Bin (op, a, b)))
+  | _, _, Nfl.Ast.Eq when a == b -> tru
+  | _, _, Nfl.Ast.Ne when a == b -> fls
   | _, _, Nfl.Ast.And ->
-      if equal a tru then b
-      else if equal b tru then a
-      else if equal a fls || equal b fls then fls
-      else Bin (op, a, b)
+      if a == tru then b
+      else if b == tru then a
+      else if a == fls || b == fls then fls
+      else intern (Bin (op, a, b))
   | _, _, Nfl.Ast.Or ->
-      if equal a fls then b
-      else if equal b fls then a
-      else if equal a tru || equal b tru then tru
-      else Bin (op, a, b)
-  | _, _, Nfl.Ast.Add when equal b (int 0) -> a
-  | _, _, Nfl.Ast.Add when equal a (int 0) -> b
-  | _, _, Nfl.Ast.Sub when equal b (int 0) -> a
-  | _, _, Nfl.Ast.Mul when equal a (int 1) -> b
-  | _, _, Nfl.Ast.Mul when equal b (int 1) -> a
+      if a == fls then b
+      else if b == fls then a
+      else if a == tru || b == tru then tru
+      else intern (Bin (op, a, b))
+  | _, _, Nfl.Ast.Add when b == zero -> a
+  | _, _, Nfl.Ast.Add when a == zero -> b
+  | _, _, Nfl.Ast.Sub when b == zero -> a
+  | _, _, Nfl.Ast.Sub when a == b -> zero
+  | _, _, Nfl.Ast.Mul when a == one -> b
+  | _, _, Nfl.Ast.Mul when b == one -> a
+  | _, _, Nfl.Ast.Mul when a == zero || b == zero -> zero
   | _, _, (Nfl.Ast.Eq | Nfl.Ast.Ne) -> (
       (* Tuple comparisons may fold componentwise. *)
       match key_relation a b with
       | `Equal -> if op = Nfl.Ast.Eq then tru else fls
       | `Distinct -> if op = Nfl.Ast.Eq then fls else tru
-      | `Unknown -> Bin (op, a, b))
-  | _ -> Bin (op, a, b)
+      | `Unknown -> intern (Bin (op, a, b)))
+  | _ -> intern (Bin (op, a, b))
 
 let mk_tuple es =
   match List.for_all is_const es with
-  | true -> Const (Value.Tuple (List.filter_map const_of es))
-  | false -> Tup es
+  | true -> const (Value.Tuple (List.filter_map const_of es))
+  | false -> intern (Tup es)
 
 let mk_list es =
   match List.for_all is_const es with
-  | true -> Const (Value.List (List.filter_map const_of es))
-  | false -> Lst es
+  | true -> const (Value.List (List.filter_map const_of es))
+  | false -> intern (Lst es)
 
 (** Container read. Concrete index into a known-shape container
     resolves; otherwise the read stays symbolic. *)
 let mk_get c i =
-  match (c, i) with
+  match (c.node, i.node) with
   | Const cv, Const iv -> (
-      try Const (Value.index cv iv) with Value.Type_error _ -> Get (c, i))
+      try const (Value.index cv iv) with Value.Type_error _ -> intern (Get (c, i)))
   | Tup es, Const (Value.Int n) when n >= 0 && n < List.length es -> List.nth es n
   | Lst es, Const (Value.Int n) when n >= 0 && n < List.length es -> List.nth es n
-  | _ -> Get (c, i)
+  | _ -> intern (Get (c, i))
 
 let mk_ufun f args =
   (* hash of a constant folds to the concrete hash so program and model
      agree on concrete runs. *)
   match (f, args) with
-  | "hash", [ Const v ] -> Const (Value.Int (Value.hash_value v))
-  | "len", [ Const v ] -> (
-      try Const (Value.apply_pure "len" [ v ]) with Value.Type_error _ -> Ufun (f, args))
-  | "len", [ Lst es ] -> int (List.length es)
-  | "len", [ Tup es ] -> int (List.length es)
-  | _ -> Ufun (f, args)
+  | "hash", [ { node = Const v; _ } ] -> const (Value.Int (Value.hash_value v))
+  | "len", [ ({ node = Const v; _ } as a) ] -> (
+      try const (Value.apply_pure "len" [ v ])
+      with Value.Type_error _ -> intern (Ufun (f, [ a ])))
+  | "len", [ { node = Lst es; _ } ] -> int (List.length es)
+  | "len", [ { node = Tup es; _ } ] -> int (List.length es)
+  | _ -> intern (Ufun (f, args))
 
 (** Membership test against a dictionary snapshot. Resolves through the
     write list when the key comparison is decidable; otherwise returns
     a [Mem] atom over the *remaining* snapshot. *)
 let rec mk_mem (d : dict_state) k =
   match d.writes with
-  | [] -> if d.base = empty_base then fls else Mem (d, k)
+  | [] -> if d.base = empty_base then fls else intern (Mem (d, k))
   | (wk, wv) :: rest -> (
       match key_relation k wk with
       | `Equal -> ( match wv with Some _ -> tru | None -> fls)
       | `Distinct -> mk_mem { d with writes = rest } k
-      | `Unknown -> Mem (d, k))
+      | `Unknown -> intern (Mem (d, k)))
 
 (** Dictionary read against a snapshot, same resolution discipline. *)
 let rec mk_dget (d : dict_state) k =
   match d.writes with
-  | [] -> Dget (d, k)
+  | [] -> intern (Dget (d, k))
   | (wk, wv) :: rest -> (
       match key_relation k wk with
-      | `Equal -> ( match wv with Some v -> v | None -> Dget (d, k) (* read of deleted key *))
+      | `Equal -> (
+          match wv with Some v -> v | None -> intern (Dget (d, k)) (* read of deleted key *))
       | `Distinct -> mk_dget { d with writes = rest } k
-      | `Unknown -> Dget (d, k))
+      | `Unknown -> intern (Dget (d, k)))
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                            *)
@@ -192,12 +341,14 @@ let rec mk_dget (d : dict_state) k =
 module Sset = Set.Make (String)
 
 (** Free symbolic variable names (including dictionary bases). *)
-let rec syms = function
+let rec syms e =
+  match e.node with
   | Const _ -> Sset.empty
   | Sym s -> Sset.singleton s
   | Bin (_, a, b) -> Sset.union (syms a) (syms b)
   | Not a | Neg a -> syms a
-  | Tup es | Lst es | Ufun (_, es) -> List.fold_left (fun acc e -> Sset.union acc (syms e)) Sset.empty es
+  | Tup es | Lst es | Ufun (_, es) ->
+      List.fold_left (fun acc e -> Sset.union acc (syms e)) Sset.empty es
   | Get (a, b) -> Sset.union (syms a) (syms b)
   | Mem (d, k) | Dget (d, k) ->
       let ws =
@@ -211,9 +362,10 @@ let rec syms = function
 
 (** Substitute free symbolic variables via [f] (used to concretize a
     path condition into test packets, and by the model interpreter). *)
-let rec subst f = function
-  | Const _ as e -> e
-  | Sym s as e -> ( match f s with Some v -> Const v | None -> e)
+let rec subst f e =
+  match e.node with
+  | Const _ -> e
+  | Sym s -> ( match f s with Some v -> const v | None -> e)
   | Bin (op, a, b) -> mk_bin op (subst f a) (subst f b)
   | Not a -> mk_not (subst f a)
   | Neg a -> mk_neg (subst f a)
@@ -233,9 +385,10 @@ and subst_dict f d =
 (** Symbol-for-expression substitution (used by header-space style
     reachability to thread a packet's field expressions through
     downstream match predicates). *)
-let rec subst_sym f = function
-  | Const _ as e -> e
-  | Sym s as e -> ( match f s with Some e' -> e' | None -> e)
+let rec subst_sym f e =
+  match e.node with
+  | Const _ -> e
+  | Sym s -> ( match f s with Some e' -> e' | None -> e)
   | Bin (op, a, b) -> mk_bin op (subst_sym f a) (subst_sym f b)
   | Not a -> mk_not (subst_sym f a)
   | Neg a -> mk_neg (subst_sym f a)

@@ -8,13 +8,19 @@
       interval propagation plus equality union-find;
     - (dis)equalities over tuples, decomposed componentwise;
     - dictionary-membership and other opaque atoms, treated as free
-      booleans with per-path consistency (same canonical atom cannot be
-      both true and false);
+      booleans with per-path consistency (same atom cannot be both
+      true and false);
     - boolean structure: [not] flips polarity, conjunctions (positive
       [&&], negated [||]) decompose into literals; top-level
       disjunctions are case-split DPLL-style up to a bounded depth,
       beyond which they are treated as opaque atoms (conservative
       towards [Sat]).
+
+    Terms are hash-consed ({!Sexpr}), so every internal table is keyed
+    by term {e id} — union-find, interval bounds, opaque-term
+    definitions, free-boolean atoms and the verdict memo all use O(1)
+    integer keys instead of rendered strings; no operation here costs
+    more than the width of the term it inspects.
 
     [Unsat] answers are trusted (used to prune paths); anything the
     procedure cannot refute is reported [Sat], a sound
@@ -23,56 +29,71 @@
 
 type literal = { atom : Sexpr.t; positive : bool }
 
-(* Negations fold into the polarity so literals render canonically. *)
+(* Negations fold into the polarity so literals are canonical: equal
+   (atom id, polarity) pairs denote the same constraint. *)
 let rec lit atom positive =
-  match atom with Sexpr.Not e -> lit e (not positive) | _ -> { atom; positive }
+  match Sexpr.view atom with Sexpr.Not e -> lit e (not positive) | _ -> { atom; positive }
+
 let pp_literal ppf l = Fmt.pf ppf "%s%a" (if l.positive then "" else "¬") Sexpr.pp l.atom
 
 type verdict = Sat | Unsat
+
+(* String-keyed map: the public [concretize] assignment is keyed by
+   symbol name, which is the vocabulary callers (test generation,
+   witness search) speak. *)
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
 
 (* ------------------------------------------------------------------ *)
 (* Terms and linear forms                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Opaque subexpressions become numbered terms keyed by canonical
-   rendering. *)
-module Smap = Map.Make (String)
-
-type linear = { coeffs : (string * int) list; const : int }
-(** sum coeffs + const; coeffs keyed by canonical term name, sorted. *)
+type linear = { coeffs : (Sexpr.t * int) list; const : int }
+(** sum coeffs + const; coeffs keyed by interned term, sorted by id. *)
 
 let lin_const c = { coeffs = []; const = c }
 let lin_term t = { coeffs = [ (t, 1) ]; const = 0 }
 
 let lin_add a b =
-  let m = ref Smap.empty in
-  let add (t, c) = m := Smap.update t (function None -> Some c | Some c' -> Some (c + c')) !m in
-  List.iter add a.coeffs;
-  List.iter add b.coeffs;
-  let coeffs = Smap.bindings !m |> List.filter (fun (_, c) -> c <> 0) in
-  { coeffs; const = a.const + b.const }
+  (* Merge of id-sorted coefficient lists; cancelling terms drop. *)
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | ((tx, cx) :: xs') , ((ty, cy) :: ys') ->
+        let ix = Sexpr.id tx and iy = Sexpr.id ty in
+        if ix = iy then
+          let c = cx + cy in
+          if c = 0 then merge xs' ys' else (tx, c) :: merge xs' ys'
+        else if ix < iy then (tx, cx) :: merge xs' ys
+        else (ty, cy) :: merge xs ys'
+  in
+  { coeffs = merge a.coeffs b.coeffs; const = a.const + b.const }
 
-let lin_scale k a = { coeffs = List.map (fun (t, c) -> (t, k * c)) a.coeffs; const = k * a.const }
+let lin_scale k a =
+  if k = 0 then lin_const 0
+  else { coeffs = List.map (fun (t, c) -> (t, k * c)) a.coeffs; const = k * a.const }
+
 let lin_sub a b = lin_add a (lin_scale (-1) b)
 
 (** Linearize an int-valued symbolic expression; opaque operations
-    collapse their subtree into a single named term, whose defining
-    expression is reported through [record] so the theory can evaluate
-    it once its free symbols become fixed. *)
+    collapse their subtree into a single term — the subtree itself,
+    interned — whose definition is reported through [record] so the
+    theory can evaluate it once its free symbols become fixed. *)
 let rec linearize ~record (e : Sexpr.t) : linear =
-  match e with
+  match Sexpr.view e with
   | Sexpr.Const (Value.Int n) -> lin_const n
   | Sexpr.Const (Value.Bool b) -> lin_const (if b then 1 else 0)
-  | Sexpr.Sym s -> lin_term s
+  | Sexpr.Sym _ -> lin_term e
   | Sexpr.Bin (Nfl.Ast.Add, a, b) -> lin_add (linearize ~record a) (linearize ~record b)
   | Sexpr.Bin (Nfl.Ast.Sub, a, b) -> lin_sub (linearize ~record a) (linearize ~record b)
-  | Sexpr.Bin (Nfl.Ast.Mul, Sexpr.Const (Value.Int k), b) -> lin_scale k (linearize ~record b)
-  | Sexpr.Bin (Nfl.Ast.Mul, a, Sexpr.Const (Value.Int k)) -> lin_scale k (linearize ~record a)
+  | Sexpr.Bin (Nfl.Ast.Mul, { Sexpr.node = Sexpr.Const (Value.Int k); _ }, b) ->
+      lin_scale k (linearize ~record b)
+  | Sexpr.Bin (Nfl.Ast.Mul, a, { Sexpr.node = Sexpr.Const (Value.Int k); _ }) ->
+      lin_scale k (linearize ~record a)
   | Sexpr.Neg a -> lin_scale (-1) (linearize ~record a)
   | _ ->
-      let name = "⟦" ^ Sexpr.to_string e ^ "⟧" in
-      record name e;
-      lin_term name
+      record e;
+      lin_term e
 
 (* ------------------------------------------------------------------ *)
 (* Theory state                                                       *)
@@ -96,38 +117,41 @@ let fixed b = match (b.lo, b.hi) with Some l, Some h when l = h -> Some l | _ ->
 
 exception Contradiction
 
+(* Every map is keyed by term id. All fields hold immutable values so
+   a state snapshot is an O(1) record copy (the incremental context
+   relies on that). *)
 type state = {
-  mutable parent : string Smap.t;  (** union-find over term names *)
-  mutable bounds : bound Smap.t;  (** per representative *)
-  mutable disequal : (string * int) list;  (** representative <> constant *)
-  mutable bools : bool Smap.t;  (** canonical opaque atom -> forced truth *)
+  mutable parent : int Imap.t;  (** union-find over term ids *)
+  mutable bounds : bound Imap.t;  (** per representative id *)
+  mutable disequal : (int * int) list;  (** representative id <> constant *)
+  mutable bools : bool Imap.t;  (** opaque atom id -> forced truth *)
   mutable pending : (linear * [ `Eq | `Ne | `Ge ]) list;  (** multi-term, re-checked at fixpoint *)
-  mutable opaque : (string * Sexpr.t) list;  (** opaque term definitions *)
+  mutable opaque : Sexpr.t Imap.t;  (** opaque term definitions, by id *)
 }
 
-let find st t =
-  let rec go t = match Smap.find_opt t st.parent with Some p when p <> t -> go p | _ -> t in
-  go t
+let find st i =
+  let rec go i = match Imap.find_opt i st.parent with Some p when p <> i -> go p | _ -> i in
+  go i
 
-let bound_of st t = Option.value ~default:full (Smap.find_opt (find st t) st.bounds)
+let bound_of st i = Option.value ~default:full (Imap.find_opt (find st i) st.bounds)
 
-let set_bound st t b =
-  let r = find st t in
+let set_bound st i b =
+  let r = find st i in
   let nb = inter (bound_of st r) b in
   if bound_empty nb then raise Contradiction;
   (match fixed nb with
   | Some v ->
       if List.exists (fun (r', c) -> r' = r && c = v) st.disequal then raise Contradiction
   | None -> ());
-  st.bounds <- Smap.add r nb st.bounds
+  st.bounds <- Imap.add r nb st.bounds
 
 let union st a b =
   let ra = find st a and rb = find st b in
   if ra <> rb then begin
     let merged = inter (bound_of st ra) (bound_of st rb) in
     if bound_empty merged then raise Contradiction;
-    st.parent <- Smap.add ra rb st.parent;
-    st.bounds <- Smap.add rb merged st.bounds;
+    st.parent <- Imap.add ra rb st.parent;
+    st.bounds <- Imap.add rb merged st.bounds;
     st.disequal <-
       List.map (fun (r, c) -> ((if r = ra then rb else r), c)) st.disequal;
     match fixed merged with
@@ -135,8 +159,8 @@ let union st a b =
     | None -> ()
   end
 
-let add_disequal st t c =
-  let r = find st t in
+let add_disequal st i c =
+  let r = find st i in
   (match fixed (bound_of st r) with Some v when v = c -> raise Contradiction | _ -> ());
   (* Tighten adjacent bounds: t <> c with lo = c bumps lo. *)
   let b = bound_of st r in
@@ -147,7 +171,7 @@ let add_disequal st t c =
     match b.hi with Some h when h = c -> { b with hi = Some (c - 1) } | _ -> b
   in
   if bound_empty b then raise Contradiction;
-  st.bounds <- Smap.add r b st.bounds;
+  st.bounds <- Imap.add r b st.bounds;
   st.disequal <- (r, c) :: st.disequal
 
 (* Evaluate a linear form if every term is fixed. *)
@@ -157,7 +181,9 @@ let lin_value st l =
       match acc with
       | None -> None
       | Some sum -> (
-          match fixed (bound_of st t) with Some v -> Some (sum + (c * v)) | None -> None))
+          match fixed (bound_of st (Sexpr.id t)) with
+          | Some v -> Some (sum + (c * v))
+          | None -> None))
     (Some l.const) l.coeffs
 
 (* Assert [l ⋈ 0]. *)
@@ -170,24 +196,25 @@ let assert_linear st l rel =
       if l.const mod c <> 0 then raise Contradiction
       else
         let v = -l.const / c in
-        set_bound st t { lo = Some v; hi = Some v }
+        set_bound st (Sexpr.id t) { lo = Some v; hi = Some v }
   | [ (t, c) ], `Ne ->
-      if l.const mod c = 0 then add_disequal st t (-l.const / c)
+      if l.const mod c = 0 then add_disequal st (Sexpr.id t) (-l.const / c)
   | [ (t, c) ], `Ge ->
       (* c*t + k >= 0 *)
       if c > 0 then
         (* t >= ceil(-k / c) *)
         let v = -l.const in
         let q = if v >= 0 then (v + c - 1) / c else -(-v / c) in
-        set_bound st t { lo = Some q; hi = None }
+        set_bound st (Sexpr.id t) { lo = Some q; hi = None }
       else
         let c = -c in
         (* t <= floor(k / c) *)
         let v = l.const in
         let q = if v >= 0 then v / c else -((-v + c - 1) / c) in
-        set_bound st t { lo = None; hi = Some q }
+        set_bound st (Sexpr.id t) { lo = None; hi = Some q }
   | [ (t1, 1); (t2, -1) ], `Eq | [ (t1, -1); (t2, 1) ], `Eq ->
-      if l.const = 0 then union st t1 t2 else st.pending <- (l, rel) :: st.pending
+      if l.const = 0 then union st (Sexpr.id t1) (Sexpr.id t2)
+      else st.pending <- (l, rel) :: st.pending
   | _ -> st.pending <- (l, rel) :: st.pending
 
 (* Re-check pending multi-term constraints; fully fixed ones decide. *)
@@ -207,38 +234,39 @@ let check_pending st =
 (* Atom assertion                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let canonical_atom (e : Sexpr.t) = Sexpr.to_string e
-
 let is_intish (e : Sexpr.t) =
-  match e with
+  match Sexpr.view e with
   | Sexpr.Const (Value.Int _) | Sexpr.Sym _ | Sexpr.Bin _ | Sexpr.Neg _ | Sexpr.Get _
   | Sexpr.Dget _ | Sexpr.Ufun _ ->
       true
   | _ -> false
 
-let record_opaque st name e =
-  if not (List.mem_assoc name st.opaque) then st.opaque <- (name, e) :: st.opaque
+let record_opaque st e =
+  let i = Sexpr.id e in
+  if not (Imap.mem i st.opaque) then st.opaque <- Imap.add i e st.opaque
 
 (* Evaluate opaque definitions whose free symbols are now fixed; their
    terms then get point bounds, enabling contradictions like
    [x = 8.8.8.8] vs [(x & mask) == other_net]. *)
 let propagate_opaque st =
-  List.iter
-    (fun (name, e) ->
+  Imap.iter
+    (fun i e ->
       let fixed_value s =
-        match fixed (bound_of st s) with Some v -> Some (Value.Int v) | None -> None
+        match fixed (bound_of st (Sexpr.id (Sexpr.sym s))) with
+        | Some v -> Some (Value.Int v)
+        | None -> None
       in
-      match Sexpr.subst fixed_value e with
-      | Sexpr.Const (Value.Int v) -> set_bound st name { lo = Some v; hi = Some v }
+      match Sexpr.view (Sexpr.subst fixed_value e) with
+      | Sexpr.Const (Value.Int v) -> set_bound st i { lo = Some v; hi = Some v }
       | Sexpr.Const (Value.Bool b) ->
           let v = if b then 1 else 0 in
-          set_bound st name { lo = Some v; hi = Some v }
+          set_bound st i { lo = Some v; hi = Some v }
       | _ -> ())
     st.opaque
 
 let rec assert_atom st (e : Sexpr.t) positive =
   let linearize e = linearize ~record:(record_opaque st) e in
-  match e with
+  match Sexpr.view e with
   | Sexpr.Const (Value.Bool b) -> if b <> positive then raise Contradiction
   | Sexpr.Not a -> assert_atom st a (not positive)
   | Sexpr.Bin (Nfl.Ast.And, a, b) when positive ->
@@ -250,19 +278,28 @@ let rec assert_atom st (e : Sexpr.t) positive =
   | Sexpr.Bin ((Nfl.Ast.And | Nfl.Ast.Or), _, _) ->
       (* Disjunctive shape: handled by the case-splitting wrapper; as a
          single theory atom we record it opaquely. *)
-      assert_bool st (canonical_atom e) positive
-  | Sexpr.Bin (Nfl.Ast.Eq, Sexpr.Tup xs, Sexpr.Tup ys) when List.length xs = List.length ys ->
-      if positive then List.iter2 (fun x y -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Eq x y) true) xs ys
-      else assert_bool st (canonical_atom e) positive
-  | Sexpr.Bin (Nfl.Ast.Eq, Sexpr.Tup xs, Sexpr.Const (Value.Tuple vs))
-  | Sexpr.Bin (Nfl.Ast.Eq, Sexpr.Const (Value.Tuple vs), Sexpr.Tup xs)
+      assert_bool st e positive
+  | Sexpr.Bin
+      (Nfl.Ast.Eq, { Sexpr.node = Sexpr.Tup xs; _ }, { Sexpr.node = Sexpr.Tup ys; _ })
+    when List.length xs = List.length ys ->
+      if positive then
+        List.iter2 (fun x y -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Eq x y) true) xs ys
+      else assert_bool st e positive
+  | Sexpr.Bin
+      ( Nfl.Ast.Eq,
+        { Sexpr.node = Sexpr.Tup xs; _ },
+        { Sexpr.node = Sexpr.Const (Value.Tuple vs); _ } )
+  | Sexpr.Bin
+      ( Nfl.Ast.Eq,
+        { Sexpr.node = Sexpr.Const (Value.Tuple vs); _ },
+        { Sexpr.node = Sexpr.Tup xs; _ } )
     when List.length xs = List.length vs ->
       if positive then
         List.iter2
-          (fun x v -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Eq x (Sexpr.Const v)) true)
+          (fun x v -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Eq x (Sexpr.const v)) true)
           xs vs
-      else assert_bool st (canonical_atom e) positive
-  | Sexpr.Bin (Nfl.Ast.Ne, a, b) -> assert_atom st (Sexpr.Bin (Nfl.Ast.Eq, a, b)) (not positive)
+      else assert_bool st e positive
+  | Sexpr.Bin (Nfl.Ast.Ne, a, b) -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Eq a b) (not positive)
   | Sexpr.Bin (Nfl.Ast.Eq, a, b) when is_intish a && is_intish b ->
       assert_linear st (lin_sub (linearize a) (linearize b)) (if positive then `Eq else `Ne)
   | Sexpr.Bin (Nfl.Ast.Lt, a, b) ->
@@ -273,18 +310,19 @@ let rec assert_atom st (e : Sexpr.t) positive =
   | Sexpr.Bin (Nfl.Ast.Le, a, b) ->
       if positive then assert_linear st (lin_sub (linearize b) (linearize a)) `Ge
       else assert_linear st (lin_add (lin_sub (linearize a) (linearize b)) (lin_const (-1))) `Ge
-  | Sexpr.Bin (Nfl.Ast.Gt, a, b) -> assert_atom st (Sexpr.Bin (Nfl.Ast.Lt, b, a)) positive
-  | Sexpr.Bin (Nfl.Ast.Ge, a, b) -> assert_atom st (Sexpr.Bin (Nfl.Ast.Le, b, a)) positive
-  | Sexpr.Bin (Nfl.Ast.Eq, _, _) -> assert_bool st (canonical_atom e) positive
+  | Sexpr.Bin (Nfl.Ast.Gt, a, b) -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Lt b a) positive
+  | Sexpr.Bin (Nfl.Ast.Ge, a, b) -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Le b a) positive
+  | Sexpr.Bin (Nfl.Ast.Eq, _, _) -> assert_bool st e positive
   | Sexpr.Mem _ | Sexpr.Sym _ | Sexpr.Ufun _ | Sexpr.Get _ | Sexpr.Dget _ ->
-      assert_bool st (canonical_atom e) positive
+      assert_bool st e positive
   | Sexpr.Bin _ | Sexpr.Const _ | Sexpr.Neg _ | Sexpr.Tup _ | Sexpr.Lst _ ->
-      assert_bool st (canonical_atom e) positive
+      assert_bool st e positive
 
-and assert_bool st key positive =
-  match Smap.find_opt key st.bools with
+and assert_bool st atom positive =
+  let key = Sexpr.id atom in
+  match Imap.find_opt key st.bools with
   | Some b -> if b <> positive then raise Contradiction
-  | None -> st.bools <- Smap.add key positive st.bools
+  | None -> st.bools <- Imap.add key positive st.bools
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                        *)
@@ -292,12 +330,12 @@ and assert_bool st key positive =
 
 let fresh_state () =
   {
-    parent = Smap.empty;
-    bounds = Smap.empty;
+    parent = Imap.empty;
+    bounds = Imap.empty;
     disequal = [];
-    bools = Smap.empty;
+    bools = Imap.empty;
     pending = [];
-    opaque = [];
+    opaque = Imap.empty;
   }
 
 (* Direct conjunction check: every literal asserted into one theory
@@ -321,8 +359,9 @@ let check_direct (literals : literal list) =
 let rec find_split acc = function
   | [] -> None
   | l :: rest -> (
-      match (l.atom, l.positive) with
-      | Sexpr.Bin (Nfl.Ast.Or, a, b), true -> Some (List.rev_append acc rest, lit a true, lit b true)
+      match (Sexpr.view l.atom, l.positive) with
+      | Sexpr.Bin (Nfl.Ast.Or, a, b), true ->
+          Some (List.rev_append acc rest, lit a true, lit b true)
       | Sexpr.Bin (Nfl.Ast.And, a, b), false ->
           Some (List.rev_append acc rest, lit a false, lit b false)
       | Sexpr.Not a, p -> find_split acc ({ atom = a; positive = not p } :: rest)
@@ -350,24 +389,25 @@ let check (literals : literal list) = check_split 12 literals
 (* Incremental context with memoized path-condition checks            *)
 (* ------------------------------------------------------------------ *)
 
-(* Canonical, polarity-tagged rendering of a literal. Two literals with
-   the same key denote the same constraint, so conjunction verdicts are
-   a function of the key *set* alone — the basis of the memo table. *)
-let lit_key l = (if l.positive then "+" else "-") ^ canonical_atom l.atom
+(* Polarity-signed term id of a literal: positive literals map to
+   [id+1], negative to [-(id+1)] (the shift keeps id 0 signable).
+   [lit] folds negations into the polarity, so two literals denoting
+   the same constraint always produce the same key — in O(1), with no
+   term rendering. *)
+let lit_key l = if l.positive then Sexpr.id l.atom + 1 else -(Sexpr.id l.atom + 1)
 
-let negate_key k =
-  if String.length k = 0 then k
-  else (if k.[0] = '+' then "-" else "+") ^ String.sub k 1 (String.length k - 1)
+let negate_key k = -k
 
 type memo = {
-  table : (string, verdict) Hashtbl.t;
+  table : (int list, verdict) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
 }
-(** Verdict cache keyed on the canonicalized (sorted, deduplicated)
-    literal set of the whole conjunction. Keys are order-insensitive
-    and idempotent, so the table is sound to share across explorations
-    — even of different programs: equal keys mean equal formulas. *)
+(** Verdict cache keyed on the canonicalized conjunction: the sorted,
+    deduplicated vector of polarity-signed literal ids. Keys are
+    order-insensitive and idempotent, so the table is sound to share
+    across explorations in one session — equal ids mean equal terms,
+    hence equal keys mean equal formulas. *)
 
 let memo_create () = { table = Hashtbl.create 256; hits = 0; misses = 0 }
 let memo_hits m = m.hits
@@ -399,14 +439,14 @@ let state_restore (st : state) (s : state) =
    these, so they force a fallback to the full procedure. [lit] folds
    [Not] into the polarity, but stay conservative on a raw [Not]. *)
 let splittable l =
-  match (l.atom, l.positive) with
+  match (Sexpr.view l.atom, l.positive) with
   | Sexpr.Bin (Nfl.Ast.Or, _, _), true | Sexpr.Bin (Nfl.Ast.And, _, _), false -> true
   | Sexpr.Not _, _ -> true
   | _ -> false
 
 module Ctx = struct
   type frame = {
-    f_key : string;
+    f_key : int;
     f_snap : state;  (** theory state before this literal was asserted *)
     f_splittable : bool;
     f_broken_before : bool;
@@ -415,7 +455,7 @@ module Ctx = struct
   type t = {
     st : state;  (** theory state with every pushed literal asserted *)
     mutable frames : frame list;
-    mutable keys : string list;  (** canonical keys of the stack, sorted *)
+    mutable keys : int list;  (** signed literal ids of the stack, sorted *)
     mutable lits_rev : literal list;  (** pushed literals, newest first *)
     mutable splittables : int;  (** splittable literals on the stack *)
     mutable broken : bool;  (** a push refuted the stack directly *)
@@ -444,13 +484,13 @@ module Ctx = struct
   let checks c = c.checks
   let solver_time c = c.time
 
-  let rec insert_sorted k = function
+  let rec insert_sorted (k : int) = function
     | [] -> [ k ]
     | k' :: rest as l -> if k <= k' then k :: l else k' :: insert_sorted k rest
 
-  let rec remove_first k = function
+  let rec remove_first (k : int) = function
     | [] -> []
-    | k' :: rest -> if String.equal k k' then rest else k' :: remove_first k rest
+    | k' :: rest -> if k = k' then rest else k' :: remove_first k rest
 
   let push c l =
     let key = lit_key l in
@@ -477,12 +517,12 @@ module Ctx = struct
 
   (* Sorted + deduplicated conjunction key: idempotent, so re-testing a
      literal already on the stack maps to an already-cached key. *)
-  let conj_key c k =
+  let conj_key c (k : int) =
     let rec dedup = function
-      | a :: (b :: _ as rest) -> if String.equal a b then dedup rest else a :: dedup rest
+      | a :: (b :: _ as rest) -> if a = b then dedup rest else a :: dedup rest
       | l -> l
     in
-    String.concat " ∧ " (dedup (insert_sorted k c.keys))
+    dedup (insert_sorted k c.keys)
 
   (* Direct incremental check of [stack ∧ l]: assert the one new
      literal against the accumulated theory state, run the same
@@ -512,12 +552,12 @@ module Ctx = struct
       c.memo.hits <- c.memo.hits + 1;
       Unsat
     end
-    else if List.exists (String.equal k) c.keys then begin
+    else if List.exists (fun k' -> k' = k) c.keys then begin
       (* Subsumed: stack ∧ l = stack, and the stack is not refuted. *)
       c.memo.hits <- c.memo.hits + 1;
       Sat
     end
-    else if List.exists (String.equal (negate_key k)) c.keys then begin
+    else if List.exists (fun k' -> k' = negate_key k) c.keys then begin
       (* The stack contains the canonical negation: genuinely Unsat. *)
       c.memo.hits <- c.memo.hits + 1;
       Unsat
@@ -564,9 +604,11 @@ let concretize ?(default = 0) (literals : literal list) =
           Sexpr.Sset.empty literals
       in
       let assign name =
-        let b = bound_of st name in
-        let avoid = List.filter_map (fun (r, c) -> if r = find st name then Some c else None) st.disequal in
-        let merged = find st name <> name in
+        let i = Sexpr.id (Sexpr.sym name) in
+        let b = bound_of st i in
+        let r = find st i in
+        let avoid = List.filter_map (fun (r', c) -> if r' = r then Some c else None) st.disequal in
+        let merged = r <> i in
         if b = full && avoid = [] && not merged then None
         else
           (* Walk away from disequalities in a direction that cannot

@@ -31,14 +31,16 @@ val concretize : ?default:int -> literal list -> Value.t Smap.t option
 
 (** {1 Incremental checking} *)
 
-val lit_key : literal -> string
-(** Canonical polarity-tagged rendering; equal keys denote the same
-    constraint. *)
+val lit_key : literal -> int
+(** Polarity-signed term id ([id+1] positive, [-(id+1)] negative).
+    O(1); equal keys denote the same constraint because terms are
+    hash-consed. Session-local, like the ids it builds on. *)
 
 type memo
-(** Verdict cache keyed on canonicalized (sorted, deduplicated) literal
-    sets. Order-insensitive and idempotent, hence sound to share across
-    explorations — equal keys mean equal formulas. *)
+(** Verdict cache keyed on canonicalized (sorted, deduplicated) vectors
+    of polarity-signed literal ids. Order-insensitive and idempotent,
+    hence sound to share across explorations in one session — equal ids
+    mean equal terms, so equal keys mean equal formulas. *)
 
 val memo_create : unit -> memo
 val memo_hits : memo -> int

@@ -22,7 +22,7 @@ type sym_pkt = (string * Sexpr.t) list
 
 let fresh_pkt : sym_pkt =
   List.map
-    (fun f -> (f, Sexpr.Sym ("in." ^ f)))
+    (fun f -> (f, Sexpr.sym ("in." ^ f)))
     (Packet.Headers.int_fields @ Packet.Headers.str_fields)
 
 type cls = {
@@ -36,17 +36,21 @@ type cls = {
    symbols become their concrete store values; membership/read atoms
    against state dictionaries are expanded over the store's (finite)
    concrete contents. *)
-let instantiate_expr (store : Model_interp.store) (pkt : sym_pkt) (e : Sexpr.t) =
+let instantiate_expr ?(pkt_var = "pkt") (store : Model_interp.store) (pkt : sym_pkt)
+    (e : Sexpr.t) =
+  let prefix = pkt_var ^ "." in
+  let plen = String.length prefix in
   let lookup name =
-    if String.length name > 4 && String.sub name 0 4 = "pkt." then
-      List.assoc_opt (String.sub name 4 (String.length name - 4)) pkt
+    if String.length name > plen && String.sub name 0 plen = prefix then
+      List.assoc_opt (String.sub name plen (String.length name - plen)) pkt
     else
       match Model_interp.Smap.find_opt name store with
       | Some (Value.Dict _) | None -> None
-      | Some v -> Some (Sexpr.Const v)
+      | Some v -> Some (Sexpr.const v)
   in
   let rec expand e =
-    match Sexpr.subst_sym lookup e with
+    let e = Sexpr.subst_sym lookup e in
+    match Sexpr.view e with
     | Sexpr.Mem (d, k) -> (
         (* Base dictionary contents are concrete in the store: expand
            membership into a finite disjunction over its keys, after
@@ -55,7 +59,7 @@ let instantiate_expr (store : Model_interp.store) (pkt : sym_pkt) (e : Sexpr.t) 
         | Some kvs ->
             let k = expand k in
             let eqs =
-              List.map (fun (key, _) -> Sexpr.mk_bin Nfl.Ast.Eq k (Sexpr.Const key)) kvs
+              List.map (fun (key, _) -> Sexpr.mk_bin Nfl.Ast.Eq k (Sexpr.const key)) kvs
             in
             let base_mem =
               List.fold_left (fun acc e -> Sexpr.mk_bin Nfl.Ast.Or acc e) Sexpr.fls eqs
@@ -69,8 +73,8 @@ let instantiate_expr (store : Model_interp.store) (pkt : sym_pkt) (e : Sexpr.t) 
                 | None ->
                     Sexpr.mk_bin Nfl.Ast.And (Sexpr.mk_not hit) acc)
               base_mem (List.rev d.Sexpr.writes)
-        | None -> Sexpr.Mem (d, expand k))
-    | Sexpr.Dget (d, k) -> Sexpr.Dget (d, expand k) (* left opaque; solver treats as term *)
+        | None -> Sexpr.mk_mem d (expand k))
+    | Sexpr.Dget (d, k) -> Sexpr.mk_dget d (expand k) (* left opaque; solver treats as term *)
     | Sexpr.Bin (op, a, b) -> Sexpr.mk_bin op (expand a) (expand b)
     | Sexpr.Not a -> Sexpr.mk_not (expand a)
     | Sexpr.Neg a -> Sexpr.mk_neg (expand a)
@@ -78,7 +82,7 @@ let instantiate_expr (store : Model_interp.store) (pkt : sym_pkt) (e : Sexpr.t) 
     | Sexpr.Lst es -> Sexpr.mk_list (List.map expand es)
     | Sexpr.Get (a, b) -> Sexpr.mk_get (expand a) (expand b)
     | Sexpr.Ufun (f, es) -> Sexpr.mk_ufun f (List.map expand es)
-    | (Sexpr.Const _ | Sexpr.Sym _) as e -> e
+    | Sexpr.Const _ | Sexpr.Sym _ -> e
   and concrete_base (d : Sexpr.dict_state) =
     if d.Sexpr.base = Sexpr.empty_base then Some []
     else
@@ -88,13 +92,13 @@ let instantiate_expr (store : Model_interp.store) (pkt : sym_pkt) (e : Sexpr.t) 
   in
   expand e
 
-let instantiate_literal store pkt (l : Solver.literal) =
-  Solver.lit (instantiate_expr store pkt l.Solver.atom) l.Solver.positive
+let instantiate_literal ?pkt_var store pkt (l : Solver.literal) =
+  Solver.lit (instantiate_expr ?pkt_var store pkt l.Solver.atom) l.Solver.positive
 
 (* Apply a forward snapshot: each output field expression, instantiated
    into the input vocabulary. *)
-let apply_snapshot store pkt snapshot : sym_pkt =
-  List.map (fun (f, e) -> (f, instantiate_expr store pkt e)) snapshot
+let apply_snapshot ?pkt_var store pkt snapshot : sym_pkt =
+  List.map (fun (f, e) -> (f, instantiate_expr ?pkt_var store pkt e)) snapshot
 
 (** Push a symbolic packet through one model under a concrete state
     snapshot: all feasible (entry, refined class) pairs. Dropping
@@ -106,12 +110,14 @@ let through_model ~node_id (m : Model.t) (store : Model_interp.store) (c : cls) 
     (List.mapi
        (fun idx (e : Model.entry) ->
          let lits =
-           List.map (instantiate_literal store c.pkt)
-             (e.Model.config @ e.Model.flow_match @ e.Model.state_match)
+           List.map
+             (instantiate_literal ~pkt_var:m.Model.pkt_var store c.pkt)
+             (e.Model.config @ e.Model.flow_match @ e.Model.state_match
+            @ e.Model.residual_match)
            (* trivially-true literals (satisfied config predicates,
               vacuous state expansions) only add noise *)
            |> List.filter (fun (l : Solver.literal) ->
-                  match l.Solver.atom with
+                  match Sexpr.view l.Solver.atom with
                   | Sexpr.Const (Value.Bool b) -> b <> l.Solver.positive
                   | _ -> true)
          in
@@ -125,7 +131,7 @@ let through_model ~node_id (m : Model.t) (store : Model_interp.store) (c : cls) 
                  (fun snap ->
                    {
                      constraints = combined;
-                     pkt = apply_snapshot store c.pkt snap;
+                     pkt = apply_snapshot ~pkt_var:m.Model.pkt_var store c.pkt snap;
                      fired = c.fired @ [ (node_id, idx) ];
                    })
                  snaps)
@@ -156,7 +162,7 @@ let pp_cls ppf c =
     c.fired;
   Fmt.pf ppf "when : %a@." Model.pp_literals c.constraints;
   let rewrites =
-    List.filter (fun (f, e) -> not (Sexpr.equal e (Sexpr.Sym ("in." ^ f)))) c.pkt
+    List.filter (fun (f, e) -> not (Sexpr.equal e (Sexpr.sym ("in." ^ f)))) c.pkt
   in
   Fmt.pf ppf "out  : %a@."
     Fmt.(list ~sep:(any ", ") (fun ppf (f, e) -> Fmt.pf ppf "%s:=%a" f Sexpr.pp e))

@@ -23,8 +23,11 @@ type coverage = {
   uncovered : int list;  (** entries never fired *)
 }
 
-(* Build a packet from a solver assignment over "pkt.<field>" syms. *)
-let packet_of_assignment ?(defaults : Packet.Pkt.t option) assignment =
+(* Build a packet from a solver assignment over "<pkt_var>.<field>"
+   syms. *)
+let packet_of_assignment ?(pkt_var = "pkt") ?(defaults : Packet.Pkt.t option) assignment =
+  let prefix = pkt_var ^ "." in
+  let plen = String.length prefix in
   let base =
     match defaults with
     | Some p -> p
@@ -34,8 +37,8 @@ let packet_of_assignment ?(defaults : Packet.Pkt.t option) assignment =
   in
   Solver.Smap.fold
     (fun name v pkt ->
-      if String.length name > 4 && String.sub name 0 4 = "pkt." then
-        let f = String.sub name 4 (String.length name - 4) in
+      if String.length name > plen && String.sub name 0 plen = prefix then
+        let f = String.sub name plen (String.length name - plen) in
         match v with
         | Value.Int n when Packet.Headers.is_int_field f ->
             (* Clamp into field-plausible ranges. *)
@@ -172,10 +175,11 @@ let attempt_entry (m : Model.t) store idx =
         let r = Model_interp.step m store pkt in
         if r.Model_interp.matched = Some idx then Some (pkt, r.Model_interp.store) else None
       in
-      let overlay base = packet_of_assignment ~defaults:base assignment in
+      let pkt_var = m.Model.pkt_var in
+      let overlay base = packet_of_assignment ~pkt_var ~defaults:base assignment in
       let from_state = state_candidates store in
       let candidates =
-        (packet_of_assignment assignment :: from_state)
+        (packet_of_assignment ~pkt_var assignment :: from_state)
         @ List.map overlay from_state @ List.map overlay base_palette @ base_palette
       in
       List.find_map try_candidate candidates

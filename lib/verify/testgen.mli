@@ -17,9 +17,9 @@ type coverage = {
 }
 
 val packet_of_assignment :
-  ?defaults:Packet.Pkt.t -> Value.t Solver.Smap.t -> Packet.Pkt.t
-(** Build a packet from a solver assignment over ["pkt.<field>"]
-    symbols, over [defaults]. *)
+  ?pkt_var:string -> ?defaults:Packet.Pkt.t -> Value.t Solver.Smap.t -> Packet.Pkt.t
+(** Build a packet from a solver assignment over
+    ["<pkt_var>.<field>"] symbols (default ["pkt"]), over [defaults]. *)
 
 val resolve_config : Model_interp.store -> Solver.literal -> Solver.literal
 (** Substitute config symbols with their concrete values. *)

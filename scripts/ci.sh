@@ -1,0 +1,7 @@
+#!/bin/sh
+# Local mirror of .github/workflows/ci.yml: tier-1 gate + bench smoke.
+set -eux
+
+dune build
+dune runtest
+dune exec bench/main.exe -- --smoke --json BENCH_smoke.json

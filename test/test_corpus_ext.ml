@@ -106,7 +106,7 @@ let test_synguard_model () =
             | Model.Dict_ops ops ->
                 List.exists
                   (fun (_, v) ->
-                    match v with
+                    match Option.map Sexpr.view v with
                     | Some (Sexpr.Bin (Nfl.Ast.Sub, _, _)) -> true
                     | _ -> false)
                   ops

@@ -105,7 +105,7 @@ let test_packet_rewrite_recorded () =
     (Sexpr.equal (List.assoc "dport" snap) (Sexpr.int 8080));
   (* Untouched fields remain symbolic. *)
   Alcotest.(check bool) "src still symbolic" true
-    (Sexpr.equal (List.assoc "ip_src" snap) (Sexpr.Sym "pkt.ip_src"))
+    (Sexpr.equal (List.assoc "ip_src" snap) (Sexpr.sym "pkt.ip_src"))
 
 let test_max_paths_overflow () =
   (* 2^8 paths from 8 independent branches; cap at 10. *)
@@ -132,7 +132,7 @@ let nf_env p ~sym_scalars ~sym_dicts ~pkt_var =
   let env =
     Interp.Smap.fold
       (fun name v acc ->
-        if List.mem name sym_scalars then Smap.add name (Explore.Scalar (Sexpr.Sym name)) acc
+        if List.mem name sym_scalars then Smap.add name (Explore.Scalar (Sexpr.sym name)) acc
         else if List.mem name sym_dicts then Smap.add name (Explore.Dictv (Sexpr.dict_base name)) acc
         else Smap.add name (Explore.sval_of_value v) acc)
       init Smap.empty
@@ -165,7 +165,7 @@ let test_lb_paths () =
       List.iter
         (fun f ->
           Alcotest.(check bool) (f ^ " rewritten") true
-            (not (Sexpr.equal (List.assoc f snap) (Sexpr.Sym ("pkt." ^ f)))))
+            (not (Sexpr.equal (List.assoc f snap) (Sexpr.sym ("pkt." ^ f)))))
         [ "ip_src"; "sport"; "ip_dst"; "dport" ])
     sending
 

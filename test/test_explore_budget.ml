@@ -149,7 +149,7 @@ let test_fork_depth_histogram () =
 (* ----------------------------------------------------------------- *)
 
 let test_ctx_push_pop () =
-  let x = Sexpr.Sym "x" in
+  let x = Sexpr.sym "x" in
   let eq n = Solver.lit (Sexpr.mk_bin Nfl.Ast.Eq x (Sexpr.int n)) true in
   let c = Solver.Ctx.create () in
   Solver.Ctx.push c (eq 1);
@@ -168,7 +168,7 @@ let test_ctx_push_pop () =
 let test_ctx_matches_check () =
   (* The incremental verdict agrees with the from-scratch procedure on
      conjunction-only path conditions. *)
-  let x = Sexpr.Sym "x" and y = Sexpr.Sym "y" in
+  let x = Sexpr.sym "x" and y = Sexpr.sym "y" in
   let lits =
     [
       Solver.lit (Sexpr.mk_bin Nfl.Ast.Ge x (Sexpr.int 10)) true;
@@ -203,9 +203,9 @@ let test_dict_lift_preserves_order () =
     (Value.equal (Value.index dup (Value.Int 1)) (Value.Int 10));
   match Explore.sval_of_value dup with
   | Explore.Dictv d ->
-      let read = Sexpr.mk_dget d (Sexpr.Const (Value.Int 1)) in
+      let read = Sexpr.mk_dget d (Sexpr.int 1) in
       Alcotest.(check bool) "symbolic read: same binding" true
-        (Sexpr.equal read (Sexpr.Const (Value.Int 10)))
+        (Sexpr.equal read (Sexpr.int 10))
   | _ -> Alcotest.fail "Dictv expected"
 
 let suite =

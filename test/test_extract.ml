@@ -55,7 +55,15 @@ let test_lb_rr_entry_updates_index () =
   let e = List.hd rr_entries in
   (* Figure 6 row 1: state update is (idx+1) % N. *)
   (match List.assoc "rr_idx" e.Model.state_update with
-  | Model.Set_scalar (Sexpr.Bin (Nfl.Ast.Mod, Sexpr.Bin (Nfl.Ast.Add, Sexpr.Sym "rr_idx", _), _)) -> ()
+  | Model.Set_scalar
+      {
+        Sexpr.node =
+          Sexpr.Bin
+            ( Nfl.Ast.Mod,
+              { Sexpr.node = Sexpr.Bin (Nfl.Ast.Add, { Sexpr.node = Sexpr.Sym "rr_idx"; _ }, _); _ },
+              _ );
+        _;
+      } -> ()
   | u -> Alcotest.failf "unexpected rr_idx update: %s" (Fmt.str "%a" Model.pp_state_update ("rr_idx", u)));
   (* It also installs both NAT mappings. *)
   Alcotest.(check bool) "f2b updated" true (List.mem_assoc "f2b_nat" e.Model.state_update);
@@ -128,7 +136,7 @@ let test_balance_model () =
       (fun (e : Model.entry) ->
         match e.Model.pkt_action with
         | Model.Forward snaps ->
-            List.exists (List.exists (fun (f, v) -> f = "ip_dst" && not (Sexpr.equal v (Sexpr.Sym "pkt.ip_dst")))) snaps
+            List.exists (List.exists (fun (f, v) -> f = "ip_dst" && not (Sexpr.equal v (Sexpr.sym "pkt.ip_dst")))) snaps
         | Model.Drop -> false)
       m.Model.entries
   in
@@ -140,6 +148,38 @@ let test_ratelimiter_model () =
   Alcotest.(check (list string)) "counts is the state" [ "counts" ] m.Model.ois_vars;
   (* exempt, under-limit-new, under-limit-existing, over-limit. *)
   Alcotest.(check bool) "at least 4 entries" true (Model.entry_count m >= 4)
+
+let test_classify_derives_pkt_prefix () =
+  (* The flow-atom test derives its field prefix from the classified
+     packet variable rather than assuming the literal name "pkt". *)
+  let cl = Extract.classify_literal ~pkt_var:"p" ~cfg_vars:[ "limit" ] ~ois_vars:[ "tbl" ] in
+  let lit atom = Solver.lit atom true in
+  Alcotest.(check bool) "p.dport is a flow atom" true
+    (cl (lit (Sexpr.mk_bin Nfl.Ast.Eq (Sexpr.sym "p.dport") (Sexpr.int 80))) = Extract.L_flow);
+  (* "pkt.*" is just another unknown symbol when the packet variable is p. *)
+  Alcotest.(check bool) "pkt.dport is residual under pkt_var=p" true
+    (cl (lit (Sexpr.mk_bin Nfl.Ast.Eq (Sexpr.sym "pkt.dport") (Sexpr.int 80))) = Extract.L_other);
+  Alcotest.(check bool) "pure-config atom" true
+    (cl (lit (Sexpr.mk_bin Nfl.Ast.Lt (Sexpr.sym "limit") (Sexpr.int 10))) = Extract.L_config);
+  (* State beats flow even when the atom mentions packet fields. *)
+  Alcotest.(check bool) "state priority" true
+    (cl (lit (Sexpr.mk_mem (Sexpr.dict_base "tbl") (Sexpr.sym "p.ip_src"))) = Extract.L_state)
+
+let test_memo_shared_slice_original () =
+  (* Regression: the extraction's verdict cache keys on hash-consed
+     term ids, so re-exploring the slice is answered entirely from the
+     memo, and the unsliced original — which re-decides the slice's
+     branch conditions — keeps hitting the same entries. *)
+  let ex = extract_nf "lb" in
+  let memo = ex.Extract.solver_memo in
+  let _, slice_stats = Report.explore_slice ~memo ex in
+  Alcotest.(check int) "slice re-exploration fully cached" 0
+    slice_stats.Explore.solver_calls;
+  Alcotest.(check bool) "slice re-exploration hits" true
+    (slice_stats.Explore.solver_cache_hits > 0);
+  let _, orig_stats = Report.explore_original ~memo ex in
+  Alcotest.(check bool) "original exploration reuses slice verdicts" true
+    (orig_stats.Explore.solver_cache_hits > 0)
 
 let test_extraction_deterministic () =
   let a = extract_nf "lb" and b = extract_nf "lb" in
@@ -159,5 +199,7 @@ let suite =
     Alcotest.test_case "snort model stateless" `Quick test_snort_model_stateless;
     Alcotest.test_case "balance model" `Quick test_balance_model;
     Alcotest.test_case "ratelimiter model" `Quick test_ratelimiter_model;
+    Alcotest.test_case "classify derives pkt prefix" `Quick test_classify_derives_pkt_prefix;
+    Alcotest.test_case "memo shared slice/original" `Quick test_memo_shared_slice_original;
     Alcotest.test_case "extraction deterministic" `Quick test_extraction_deterministic;
   ]

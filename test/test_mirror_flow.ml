@@ -47,9 +47,9 @@ let test_mirror_model_multi_send () =
   (match (List.hd multi).Model.pkt_action with
   | Model.Forward [ copy; orig ] ->
       Alcotest.(check bool) "copy rewrites ip_dst" true
-        (not (Sexpr.equal (List.assoc "ip_dst" copy) (Sexpr.Sym "pkt.ip_dst")));
+        (not (Sexpr.equal (List.assoc "ip_dst" copy) (Sexpr.sym "pkt.ip_dst")));
       Alcotest.(check bool) "orig keeps ip_dst" true
-        (Sexpr.equal (List.assoc "ip_dst" orig) (Sexpr.Sym "pkt.ip_dst"))
+        (Sexpr.equal (List.assoc "ip_dst" orig) (Sexpr.sym "pkt.ip_dst"))
   | _ -> Alcotest.fail "two snapshots expected")
 
 let test_mirror_differential () =

@@ -56,17 +56,19 @@ let test_value_roundtrip () =
     cases
 
 let test_expr_roundtrip () =
-  let d = { Sexpr.base = "tbl"; writes = [ (Sexpr.Sym "k", Some (Sexpr.int 1)); (Sexpr.Sym "q", None) ] } in
+  let d =
+    { Sexpr.base = "tbl"; writes = [ (Sexpr.sym "k", Some (Sexpr.int 1)); (Sexpr.sym "q", None) ] }
+  in
   let cases =
     [
-      Sexpr.Sym "pkt.dport";
-      Sexpr.mk_bin Nfl.Ast.Add (Sexpr.Sym "x") (Sexpr.int 3);
-      Sexpr.Not (Sexpr.Sym "b");
-      Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.int 2 ];
-      Sexpr.Get (Sexpr.Lst [ Sexpr.int 1; Sexpr.int 2 ], Sexpr.Sym "i");
-      Sexpr.Ufun ("hash", [ Sexpr.Sym "x" ]);
-      Sexpr.Mem (d, Sexpr.Sym "key");
-      Sexpr.Dget (d, Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.Sym "b" ]);
+      Sexpr.sym "pkt.dport";
+      Sexpr.mk_bin Nfl.Ast.Add (Sexpr.sym "x") (Sexpr.int 3);
+      Sexpr.mk_not (Sexpr.sym "b");
+      Sexpr.mk_tuple [ Sexpr.sym "a"; Sexpr.int 2 ];
+      Sexpr.mk_get (Sexpr.mk_list [ Sexpr.int 1; Sexpr.int 2 ]) (Sexpr.sym "i");
+      Sexpr.mk_ufun "hash" [ Sexpr.sym "x" ];
+      Sexpr.mk_mem d (Sexpr.sym "key");
+      Sexpr.mk_dget d (Sexpr.mk_tuple [ Sexpr.sym "a"; Sexpr.sym "b" ]);
     ]
   in
   List.iter
@@ -74,6 +76,42 @@ let test_expr_roundtrip () =
       let e' = Model_io.expr_of_sexp (Model_io.parse_sexp (Model_io.sexp_to_string (Model_io.sexp_of_expr e))) in
       Alcotest.(check bool) (Sexpr.to_string e) true (Sexpr.equal e e'))
     cases
+
+let test_v1_document_compat () =
+  (* Version-1 entries predate the residual clause; they parse with an
+     empty residual_match. *)
+  let doc =
+    "(nfactor-model (version 1) (name old) (pkt-var pkt) (cfg-vars) (ois-vars) \
+     (entries (entry (config) (flow (+ (bin == (sym pkt.dport) (const (i 80))))) \
+     (state) (action (drop)) (updates) (path 1 2) (truncated false))))"
+  in
+  let m = Model_io.of_string doc in
+  Alcotest.(check int) "one entry" 1 (List.length m.Model.entries);
+  let e = List.hd m.Model.entries in
+  Alcotest.(check int) "empty residual" 0 (List.length e.Model.residual_match);
+  Alcotest.(check int) "flow kept" 1 (List.length e.Model.flow_match)
+
+let test_residual_roundtrip () =
+  let e =
+    {
+      Model.config = [];
+      flow_match = [];
+      state_match = [];
+      residual_match =
+        [ Solver.lit (Sexpr.mk_ufun "crc" [ Sexpr.sym "x" ]) false ];
+      pkt_action = Model.Drop;
+      state_update = [];
+      path_sids = [];
+      truncated = false;
+    }
+  in
+  let e' = Model_io.entry_of_sexp (Model_io.parse_sexp (Model_io.sexp_to_string (Model_io.sexp_of_entry e))) in
+  match e'.Model.residual_match with
+  | [ l ] ->
+      Alcotest.(check bool) "polarity kept" false l.Solver.positive;
+      Alcotest.(check bool) "atom re-interned to the same term" true
+        (Sexpr.equal l.Solver.atom (Sexpr.mk_ufun "crc" [ Sexpr.sym "x" ]))
+  | _ -> Alcotest.fail "one residual literal expected"
 
 let test_parse_errors () =
   let fails s =
@@ -118,6 +156,8 @@ let suite =
     Alcotest.test_case "atom quoting" `Quick test_sexp_atom_quoting;
     Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
     Alcotest.test_case "expr roundtrip" `Quick test_expr_roundtrip;
+    Alcotest.test_case "v1 document compat" `Quick test_v1_document_compat;
+    Alcotest.test_case "residual roundtrip" `Quick test_residual_roundtrip;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     QCheck_alcotest.to_alcotest qcheck_sexp_roundtrip;
   ]

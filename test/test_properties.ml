@@ -128,7 +128,7 @@ let prop_concrete_exploration_single_path =
           (fun snap ->
             List.fold_left
               (fun acc (f, e) ->
-                match e with
+                match Sexpr.view e with
                 | Sexpr.Const (Value.Int n) when Packet.Headers.is_int_field f ->
                     Packet.Pkt.set_int acc f n
                 | Sexpr.Const (Value.Str s) when Packet.Headers.is_str_field f ->
@@ -143,7 +143,7 @@ let prop_concrete_exploration_single_path =
 (* Property 4: solver anti-monotonicity — a satisfiable conjunction
    stays satisfiable when literals are removed. *)
 let gen_literal rng =
-  let x = Sexpr.Sym (Packet.Rng.pick rng [ "x"; "y"; "z" ]) in
+  let x = Sexpr.sym (Packet.Rng.pick rng [ "x"; "y"; "z" ]) in
   let c = Sexpr.int (Packet.Rng.int rng 50) in
   let op = Packet.Rng.pick rng [ Nfl.Ast.Eq; Nfl.Ast.Ne; Nfl.Ast.Lt; Nfl.Ast.Le; Nfl.Ast.Gt; Nfl.Ast.Ge ] in
   Solver.lit (Sexpr.mk_bin op x c) (Packet.Rng.bool rng)
@@ -176,7 +176,7 @@ let prop_concretize_satisfies =
           in
           List.for_all
             (fun (l : Solver.literal) ->
-              match Sexpr.subst subst l.Solver.atom with
+              match Sexpr.view (Sexpr.subst subst l.Solver.atom) with
               | Sexpr.Const (Value.Bool b) -> b = l.Solver.positive
               | _ -> true (* unresolved: nothing to check *))
             lits)

@@ -10,7 +10,7 @@ let test_constant_folding () =
     (Sexpr.mk_bin Nfl.Ast.Band (Sexpr.int 6) (Sexpr.int 3))
 
 let test_identity_simplifications () =
-  let x = Sexpr.Sym "x" in
+  let x = Sexpr.sym "x" in
   Alcotest.check se "x+0" x (Sexpr.mk_bin Nfl.Ast.Add x (Sexpr.int 0));
   Alcotest.check se "0+x" x (Sexpr.mk_bin Nfl.Ast.Add (Sexpr.int 0) x);
   Alcotest.check se "x*1" x (Sexpr.mk_bin Nfl.Ast.Mul x (Sexpr.int 1));
@@ -22,28 +22,30 @@ let test_identity_simplifications () =
   Alcotest.check se "not not x" x (Sexpr.mk_not (Sexpr.mk_not x))
 
 let test_tuple_key_relation () =
-  let t1 = Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.int 1 ] in
-  let t2 = Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.int 2 ] in
-  let t3 = Sexpr.Tup [ Sexpr.Sym "a"; Sexpr.int 1 ] in
+  let t1 = Sexpr.mk_tuple [ Sexpr.sym "a"; Sexpr.int 1 ] in
+  let t2 = Sexpr.mk_tuple [ Sexpr.sym "a"; Sexpr.int 2 ] in
+  let t3 = Sexpr.mk_tuple [ Sexpr.sym "a"; Sexpr.int 1 ] in
   Alcotest.check se "distinct component -> Ne" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Ne t1 t2);
   Alcotest.check se "identical -> Eq" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Eq t1 t3)
 
 let test_get_resolution () =
-  let lst = Sexpr.Lst [ Sexpr.int 10; Sexpr.Sym "y" ] in
+  let lst = Sexpr.mk_list [ Sexpr.int 10; Sexpr.sym "y" ] in
   Alcotest.check se "concrete index" (Sexpr.int 10) (Sexpr.mk_get lst (Sexpr.int 0));
-  Alcotest.check se "symbolic element" (Sexpr.Sym "y") (Sexpr.mk_get lst (Sexpr.int 1));
-  (match Sexpr.mk_get lst (Sexpr.Sym "i") with
+  Alcotest.check se "symbolic element" (Sexpr.sym "y") (Sexpr.mk_get lst (Sexpr.int 1));
+  (match Sexpr.view (Sexpr.mk_get lst (Sexpr.sym "i")) with
   | Sexpr.Get _ -> ()
-  | e -> Alcotest.failf "symbolic index stays: %s" (Sexpr.to_string e));
+  | _ -> Alcotest.failf "symbolic index stays: %s" (Sexpr.to_string (Sexpr.mk_get lst (Sexpr.sym "i"))));
   Alcotest.check se "tuple of consts folds whole"
-    (Sexpr.Const (Value.Int 7))
-    (Sexpr.mk_get (Sexpr.Const (Value.List [ Value.Int 7 ])) (Sexpr.int 0))
+    (Sexpr.int 7)
+    (Sexpr.mk_get (Sexpr.const (Value.List [ Value.Int 7 ])) (Sexpr.int 0))
 
 let test_dict_membership_resolution () =
   let d0 = Sexpr.dict_base "tbl" in
-  let k = Sexpr.Sym "k" in
+  let k = Sexpr.sym "k" in
   (* Unknown base: atom. *)
-  (match Sexpr.mk_mem d0 k with Sexpr.Mem _ -> () | e -> Alcotest.failf "atom expected: %s" (Sexpr.to_string e));
+  (match Sexpr.view (Sexpr.mk_mem d0 k) with
+  | Sexpr.Mem _ -> ()
+  | _ -> Alcotest.failf "atom expected: %s" (Sexpr.to_string (Sexpr.mk_mem d0 k)));
   (* After inserting k: true. *)
   let d1 = { d0 with Sexpr.writes = [ (k, Some (Sexpr.int 1)) ] } in
   Alcotest.check se "inserted" Sexpr.tru (Sexpr.mk_mem d1 k);
@@ -52,37 +54,91 @@ let test_dict_membership_resolution () =
   Alcotest.check se "deleted" Sexpr.fls (Sexpr.mk_mem d2 k);
   (* Distinct concrete key skips the write. *)
   let d3 = { d0 with Sexpr.writes = [ (Sexpr.int 5, Some (Sexpr.int 1)) ] } in
-  (match Sexpr.mk_mem d3 (Sexpr.int 6) with
+  (match Sexpr.view (Sexpr.mk_mem d3 (Sexpr.int 6)) with
   | Sexpr.Mem (d, _) -> Alcotest.(check int) "write skipped" 0 (List.length d.Sexpr.writes)
-  | e -> Alcotest.failf "atom expected: %s" (Sexpr.to_string e));
+  | _ -> Alcotest.failf "atom expected: %s" (Sexpr.to_string (Sexpr.mk_mem d3 (Sexpr.int 6))));
   (* Empty-base dict bottoms out at false. *)
   Alcotest.check se "empty dict" Sexpr.fls (Sexpr.mk_mem Sexpr.dict_empty (Sexpr.int 1))
 
 let test_dict_get_resolution () =
   let d0 = Sexpr.dict_base "tbl" in
-  let k = Sexpr.Sym "k" in
+  let k = Sexpr.sym "k" in
   let d1 = { d0 with Sexpr.writes = [ (k, Some (Sexpr.int 42)) ] } in
   Alcotest.check se "read back" (Sexpr.int 42) (Sexpr.mk_dget d1 k);
-  (match Sexpr.mk_dget d0 k with
+  (match Sexpr.view (Sexpr.mk_dget d0 k) with
   | Sexpr.Dget _ -> ()
-  | e -> Alcotest.failf "unresolved read expected: %s" (Sexpr.to_string e))
+  | _ -> Alcotest.failf "unresolved read expected: %s" (Sexpr.to_string (Sexpr.mk_dget d0 k)))
 
 let test_hash_folds_on_const () =
   let v = Value.Tuple [ Value.Int 1 ] in
   Alcotest.check se "hash folds"
-    (Sexpr.Const (Value.Int (Value.hash_value v)))
-    (Sexpr.mk_ufun "hash" [ Sexpr.Const v ])
+    (Sexpr.int (Value.hash_value v))
+    (Sexpr.mk_ufun "hash" [ Sexpr.const v ])
 
 let test_subst () =
-  let e = Sexpr.mk_bin Nfl.Ast.Add (Sexpr.Sym "a") (Sexpr.Sym "b") in
+  let e = Sexpr.mk_bin Nfl.Ast.Add (Sexpr.sym "a") (Sexpr.sym "b") in
   let f = function "a" -> Some (Value.Int 1) | "b" -> Some (Value.Int 2) | _ -> None in
   Alcotest.check se "substitution folds" (Sexpr.int 3) (Sexpr.subst f e)
 
 let test_syms () =
-  let d = { Sexpr.base = "tbl"; writes = [ (Sexpr.Sym "k", Some (Sexpr.Sym "v")) ] } in
-  let e = Sexpr.mk_bin Nfl.Ast.And (Sexpr.Mem (d, Sexpr.Sym "q")) (Sexpr.Sym "b") in
+  let d = { Sexpr.base = "tbl"; writes = [ (Sexpr.sym "k", Some (Sexpr.sym "v")) ] } in
+  let e = Sexpr.mk_bin Nfl.Ast.And (Sexpr.mk_mem d (Sexpr.sym "q")) (Sexpr.sym "b") in
   let names = Sexpr.Sset.elements (Sexpr.syms e) in
   Alcotest.(check (slist string compare)) "all syms" [ "b"; "k"; "q"; "tbl"; "v" ] names
+
+(* New mk_bin folds: annihilators and self-cancellation. *)
+let test_annihilator_folds () =
+  let x = Sexpr.sym "x" in
+  Alcotest.check se "x*0" (Sexpr.int 0) (Sexpr.mk_bin Nfl.Ast.Mul x (Sexpr.int 0));
+  Alcotest.check se "0*x" (Sexpr.int 0) (Sexpr.mk_bin Nfl.Ast.Mul (Sexpr.int 0) x);
+  Alcotest.check se "x-x" (Sexpr.int 0) (Sexpr.mk_bin Nfl.Ast.Sub x x);
+  (* A fully concrete composite still folds to a constant through the
+     new rules. *)
+  let e =
+    Sexpr.mk_bin Nfl.Ast.Add
+      (Sexpr.mk_bin Nfl.Ast.Mul (Sexpr.int 7) (Sexpr.int 0))
+      (Sexpr.mk_bin Nfl.Ast.Sub (Sexpr.int 9) (Sexpr.int 9))
+  in
+  Alcotest.check se "concrete composite folds" (Sexpr.int 0) e;
+  (* Distinct symbols do not cancel. *)
+  match Sexpr.view (Sexpr.mk_bin Nfl.Ast.Sub x (Sexpr.sym "y")) with
+  | Sexpr.Bin (Nfl.Ast.Sub, _, _) -> ()
+  | _ -> Alcotest.fail "x-y must stay symbolic"
+
+(* Hash-consing invariants: structurally equal construction yields the
+   same physical term and id; distinct terms get distinct ids. *)
+let test_interning_invariants () =
+  let x = Sexpr.sym "x" and y = Sexpr.sym "y" in
+  let a = Sexpr.mk_bin Nfl.Ast.Add x y in
+  let b = Sexpr.mk_bin Nfl.Ast.Add x y in
+  Alcotest.(check bool) "same construction interned" true (a == b);
+  Alcotest.(check int) "same id" (Sexpr.id a) (Sexpr.id b);
+  Alcotest.(check bool) "sym interned" true (Sexpr.sym "x" == x);
+  let c = Sexpr.mk_bin Nfl.Ast.Add y x in
+  Alcotest.(check bool) "different terms differ physically" true (not (a == c));
+  Alcotest.(check bool) "different terms, different ids" true (Sexpr.id a <> Sexpr.id c);
+  (* equal/compare/hash agree with interning. *)
+  Alcotest.(check bool) "equal is physical" true (Sexpr.equal a b && not (Sexpr.equal a c));
+  Alcotest.(check int) "compare reflexive" 0 (Sexpr.compare a b);
+  Alcotest.(check int) "hash stable" (Sexpr.hash a) (Sexpr.hash b);
+  (* Deep nesting still O(1)-comparable: build twice, expect sharing. *)
+  let deep () =
+    List.fold_left
+      (fun acc i -> Sexpr.mk_bin Nfl.Ast.Add acc (Sexpr.int i))
+      x
+      (List.init 64 Fun.id)
+  in
+  Alcotest.(check bool) "deep terms shared" true (deep () == deep ());
+  Alcotest.(check bool) "structural equality agrees" true (Sexpr.equal_structural a b)
+
+let test_intern_count_monotone () =
+  let before = Sexpr.intern_count () in
+  let fresh = Sexpr.mk_bin Nfl.Ast.Mul (Sexpr.sym "icm_a") (Sexpr.sym "icm_b") in
+  let after = Sexpr.intern_count () in
+  Alcotest.(check bool) "fresh construction grows the table" true (after > before);
+  let again = Sexpr.mk_bin Nfl.Ast.Mul (Sexpr.sym "icm_a") (Sexpr.sym "icm_b") in
+  Alcotest.(check bool) "re-construction does not" true (Sexpr.intern_count () = after);
+  Alcotest.(check bool) "and is shared" true (fresh == again)
 
 let suite =
   [
@@ -95,4 +151,7 @@ let suite =
     Alcotest.test_case "hash folds on constants" `Quick test_hash_folds_on_const;
     Alcotest.test_case "substitution" `Quick test_subst;
     Alcotest.test_case "free symbols" `Quick test_syms;
+    Alcotest.test_case "annihilator folds" `Quick test_annihilator_folds;
+    Alcotest.test_case "interning invariants" `Quick test_interning_invariants;
+    Alcotest.test_case "intern count monotone" `Quick test_intern_count_monotone;
   ]

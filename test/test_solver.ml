@@ -1,7 +1,7 @@
 open Symexec
 
-let x = Sexpr.Sym "x"
-let y = Sexpr.Sym "y"
+let x = Sexpr.sym "x"
+let y = Sexpr.sym "y"
 let bin = Sexpr.mk_bin
 let lit e b = Solver.lit e b
 
@@ -74,26 +74,26 @@ let test_conjunction_decomposition () =
 
 let test_membership_atoms () =
   let d = Sexpr.dict_base "tbl" in
-  let m = Sexpr.Mem (d, Sexpr.Sym "k") in
+  let m = Sexpr.mk_mem d (Sexpr.sym "k") in
   sat [ lit m true ];
   sat [ lit m false ];
   unsat [ lit m true; lit m false ];
   (* Different keys are independent atoms. *)
-  sat [ lit m true; lit (Sexpr.Mem (d, Sexpr.Sym "k2")) false ]
+  sat [ lit m true; lit (Sexpr.mk_mem d (Sexpr.sym "k2")) false ]
 
 let test_tuple_equality_decomposition () =
-  let t1 = Sexpr.Tup [ x; Sexpr.int 1 ] in
-  let t2 = Sexpr.Tup [ Sexpr.int 9; Sexpr.int 1 ] in
+  let t1 = Sexpr.mk_tuple [ x; Sexpr.int 1 ] in
+  let t2 = Sexpr.mk_tuple [ Sexpr.int 9; Sexpr.int 1 ] in
   (* (x, 1) == (9, 1) forces x == 9 *)
   unsat [ lit (bin Nfl.Ast.Eq t1 t2) true; lit (bin Nfl.Ast.Eq x (Sexpr.int 8)) true ];
   sat [ lit (bin Nfl.Ast.Eq t1 t2) true; lit (bin Nfl.Ast.Eq x (Sexpr.int 9)) true ]
 
 let test_opaque_terms_conservative () =
   (* hash(x) == 1 && hash(x) == 2: same opaque term, conflicting. *)
-  let h = Sexpr.Ufun ("hash", [ x ]) in
+  let h = Sexpr.mk_ufun "hash" [ x ] in
   unsat [ lit (bin Nfl.Ast.Eq h (Sexpr.int 1)) true; lit (bin Nfl.Ast.Eq h (Sexpr.int 2)) true ];
   (* Nonlinear x*y: conservative Sat. *)
-  let xy = Sexpr.Bin (Nfl.Ast.Mul, x, y) in
+  let xy = bin Nfl.Ast.Mul x y in
   sat [ lit (bin Nfl.Ast.Eq xy (Sexpr.int 7)) true; lit (bin Nfl.Ast.Eq xy (Sexpr.int 7)) true ]
 
 let test_concretize () =

@@ -10,7 +10,7 @@ let node name =
   let ex = extract_nf name in
   (name, ex.Extract.model, Model_interp.initial_store ex)
 
-let in_sym f = Sexpr.Sym ("in." ^ f)
+let in_sym f = Sexpr.sym ("in." ^ f)
 
 let test_snort_classes () =
   (* snort as a tap: the forwarding classes are exactly the decodable

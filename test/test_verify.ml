@@ -137,7 +137,7 @@ let config_unreachable ex =
   let reachable (e : Model.entry) =
     List.for_all
       (fun l ->
-        match (Testgen.resolve_config store l).Solver.atom with
+        match Sexpr.view (Testgen.resolve_config store l).Solver.atom with
         | Sexpr.Const (Value.Bool b) -> b = l.Solver.positive
         | _ -> true)
       e.Model.config
@@ -171,7 +171,7 @@ let test_cover_lb () =
         let store = Model_interp.initial_store ex in
         List.for_all
           (fun l ->
-            match (Testgen.resolve_config store l).Solver.atom with
+            match Sexpr.view (Testgen.resolve_config store l).Solver.atom with
             | Sexpr.Const (Value.Bool b) -> b = l.Solver.positive
             | _ -> true)
           e.Model.config)
