@@ -281,47 +281,149 @@ let solver_telemetry () =
   rows
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable telemetry (BENCH_pr2.json)                         *)
+(* Runtime dataplane throughput                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* PR-1 telemetry on the same harness and budgets: the reference the
-   hash-consed term layer is measured against. Two sets of timings:
-   [recorded] is bench/baseline_pr1.txt as captured when PR 1 landed;
-   [same_machine] re-runs the PR-1 commit's bench alongside this one
-   (minimum of three runs), which is the honest comparison point when
-   machine load differs between sessions. Counts are identical either
-   way — the memoization structure did not change, only its keys. *)
-let pr1_baseline =
+(* Interpreter vs compiled engine on identical seeded traffic. Both
+   sides run over a pre-materialized packet array/list so generation
+   cost stays out of the measurement; each side takes the best of
+   three runs. The replay asserts output equality in-bench — a timing
+   number for a wrong dataplane is worthless. *)
+type rt_row = {
+  rt_name : string;
+  rt_n : int;
+  rt_interp_ms : float;
+  rt_engine_ms : float;
+  rt_speedup : float;
+  rt_equal : bool;
+  rt_index_hits : int;
+  rt_scan_hits : int;
+  rt_evictions : int;
+}
+
+let best_of_3 f =
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  min (one ()) (min (one ()) (one ()))
+
+let runtime_throughput ~smoke () =
+  section "Runtime dataplane: interpreter vs compiled engine, same seeded traffic";
+  Fmt.pr "%-12s %8s | %12s %12s %8s | %10s %10s %9s | %s@." "NF" "pkts" "interp(ms)"
+    "engine(ms)" "speedup" "index-hit" "scan-hit" "evictions" "equal";
+  (* Per-NF packet budgets: the paper's subjects get the full 100k;
+     NFs whose *interpreter* is quadratic in flow-table size (every
+     random packet inserts a flow, every lookup rescans the sorted
+     assoc list) get smaller counts so the reference side finishes —
+     which is itself the point of the compiled engine. *)
+  let budget = [ ("snort", 100_000); ("balance", 100_000); ("portknock", 100_000); ("lb", 20_000); ("nat", 10_000) ] in
+  let rows =
+    List.map
+      (fun (name, n_full) ->
+        let n = if smoke then min 20_000 (n_full / 5) else n_full in
+        let ex = extract name in
+        let model = ex.Nfactor.Extract.model in
+        let store = Nfactor.Model_interp.initial_store ex in
+        let pkts = Packet.Traffic.random_stream ~seed:2016 ~n () in
+        let arr = Array.of_list pkts in
+        let plan = Nfactor_runtime.Compile.compile model ~config:store in
+        let interp_s =
+          best_of_3 (fun () -> ignore (Nfactor.Model_interp.run model ~store ~pkts))
+        in
+        let engine_s =
+          best_of_3 (fun () ->
+              let eng = Nfactor_runtime.Engine.create plan ~store in
+              ignore (Nfactor_runtime.Engine.run_batch eng arr))
+        in
+        (* correctness of the measured artifact, on the same traffic *)
+        let ref_store, ref_out = Nfactor.Model_interp.run model ~store ~pkts in
+        let eng = Nfactor_runtime.Engine.create plan ~store in
+        let outs = Nfactor_runtime.Engine.run_batch eng arr in
+        let equal =
+          List.for_all2
+            (fun r (o : Nfactor_runtime.Engine.outcome) ->
+              List.length r = List.length o.Nfactor_runtime.Engine.outputs
+              && List.for_all2 Packet.Pkt.equal r o.Nfactor_runtime.Engine.outputs)
+            ref_out (Array.to_list outs)
+          && Nfactor.Model_interp.Smap.equal Symexec.Value.equal ref_store
+               (Nfactor_runtime.Engine.snapshot eng)
+        in
+        let s = eng.Nfactor_runtime.Engine.stats in
+        let row =
+          {
+            rt_name = name;
+            rt_n = n;
+            rt_interp_ms = interp_s *. 1e3;
+            rt_engine_ms = engine_s *. 1e3;
+            rt_speedup = (if engine_s > 0. then interp_s /. engine_s else 0.);
+            rt_equal = equal;
+            rt_index_hits = s.Nfactor_runtime.Engine.index_hits;
+            rt_scan_hits = s.Nfactor_runtime.Engine.scan_hits;
+            rt_evictions = Nfactor_runtime.Flowstate.evictions eng.Nfactor_runtime.Engine.state;
+          }
+        in
+        Fmt.pr "%-12s %8d | %12.2f %12.2f %7.1fx | %10d %10d %9d | %s@." name n
+          row.rt_interp_ms row.rt_engine_ms row.rt_speedup row.rt_index_hits row.rt_scan_hits
+          row.rt_evictions
+          (if equal then "yes" else "NO — MISMATCH");
+        row)
+      budget
+  in
+  Fmt.pr "@.(speedup = Model_interp.run / Engine.run_batch on the same seeded traffic;@.";
+  Fmt.pr " equality covers per-packet outputs and the final state store.)@.";
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable telemetry (BENCH_pr3.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* PR-2 telemetry on the same harness and budgets (BENCH_pr2.json as
+   recorded when PR 2 landed): the reference the interpreter-side
+   numbers are held against — this PR adds a compiled dataplane, it
+   must not regress extraction or solving. *)
+let pr2_baseline =
   [
-    (* name, (decides, calls, hits, rate, recorded solver ms, same-machine
-       solver ms, recorded SE-orig ms, same-machine SE-orig ms) *)
-    ("snort", (33496, 3420, 54415, 94.1, 10.48, 16.55, 342.52, 322.00));
-    ("balance", (53, 80, 18, 18.4, 0.22, 0.22, 1.01, 0.59));
+    (* name, (decides, calls, hits, rate, recorded solver ms, recorded SE-orig ms) *)
+    ("snort", (33496, 3420, 54415, 94.1, 13.403, 227.717));
+    ("balance", (53, 80, 18, 18.4, 0.079, 0.227));
   ]
 
-let emit_json path rows =
+let emit_json path rows rt_rows =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"pr\": 2,\n";
-  add "  \"subject\": \"hash-consed symbolic term layer: id-keyed solver, memo, telemetry\",\n";
+  add "  \"pr\": 3,\n";
+  add "  \"subject\": \"compiled-model dataplane: match-tree compiler, flow-state engine, batched replay\",\n";
   add "  \"budgets\": { \"se_orig_max_paths\": 1000 },\n";
-  add "  \"baseline_pr1\": {\n";
+  add "  \"baseline_pr2\": {\n";
   List.iteri
-    (fun i (name, (decides, calls, hits, rate, solver_rec, solver_sm, orig_rec, orig_sm)) ->
+    (fun i (name, (decides, calls, hits, rate, solver_rec, orig_rec)) ->
       add
         "    %S: { \"decides\": %d, \"solver_calls\": %d, \"memo_hits\": %d, \
          \"hit_rate_pct\": %.1f,\n"
         name decides calls hits rate;
       add
-        "           \"solver_time_ms_recorded\": %.2f, \"solver_time_ms_same_machine\": %.2f,\n"
-        solver_rec solver_sm;
-      add
-        "           \"explore_orig_ms_recorded\": %.2f, \"explore_orig_ms_same_machine\": %.2f }%s\n"
-        orig_rec orig_sm
-        (if i = List.length pr1_baseline - 1 then "" else ","))
-    pr1_baseline;
+        "           \"solver_time_ms_recorded\": %.3f, \"explore_orig_ms_recorded\": %.3f }%s\n"
+        solver_rec orig_rec
+        (if i = List.length pr2_baseline - 1 then "" else ","))
+    pr2_baseline;
   add "  },\n";
+  add "  \"runtime\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    { \"name\": %S, \"packets\": %d, \"interp_ms\": %.3f, \"engine_ms\": %.3f,\n"
+        r.rt_name r.rt_n r.rt_interp_ms r.rt_engine_ms;
+      add
+        "      \"speedup\": %.2f, \"speedup_ok\": %b, \"outputs_and_state_equal\": %b,\n"
+        r.rt_speedup (r.rt_speedup >= 5.) r.rt_equal;
+      add "      \"index_hits\": %d, \"scan_hits\": %d, \"evictions\": %d }%s\n"
+        r.rt_index_hits r.rt_scan_hits r.rt_evictions
+        (if i = List.length rt_rows - 1 then "" else ","))
+    rt_rows;
+  add "  ],\n";
   add "  \"nfs\": [\n";
   List.iteri
     (fun i r ->
@@ -341,26 +443,26 @@ let emit_json path rows =
         (if i = List.length rows - 1 then "" else ","))
     rows;
   add "  ],\n";
-  (* Acceptance comparison: solver time and explore wall-clock at or
-     below the PR-1 baseline on the paper's two subjects, against the
-     same-machine re-measurement. *)
-  add "  \"comparison_vs_pr1\": {\n";
+  (* Acceptance comparison: interpreter-side numbers (solver time,
+     SE-on-original wall-clock) no worse than the PR-2 recording on the
+     paper's two subjects, with 15% headroom for machine noise. *)
+  add "  \"comparison_vs_pr2\": {\n";
   List.iteri
-    (fun i (name, (_, _, _, _, _, base_solver_ms, _, base_orig_ms)) ->
+    (fun i (name, (_, _, _, _, base_solver_ms, base_orig_ms)) ->
       match List.find_opt (fun r -> r.tr_name = name) rows with
       | None -> ()
       | Some r ->
           add
-            "    %S: { \"solver_time_ms\": %.3f, \"baseline_ms\": %.2f, \"solver_ok\": %b,\n"
+            "    %S: { \"solver_time_ms\": %.3f, \"baseline_ms\": %.3f, \"solver_ok\": %b,\n"
             name r.tr_solver_ms base_solver_ms
-            (r.tr_solver_ms <= base_solver_ms);
+            (r.tr_solver_ms <= base_solver_ms *. 1.15);
           add
-            "           \"explore_orig_ms\": %.3f, \"baseline_orig_ms\": %.2f, \
+            "           \"explore_orig_ms\": %.3f, \"baseline_orig_ms\": %.3f, \
              \"explore_ok\": %b }%s\n"
             r.tr_explore_orig_ms base_orig_ms
-            (r.tr_explore_orig_ms <= base_orig_ms)
-            (if i = List.length pr1_baseline - 1 then "" else ","))
-    pr1_baseline;
+            (r.tr_explore_orig_ms <= base_orig_ms *. 1.15)
+            (if i = List.length pr2_baseline - 1 then "" else ","))
+    pr2_baseline;
   add "  }\n";
   add "}\n";
   let oc = open_out path in
@@ -517,7 +619,8 @@ let () =
     applications ();
     scaling ()
   end;
+  let rt_rows = runtime_throughput ~smoke:!smoke () in
   let rows = solver_telemetry () in
-  Option.iter (fun path -> emit_json path rows) !json_path;
+  Option.iter (fun path -> emit_json path rows rt_rows) !json_path;
   if not !smoke then run_micro ();
   Fmt.pr "@.done.@."

@@ -230,6 +230,70 @@ let testgen_cmd =
   Cmd.v (Cmd.info "testgen" ~doc:"Generate model-covering test packets (BUZZ-style).")
     Term.(const run $ nf_arg)
 
+let run_cmd =
+  let n = Arg.(value & opt int 100_000 & info [ "n" ] ~doc:"Packets to replay.") in
+  let seed = Arg.(value & opt int 2016 & info [ "seed" ] ~doc:"Traffic seed.") in
+  let capacity =
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~doc:"Per-flow-table capacity bound (LRU eviction). Unbounded by default.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print engine counters as JSON.") in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Also run the reference interpreter on the same traffic and compare outputs and final state.")
+  in
+  let run n seed capacity json check arg =
+    with_nf
+      (fun name _ p ->
+        let ex = Nfactor.Extract.run ~name p in
+        let model = ex.Nfactor.Extract.model in
+        let store = Nfactor.Model_interp.initial_store ex in
+        let plan = Nfactor_runtime.Compile.compile model ~config:store in
+        let eng = Nfactor_runtime.Engine.create ?capacity plan ~store in
+        let secs = Nfactor_runtime.Engine.replay eng ~seed ~n in
+        if json then print_endline (Nfactor_runtime.Engine.stats_json eng)
+        else begin
+          Fmt.pr "plan: %a@." Nfactor_runtime.Compile.pp_plan plan;
+          Fmt.pr "%a@." Nfactor_runtime.Engine.pp_stats eng;
+          Fmt.pr "%d packets in %.3f ms (%.2f Mpps)@." n (secs *. 1e3)
+            (if secs > 0. then float_of_int n /. secs /. 1e6 else 0.)
+        end;
+        if check then begin
+          if capacity <> None then begin
+            Fmt.epr "error: --check requires an unbounded store (LRU eviction diverges from the reference interpreter by design)@.";
+            exit 1
+          end;
+          let pkts = Packet.Traffic.random_stream ~seed ~n () in
+          let ref_store, ref_out = Nfactor.Model_interp.run model ~store ~pkts in
+          let eng2 =
+            Nfactor_runtime.Engine.create plan ~store
+          in
+          let outcomes = Nfactor_runtime.Engine.run_batch eng2 (Array.of_list pkts) in
+          let out_ok =
+            List.for_all2
+              (fun ref_pkts (o : Nfactor_runtime.Engine.outcome) ->
+                List.length ref_pkts = List.length o.Nfactor_runtime.Engine.outputs
+                && List.for_all2 Packet.Pkt.equal ref_pkts o.Nfactor_runtime.Engine.outputs)
+              ref_out (Array.to_list outcomes)
+          in
+          let store_ok =
+            Nfactor.Model_interp.Smap.equal Symexec.Value.equal ref_store
+              (Nfactor_runtime.Engine.snapshot eng2)
+          in
+          if out_ok && store_ok then
+            Fmt.pr "check: engine == interpreter on %d packets (outputs and final state)@." n
+          else begin
+            Fmt.epr "check FAILED: outputs %s, final state %s@."
+              (if out_ok then "agree" else "DIFFER")
+              (if store_ok then "agrees" else "DIFFERS");
+            exit 1
+          end
+        end)
+      arg
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile the model into the runtime dataplane and replay seeded traffic through it.")
+    Term.(const run $ n $ seed $ capacity $ json $ check $ nf_arg)
+
 let fsm_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
   let run dot arg =
@@ -346,7 +410,7 @@ let main =
   Cmd.group (Cmd.info "nfactor" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; classify_cmd; slice_cmd; extract_cmd; paths_cmd; report_cmd;
-      accuracy_cmd; gen_trace_cmd; testgen_cmd; fsm_cmd; export_cmd; import_cmd; classes_cmd; compose_cmd;
+      accuracy_cmd; run_cmd; gen_trace_cmd; testgen_cmd; fsm_cmd; export_cmd; import_cmd; classes_cmd; compose_cmd;
     ]
 
 let () = exit (Cmd.eval main)

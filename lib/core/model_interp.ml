@@ -109,6 +109,64 @@ let entry_matches ?(pkt_var = "pkt") store pkt (e : Model.entry) =
   && List.for_all (literal_holds ~pkt_var store pkt) e.Model.flow_match
   && List.for_all (literal_holds ~pkt_var store pkt) e.Model.state_match
 
+(* ------------------------------------------------------------------ *)
+(* Config prefiltering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Config literals are predicates over cfgVars (the classifier sends
+   anything touching the packet to flow_match), and state transitions
+   only write oisVars — so config verdicts are invariant across a run
+   and can be decided once instead of inside every [entry_matches].
+   Evaluation uses a throwaway packet; literals that (degenerately)
+   mention a packet field are kept for per-packet re-checking rather
+   than decided against the dummy. *)
+let null_pkt =
+  Packet.Pkt.make ~ip_src:(Packet.Addr.ip 0 0 0 0) ~ip_dst:(Packet.Addr.ip 0 0 0 0)
+    ~sport:0 ~dport:0 ()
+
+let mentions_prefix ~prefix (l : Solver.literal) =
+  let plen = String.length prefix in
+  Sexpr.Sset.exists
+    (fun s -> String.length s > plen && String.sub s 0 plen = prefix)
+    (Sexpr.syms l.Solver.atom)
+
+type active = {
+  a_idx : int;  (** index of the entry in [Model.entries] *)
+  a_entry : Model.entry;
+  a_dyn_config : Solver.literal list;
+      (** config literals that mention the packet and so could not be
+          decided statically (empty for well-classified models) *)
+}
+
+(** Entries whose (packet-free) config literals hold under [store], in
+    table order — the run-time analogue of {!Model.config_groups}:
+    each distinct config set is decided once, keyed on its
+    polarity-signed literal ids. *)
+let actives (m : Model.t) store =
+  let pkt_var = m.Model.pkt_var in
+  let prefix = pkt_var ^ "." in
+  let verdicts : (int list, bool) Hashtbl.t = Hashtbl.create 8 in
+  List.mapi
+    (fun i (e : Model.entry) ->
+      let dyn, static = List.partition (mentions_prefix ~prefix) e.Model.config in
+      let key = List.sort compare (List.map Solver.lit_key static) in
+      let ok =
+        match Hashtbl.find_opt verdicts key with
+        | Some b -> b
+        | None ->
+            let b = List.for_all (literal_holds ~pkt_var store null_pkt) static in
+            Hashtbl.add verdicts key b;
+            b
+      in
+      if ok then Some { a_idx = i; a_entry = e; a_dyn_config = dyn } else None)
+    m.Model.entries
+  |> List.filter_map Fun.id
+
+let active_matches ~pkt_var store pkt (a : active) =
+  List.for_all (literal_holds ~pkt_var store pkt) a.a_dyn_config
+  && List.for_all (literal_holds ~pkt_var store pkt) a.a_entry.Model.flow_match
+  && List.for_all (literal_holds ~pkt_var store pkt) a.a_entry.Model.state_match
+
 let build_packet ~pkt_var store pkt snapshot =
   List.fold_left
     (fun acc (f, e) ->
@@ -144,24 +202,41 @@ let computed_update ~pkt_var store pkt (v, upd) =
       in
       (v, Value.Dict updated)
 
+type miss_reason =
+  | No_entries  (** the model has no entries at all *)
+  | No_active_config  (** entries exist, but no config condition set holds *)
+  | No_flow_state_match  (** an active config group exists, but no entry matched *)
+
 type step = {
   outputs : Packet.Pkt.t list;
   store : store;
   matched : int option;  (** index of the entry that fired, [None] = table miss (drop) *)
+  miss : miss_reason option;  (** why the packet missed; [None] when an entry fired *)
 }
 
 (** Process one packet: first matching entry fires; all expressions are
     evaluated against the pre-state, then the state transition commits
-    — matching one iteration of the original loop. *)
-let step (m : Model.t) store pkt =
+    — matching one iteration of the original loop. [actives] lets a
+    caller hoist the (run-invariant) config evaluation out of its
+    per-packet loop; it must be [actives m store] for this [store]'s
+    config valuation. *)
+let step ?actives:acts_opt (m : Model.t) store pkt =
   let pkt_var = m.Model.pkt_var in
-  let rec find i = function
+  let acts = match acts_opt with Some a -> a | None -> actives m store in
+  let rec find = function
     | [] -> None
-    | e :: rest -> if entry_matches ~pkt_var store pkt e then Some (i, e) else find (i + 1) rest
+    | a :: rest -> if active_matches ~pkt_var store pkt a then Some a else find rest
   in
-  match find 0 m.Model.entries with
-  | None -> { outputs = []; store; matched = None }
-  | Some (i, e) ->
+  match find acts with
+  | None ->
+      let miss =
+        if m.Model.entries = [] then No_entries
+        else if acts = [] then No_active_config
+        else No_flow_state_match
+      in
+      { outputs = []; store; matched = None; miss = Some miss }
+  | Some a ->
+      let e = a.a_entry in
       let outputs =
         match e.Model.pkt_action with
         | Model.Drop -> []
@@ -169,15 +244,18 @@ let step (m : Model.t) store pkt =
       in
       let updates = List.map (computed_update ~pkt_var store pkt) e.Model.state_update in
       let store' = List.fold_left (fun st (v, value) -> Smap.add v value st) store updates in
-      { outputs; store = store'; matched = Some i }
+      { outputs; store = store'; matched = Some a.a_idx; miss = None }
 
 (** Run a packet sequence through the model, collecting per-packet
-    outputs. *)
+    outputs. Config literals are evaluated once for the whole run (they
+    are invariant: state transitions only write oisVars), not per
+    packet per entry. *)
 let run (m : Model.t) ~store ~pkts =
+  let acts = actives m store in
   let final_store, per_pkt_rev =
     List.fold_left
       (fun (st, acc) pkt ->
-        let r = step m st pkt in
+        let r = step ~actives:acts m st pkt in
         (r.store, r.outputs :: acc))
       (store, []) pkts
   in

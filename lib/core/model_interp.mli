@@ -16,6 +16,10 @@ type store = Value.t Smap.t
 val initial_store : Extract.result -> store
 (** Extraction-time initial values of the model's variables. *)
 
+val null_pkt : Packet.Pkt.t
+(** All-zero dummy packet, for evaluating packet-free (config)
+    expressions. *)
+
 val eval : ?pkt_var:string -> store -> Packet.Pkt.t -> Sexpr.t -> Value.t
 (** Evaluate a symbolic expression under a concrete store and packet;
     dictionary snapshots resolve against the store with their write
@@ -25,13 +29,41 @@ val eval : ?pkt_var:string -> store -> Packet.Pkt.t -> Sexpr.t -> Value.t
 val literal_holds : ?pkt_var:string -> store -> Packet.Pkt.t -> Solver.literal -> bool
 val entry_matches : ?pkt_var:string -> store -> Packet.Pkt.t -> Model.entry -> bool
 
+(** {1 Config prefiltering}
+
+    Config literals are predicates over cfgVars and state transitions
+    only write oisVars, so config verdicts are invariant across a run:
+    {!actives} decides each distinct config condition set once (the
+    run-time analogue of {!Model.config_groups}) instead of re-checking
+    [entry.config] inside every match. *)
+
+type active = {
+  a_idx : int;  (** index of the entry in [Model.entries] *)
+  a_entry : Model.entry;
+  a_dyn_config : Solver.literal list;
+      (** config literals mentioning the packet (degenerate; re-checked
+          per packet rather than decided against a dummy) *)
+}
+
+val actives : Model.t -> store -> active list
+(** Entries whose config holds under [store], in table order. *)
+
+type miss_reason =
+  | No_entries  (** the model has no entries at all *)
+  | No_active_config  (** entries exist, but no config condition set holds *)
+  | No_flow_state_match  (** an active config group exists, but no entry matched *)
+
 type step = {
   outputs : Packet.Pkt.t list;
   store : store;
   matched : int option;  (** entry index fired; [None] = drop by miss *)
+  miss : miss_reason option;  (** why the packet missed; [None] when an entry fired *)
 }
 
-val step : Model.t -> store -> Packet.Pkt.t -> step
+val step : ?actives:active list -> Model.t -> store -> Packet.Pkt.t -> step
+(** [actives] (= [actives m store]) hoists config evaluation out of a
+    caller's per-packet loop; recomputed internally when omitted. *)
 
 val run : Model.t -> store:store -> pkts:Packet.Pkt.t list -> store * Packet.Pkt.t list list
-(** Fold {!step} over a packet sequence; per-packet outputs. *)
+(** Fold {!step} over a packet sequence with config evaluated once;
+    per-packet outputs. *)

@@ -1,0 +1,419 @@
+(** Model → dataplane compiler. See the interface for the strategy;
+    the invariant throughout is exact agreement with
+    {!Nfactor.Model_interp}: same values, same false-on-unresolved
+    literal semantics, same evaluation order for effects that can
+    raise. *)
+
+open Symexec
+
+type matcher = Flowstate.t -> Packet.Pkt.t -> bool
+type valfn = Flowstate.t -> Packet.Pkt.t -> Value.t
+type setter = Packet.Pkt.t -> Value.t -> Packet.Pkt.t
+
+type cupdate =
+  | CSet of string * valfn
+  | CDict of string * (valfn * valfn option) list
+
+type centry = {
+  eidx : int;
+  slots : int array;
+  emit : (setter * valfn) list array;
+  updates : cupdate list;
+}
+
+type segment =
+  | Scan of centry array
+  | Index of { keys : valfn array; table : (Value.t list, centry array) Hashtbl.t }
+
+type t = {
+  model : Nfactor.Model.t;
+  lit_fns : matcher array;
+  segments : segment array;
+  live : int;
+  indexed : int;
+  dropped_static : int;
+}
+
+let unresolved name = raise (Nfactor.Model_interp.Unresolved name)
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Packet field reads bind the record accessor at compile time instead
+   of re-dispatching on the field name per packet. *)
+let field_reader name f : valfn =
+  match f with
+  | "ip_src" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.ip_src
+  | "ip_dst" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.ip_dst
+  | "ip_proto" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.ip_proto
+  | "ip_ttl" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.ip_ttl
+  | "ip_len" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.ip_len
+  | "sport" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.sport
+  | "dport" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.dport
+  | "tcp_flags" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.tcp_flags
+  | "seq" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.seq
+  | "ack" -> fun _ (p : Packet.Pkt.t) -> Value.Int p.Packet.Pkt.ack
+  | "payload" -> fun _ (p : Packet.Pkt.t) -> Value.Str p.Packet.Pkt.payload
+  | f when Packet.Headers.is_int_field f ->
+      fun _ p -> Value.Int (Packet.Pkt.get_int p f)
+  | f when Packet.Headers.is_str_field f ->
+      fun _ p -> Value.Str (Packet.Pkt.get_str p f)
+  | _ -> fun _ _ -> unresolved name
+
+let rec compile_expr ~pkt_var (e : Sexpr.t) : valfn =
+  let prefix = pkt_var ^ "." in
+  let plen = String.length prefix in
+  let c = compile_expr ~pkt_var in
+  match Sexpr.view e with
+  | Sexpr.Const v -> fun _ _ -> v
+  | Sexpr.Sym s ->
+      if String.length s > plen && String.sub s 0 plen = prefix then
+        field_reader s (String.sub s plen (String.length s - plen))
+      else fun st _ -> Flowstate.read st s
+  | Sexpr.Bin (op, a, b) ->
+      let fa = c a and fb = c b in
+      fun st pkt -> Value.binop op (fa st pkt) (fb st pkt)
+  | Sexpr.Not a ->
+      let fa = c a in
+      fun st pkt -> Value.unop Nfl.Ast.Not (fa st pkt)
+  | Sexpr.Neg a ->
+      let fa = c a in
+      fun st pkt -> Value.unop Nfl.Ast.Neg (fa st pkt)
+  | Sexpr.Tup es ->
+      let fs = List.map c es in
+      fun st pkt -> Value.Tuple (List.map (fun f -> f st pkt) fs)
+  | Sexpr.Lst es ->
+      let fs = List.map c es in
+      fun st pkt -> Value.List (List.map (fun f -> f st pkt) fs)
+  | Sexpr.Get (cont, i) ->
+      let fc = c cont and fi = c i in
+      fun st pkt -> Value.index (fc st pkt) (fi st pkt)
+  | Sexpr.Ufun (f, args) ->
+      let fs = List.map c args in
+      fun st pkt -> Value.apply_pure f (List.map (fun g -> g st pkt) fs)
+  | Sexpr.Mem (d, k) -> compile_dict_query ~pkt_var `Mem d k
+  | Sexpr.Dget (d, k) -> compile_dict_query ~pkt_var `Get d k
+
+(* Dictionary atoms, lookup-only. The reference evaluator materializes
+   base + writes into a full dict and then queries it; at runtime the
+   key is concrete, so the last chronological write for that key (or,
+   failing that, the base table) decides. Evaluation order matches the
+   reference exactly — base resolution, then every write (key and
+   inserted value, chronologically), then the queried key — so
+   anything that raises, raises on both sides. *)
+and compile_dict_query ~pkt_var kind (d : Sexpr.dict_state) k : valfn =
+  let c = compile_expr ~pkt_var in
+  let base = d.Sexpr.base in
+  let is_empty = base = Sexpr.empty_base in
+  let writes_c =
+    (* chronological order, as [dict_after_writes] applies them *)
+    List.rev_map (fun (wk, u) -> (c wk, Option.map c u)) d.Sexpr.writes
+  in
+  let fk = c k in
+  fun st pkt ->
+    let h = if is_empty then None else Some (Flowstate.handle st base) in
+    let ws =
+      List.map (fun (kf, uf) -> (kf st pkt, Option.map (fun f -> f st pkt) uf)) writes_c
+    in
+    let key = fk st pkt in
+    (* last chronological write for [key] wins, like the dict_set fold *)
+    let decided =
+      List.fold_left
+        (fun acc (wk, u) -> if Value.equal wk key then Some u else acc)
+        None ws
+    in
+    match (kind, decided) with
+    | `Mem, Some (Some _) -> Value.Bool true
+    | `Mem, Some None -> Value.Bool false
+    | `Get, Some (Some v) -> v
+    | `Get, Some None -> unresolved ("missing key in " ^ base)
+    | `Mem, None -> (
+        match h with
+        | None -> Value.Bool false
+        | Some h -> Value.Bool (Flowstate.handle_mem st h key))
+    | `Get, None -> (
+        match Option.bind h (fun h -> Flowstate.handle_find st h key) with
+        | Some v -> v
+        | None -> unresolved ("missing key in " ^ base))
+
+let compile_literal ~pkt_var (l : Solver.literal) : matcher =
+  let f = compile_expr ~pkt_var l.Solver.atom in
+  let pos = l.Solver.positive in
+  fun st pkt ->
+    match f st pkt with
+    | Value.Bool b -> b = pos
+    | Value.Int n -> n <> 0 = pos
+    | _ -> false
+    | exception Value.Type_error _ -> false
+    | exception Nfactor.Model_interp.Unresolved _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Static evaluation against the config store                          *)
+(* ------------------------------------------------------------------ *)
+
+(* An expression is static when every free symbol is a cfgVar with a
+   value in the config store: cfgVars never change during a run, so
+   its value can be baked at compile time. oisVars and packet fields
+   are dynamic by definition. *)
+let is_static ~(model : Nfactor.Model.t) ~config e =
+  Sexpr.Sset.for_all
+    (fun s ->
+      List.mem s model.Nfactor.Model.cfg_vars
+      && Nfactor.Model_interp.Smap.mem s config)
+    (Sexpr.syms e)
+
+let static_value ~(model : Nfactor.Model.t) ~config e =
+  if not (is_static ~model ~config e) then None
+  else
+    match
+      Nfactor.Model_interp.eval ~pkt_var:model.Nfactor.Model.pkt_var config
+        Nfactor.Model_interp.null_pkt e
+    with
+    | v -> Some v
+    | exception _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Actions and updates                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let field_setter f : setter =
+  if Packet.Headers.is_int_field f then fun p v -> Packet.Pkt.set_int p f (Value.as_int v)
+  else
+    fun p v ->
+     match v with
+     | Value.Str s -> Packet.Pkt.set_str p f s
+     | _ -> unresolved ("payload field " ^ f)
+
+let compile_action ~pkt_var (a : Nfactor.Model.pkt_action) =
+  match a with
+  | Nfactor.Model.Drop -> [||]
+  | Nfactor.Model.Forward snaps ->
+      Array.of_list
+        (List.map
+           (List.map (fun (f, e) -> (field_setter f, compile_expr ~pkt_var e)))
+           snaps)
+
+let compile_update ~pkt_var (v, u) =
+  match u with
+  | Nfactor.Model.Set_scalar e -> CSet (v, compile_expr ~pkt_var e)
+  | Nfactor.Model.Dict_ops ops ->
+      CDict
+        ( v,
+          List.map
+            (fun (k, op) -> (compile_expr ~pkt_var k, Option.map (compile_expr ~pkt_var) op))
+            ops )
+
+(* ------------------------------------------------------------------ *)
+(* Compilation proper                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A match literal is an index candidate when it is an equality between
+   a dynamic expression and a static one: positive [a == b] or negated
+   [¬(a != b)]. The dynamic side becomes the tested key expression and
+   the static side its required value. *)
+let equality_key ~model ~config (l : Solver.literal) =
+  let eligible =
+    match (Sexpr.view l.Solver.atom, l.Solver.positive) with
+    | Sexpr.Bin (Nfl.Ast.Eq, a, b), true | Sexpr.Bin (Nfl.Ast.Ne, a, b), false ->
+        Some (a, b)
+    | _ -> None
+  in
+  match eligible with
+  | None -> None
+  | Some (a, b) -> (
+      match (static_value ~model ~config a, static_value ~model ~config b) with
+      | Some v, None -> Some (b, v)
+      | None, Some v -> Some (a, v)
+      | Some _, Some _ | None, None -> None)
+
+(* Per-entry intermediate form before segmentation. *)
+type pre = {
+  p_eidx : int;
+  p_lits : Solver.literal list;  (** dynamic-config ++ flow ++ state, match order *)
+  p_keys : (Sexpr.t * Value.t * int) list;
+      (** (tested expr, required value, lit_key) — nonempty = indexable *)
+  p_entry : Nfactor.Model.entry;
+}
+
+let compile (model : Nfactor.Model.t) ~config =
+  let pkt_var = model.Nfactor.Model.pkt_var in
+  (* 1. Partial-evaluate config: decide each distinct static config
+     literal once; statically-false entries disappear from the plan. *)
+  let lit_verdict : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let static_holds (l : Solver.literal) =
+    let key = Solver.lit_key l in
+    match Hashtbl.find_opt lit_verdict key with
+    | Some b -> b
+    | None ->
+        let b =
+          Nfactor.Model_interp.literal_holds ~pkt_var config Nfactor.Model_interp.null_pkt l
+        in
+        Hashtbl.add lit_verdict key b;
+        b
+  in
+  let pres =
+    List.mapi
+      (fun i (e : Nfactor.Model.entry) ->
+        let static_cfg, dyn_cfg =
+          List.partition
+            (fun (l : Solver.literal) -> is_static ~model ~config l.Solver.atom)
+            e.Nfactor.Model.config
+        in
+        if not (List.for_all static_holds static_cfg) then None
+        else
+          let match_lits = e.Nfactor.Model.flow_match @ e.Nfactor.Model.state_match in
+          (* residual_match is informational for matching (the reference
+             interpreter ignores it), but its presence marks the entry
+             as not fully classified — too risky to index, scan it. *)
+          let keys =
+            if e.Nfactor.Model.residual_match <> [] then []
+            else
+              List.fold_left
+                (fun acc (l : Solver.literal) ->
+                  match equality_key ~model ~config l with
+                  | Some (expr, v)
+                    when not (List.exists (fun (e', _, _) -> Sexpr.equal e' expr) acc) ->
+                      (expr, v, Solver.lit_key l) :: acc
+                  | _ -> acc)
+                [] match_lits
+              |> List.rev
+          in
+          Some { p_eidx = i; p_lits = dyn_cfg @ match_lits; p_keys = keys; p_entry = e })
+      model.Nfactor.Model.entries
+    |> List.filter_map Fun.id
+  in
+  (* 2. Literal slots: one compiled closure per distinct literal. *)
+  let slot_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let fns_rev = ref [] in
+  let nslots = ref 0 in
+  let slot (l : Solver.literal) =
+    let key = Solver.lit_key l in
+    match Hashtbl.find_opt slot_of key with
+    | Some s -> s
+    | None ->
+        let s = !nslots in
+        incr nslots;
+        Hashtbl.add slot_of key s;
+        fns_rev := compile_literal ~pkt_var l :: !fns_rev;
+        s
+  in
+  let centry_of ?(consumed = []) (p : pre) =
+    let slots =
+      List.filter_map
+        (fun (l : Solver.literal) ->
+          if List.mem (Solver.lit_key l) consumed then None else Some (slot l))
+        p.p_lits
+    in
+    (* a literal tested twice in one entry yields the same verdict;
+       keep the first occurrence only *)
+    let seen = Hashtbl.create 8 in
+    let slots =
+      List.filter
+        (fun s ->
+          if Hashtbl.mem seen s then false
+          else begin
+            Hashtbl.add seen s ();
+            true
+          end)
+        slots
+    in
+    {
+      eidx = p.p_eidx;
+      slots = Array.of_list slots;
+      emit = compile_action ~pkt_var p.p_entry.Nfactor.Model.pkt_action;
+      updates = List.map (compile_update ~pkt_var) p.p_entry.Nfactor.Model.state_update;
+    }
+  in
+  (* 3. Greedy segmentation: consecutive indexable entries sharing at
+     least one tested expression form an index group (keyed on the
+     intersection); everything else accumulates into ordered scans.
+     Walking segments in order preserves first-match-wins. *)
+  let inter_keys group_keys entry_keys =
+    List.filter (fun e -> List.exists (fun (e', _, _) -> Sexpr.equal e e') entry_keys) group_keys
+  in
+  let indexed = ref 0 in
+  let segments = ref [] in
+  let flush_scan acc = if acc <> [] then segments := Scan (Array.of_list (List.rev acc)) :: !segments in
+  let flush_group keys members =
+    match members with
+    | [] -> ()
+    | [ only ] -> segments := Scan [| centry_of only |] :: !segments
+    | _ ->
+        let members = List.rev members in
+        let keys = List.sort (fun a b -> Sexpr.compare a b) keys in
+        let table = Hashtbl.create (2 * List.length members) in
+        List.iter
+          (fun (p : pre) ->
+            let kv =
+              List.map
+                (fun ke ->
+                  let _, v, _ =
+                    List.find (fun (e', _, _) -> Sexpr.equal e' ke) p.p_keys
+                  in
+                  v)
+                keys
+            in
+            let consumed =
+              List.filter_map
+                (fun (e', _, lk) ->
+                  if List.exists (Sexpr.equal e') keys then Some lk else None)
+                p.p_keys
+            in
+            let ce = centry_of ~consumed p in
+            let cur = try Hashtbl.find table kv with Not_found -> [] in
+            Hashtbl.replace table kv (cur @ [ ce ]))
+          members;
+        let table' = Hashtbl.create (Hashtbl.length table) in
+        Hashtbl.iter (fun k ces -> Hashtbl.replace table' k (Array.of_list ces)) table;
+        indexed := !indexed + List.length members;
+        segments :=
+          Index { keys = Array.of_list (List.map (compile_expr ~pkt_var) keys); table = table' }
+          :: !segments
+  in
+  let rec build scan_acc group pres =
+    match pres with
+    | [] -> (
+        match group with
+        | Some (keys, members) -> flush_group keys members
+        | None -> flush_scan scan_acc)
+    | p :: rest -> (
+        let indexable = p.p_keys <> [] in
+        match group with
+        | Some (keys, members) when indexable -> (
+            match inter_keys keys p.p_keys with
+            | [] ->
+                flush_group keys members;
+                build [] (Some (List.map (fun (e, _, _) -> e) p.p_keys, [ p ])) rest
+            | keys' -> build [] (Some (keys', p :: members)) rest)
+        | Some (keys, members) ->
+            flush_group keys members;
+            build [ centry_of p ] None rest
+        | None when indexable ->
+            flush_scan scan_acc;
+            build [] (Some (List.map (fun (e, _, _) -> e) p.p_keys, [ p ])) rest
+        | None -> build (centry_of p :: scan_acc) None rest)
+  in
+  build [] None pres;
+  {
+    model;
+    lit_fns = Array.of_list (List.rev !fns_rev);
+    segments = Array.of_list (List.rev !segments);
+    live = List.length pres;
+    indexed = !indexed;
+    dropped_static = Nfactor.Model.entry_count model - List.length pres;
+  }
+
+let pp_plan ppf t =
+  let scans, indexes =
+    Array.fold_left
+      (fun (s, i) -> function Scan _ -> (s + 1, i) | Index _ -> (s, i + 1))
+      (0, 0) t.segments
+  in
+  Fmt.pf ppf
+    "%s: %d/%d entries live (%d statically dropped), %d indexed, %d segment(s) (%d index, %d scan), %d literal slot(s)"
+    t.model.Nfactor.Model.nf_name t.live
+    (Nfactor.Model.entry_count t.model)
+    t.dropped_static t.indexed
+    (Array.length t.segments)
+    indexes scans (Array.length t.lit_fns)

@@ -1,0 +1,74 @@
+(** Model → dataplane compiler: partial evaluation against a concrete
+    config store plus a dispatch structure over the surviving entries.
+
+    Compilation is sound, never lossy: every transformation preserves
+    the reference semantics of {!Nfactor.Model_interp} exactly.
+
+    - {b Static config}: entries whose (packet-free) config literals
+      are false under the config store are dropped; the rest never
+      re-check config at packet time. Degenerate config literals that
+      mention the packet stay as per-packet tests.
+    - {b Literal slots}: each distinct match literal (polarity-signed
+      term id) compiles once to a closure and is assigned a cache slot,
+      so the engine evaluates a literal at most once per packet no
+      matter how many entries test it.
+    - {b Exact-match index}: runs of consecutive entries that all carry
+      positive equality literals [dynamic == static] over a common set
+      of tested expressions become a hash table from the evaluated key
+      tuple to the candidate entries; interval/residual literals stay
+      as per-candidate tests. Entries with [residual_match] literals or
+      without such equalities fall back to the ordered scan, preserving
+      first-match-wins order across segments. *)
+
+open Symexec
+
+type matcher = Flowstate.t -> Packet.Pkt.t -> bool
+type valfn = Flowstate.t -> Packet.Pkt.t -> Value.t
+
+type setter = Packet.Pkt.t -> Value.t -> Packet.Pkt.t
+
+type cupdate =
+  | CSet of string * valfn
+  | CDict of string * (valfn * valfn option) list
+      (** chronological inserts/deletes, as in {!Nfactor.Model.Dict_ops} *)
+
+type centry = {
+  eidx : int;  (** index of the entry in the source model *)
+  slots : int array;  (** distinct-literal cache slots, in match order *)
+  emit : (setter * valfn) list array;  (** compiled [Forward] snapshots; [||] = drop *)
+  updates : cupdate list;
+}
+
+type segment =
+  | Scan of centry array  (** ordered fallback: test entries one by one *)
+  | Index of {
+      keys : valfn array;  (** tested expressions, evaluated once per probe *)
+      table : (Value.t list, centry array) Hashtbl.t;
+          (** evaluated key tuple → candidates in table order *)
+    }
+
+type t = {
+  model : Nfactor.Model.t;
+  lit_fns : matcher array;  (** one evaluator per distinct literal slot *)
+  segments : segment array;  (** walked in order; first match wins *)
+  live : int;  (** entries surviving static config evaluation *)
+  indexed : int;  (** live entries reachable through an index segment *)
+  dropped_static : int;  (** entries removed because config is statically false *)
+}
+
+val compile : Nfactor.Model.t -> config:Nfactor.Model_interp.store -> t
+(** [config] is the concrete store the model runs under (the
+    extraction-time initial store); only cfgVar values are consulted
+    statically, oisVars stay dynamic. *)
+
+val pp_plan : Format.formatter -> t -> unit
+(** One-line summary: live/indexed/dropped entries and segment shape. *)
+
+(** {1 Exposed for tests} *)
+
+val compile_expr : pkt_var:string -> Sexpr.t -> valfn
+(** Compiled evaluation, equal to {!Nfactor.Model_interp.eval} on every
+    input (including its [Unresolved]/[Type_error] behavior). *)
+
+val compile_literal : pkt_var:string -> Solver.literal -> matcher
+(** Compiled {!Nfactor.Model_interp.literal_holds}. *)

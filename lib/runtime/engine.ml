@@ -1,0 +1,215 @@
+(** Batched execution of a compiled plan. See the interface for the
+    dispatch strategy; the parity contract with
+    {!Nfactor.Model_interp.step} is: same entry fires, same outputs,
+    same state effect, and the same exceptions in the same order. *)
+
+open Symexec
+
+type stats = {
+  mutable packets : int;
+  entry_hits : int array;
+  mutable index_hits : int;
+  mutable scan_hits : int;
+  mutable scan_tests : int;
+  mutable miss_no_config : int;
+  mutable miss_no_match : int;
+}
+
+type t = {
+  plan : Compile.t;
+  state : Flowstate.t;
+  stats : stats;
+  cache : int array;
+  mutable gen : int;
+}
+
+let create ?capacity (plan : Compile.t) ~store =
+  {
+    plan;
+    state = Flowstate.create ?capacity store;
+    stats =
+      {
+        packets = 0;
+        entry_hits = Array.make (Nfactor.Model.entry_count plan.Compile.model) 0;
+        index_hits = 0;
+        scan_hits = 0;
+        scan_tests = 0;
+        miss_no_config = 0;
+        miss_no_match = 0;
+      };
+    cache = Array.make (max 1 (Array.length plan.Compile.lit_fns)) 0;
+    gen = 0;
+  }
+
+let of_model ?capacity m ~config ~store =
+  create ?capacity (Compile.compile m ~config) ~store
+
+type outcome = { outputs : Packet.Pkt.t list; fired : int option }
+
+(* Cached literal test: slot [s] holds a generation-stamped verdict
+   [(gen lsl 1) lor bool], so each distinct literal evaluates at most
+   once per packet regardless of how many entries test it. *)
+let test t pkt s =
+  let stamp = t.cache.(s) in
+  if stamp lsr 1 = t.gen then stamp land 1 = 1
+  else begin
+    let b = t.plan.Compile.lit_fns.(s) t.state pkt in
+    t.cache.(s) <- (t.gen lsl 1) lor Bool.to_int b;
+    b
+  end
+
+let entry_holds t pkt (ce : Compile.centry) =
+  let n = Array.length ce.Compile.slots in
+  let rec go i = i >= n || (test t pkt ce.Compile.slots.(i) && go (i + 1)) in
+  go 0
+
+(* A resolved state transition, evaluated entirely against the
+   pre-state before anything commits — mirroring [computed_update]'s
+   "all expressions see the pre-state" rule (and its exception
+   order: dict base first, then each op chronologically). *)
+type pending =
+  | PSet of string * Value.t
+  | PDict of string * (Value.t * Value.t option) list
+
+let resolve_update t pkt (u : Compile.cupdate) =
+  match u with
+  | Compile.CSet (v, f) -> PSet (v, f t.state pkt)
+  | Compile.CDict (v, ops) ->
+      ignore (Flowstate.handle t.state v);
+      PDict
+        ( v,
+          List.map
+            (fun (kf, uf) -> (kf t.state pkt, Option.map (fun f -> f t.state pkt) uf))
+            ops )
+
+let commit t = function
+  | PSet (v, value) -> Flowstate.set_scalar t.state v value
+  | PDict (v, ops) ->
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | Some value -> Flowstate.table_set t.state v k value
+          | None -> Flowstate.table_remove t.state v k)
+        ops
+
+(* The reference interpreter computes every update from the pre-state
+   and folds them with [Smap.add], so when one entry updates a variable
+   twice only the last update is observable. Committing in order
+   through a mutable store would merge them instead — keep the last
+   resolved update per variable. *)
+let dedupe_last pending =
+  let name = function PSet (v, _) | PDict (v, _) -> v in
+  List.filteri
+    (fun i p -> not (List.exists (fun p' -> name p' = name p) (List.filteri (fun j _ -> j > i) pending)))
+    pending
+
+let fire t pkt (ce : Compile.centry) =
+  let outputs =
+    Array.to_list
+      (Array.map
+         (fun snap -> List.fold_left (fun acc (set, f) -> set acc (f t.state pkt)) pkt snap)
+         ce.Compile.emit)
+  in
+  let pending = List.map (resolve_update t pkt) ce.Compile.updates in
+  List.iter (commit t) (dedupe_last pending);
+  t.stats.entry_hits.(ce.Compile.eidx) <- t.stats.entry_hits.(ce.Compile.eidx) + 1;
+  { outputs; fired = Some ce.Compile.eidx }
+
+(* Index keys come from equality literals every candidate entry tests,
+   so a key that fails to evaluate means those literals are false:
+   the whole segment misses, it does not raise. *)
+let probe_keys t pkt (keys : Compile.valfn array) =
+  match Array.to_list (Array.map (fun f -> f t.state pkt) keys) with
+  | kvs -> Some kvs
+  | exception Value.Type_error _ -> None
+  | exception Nfactor.Model_interp.Unresolved _ -> None
+
+let find_candidate t pkt (ces : Compile.centry array) =
+  let n = Array.length ces in
+  let rec go i =
+    if i >= n then None
+    else begin
+      t.stats.scan_tests <- t.stats.scan_tests + 1;
+      if entry_holds t pkt ces.(i) then Some ces.(i) else go (i + 1)
+    end
+  in
+  go 0
+
+let step t pkt =
+  Flowstate.bump_clock t.state;
+  t.gen <- t.gen + 1;
+  t.stats.packets <- t.stats.packets + 1;
+  let segs = t.plan.Compile.segments in
+  let n = Array.length segs in
+  let rec walk i =
+    if i >= n then None
+    else
+      match segs.(i) with
+      | Compile.Scan ces -> (
+          match find_candidate t pkt ces with
+          | Some ce ->
+              t.stats.scan_hits <- t.stats.scan_hits + 1;
+              Some ce
+          | None -> walk (i + 1))
+      | Compile.Index { keys; table } -> (
+          let hit =
+            match probe_keys t pkt keys with
+            | None -> None
+            | Some kvs -> (
+                match Hashtbl.find_opt table kvs with
+                | None -> None
+                | Some ces -> find_candidate t pkt ces)
+          in
+          match hit with
+          | Some ce ->
+              t.stats.index_hits <- t.stats.index_hits + 1;
+              Some ce
+          | None -> walk (i + 1))
+  in
+  match walk 0 with
+  | Some ce -> fire t pkt ce
+  | None ->
+      let entries = Nfactor.Model.entry_count t.plan.Compile.model in
+      if t.plan.Compile.live = 0 && entries > 0 then
+        t.stats.miss_no_config <- t.stats.miss_no_config + 1
+      else t.stats.miss_no_match <- t.stats.miss_no_match + 1;
+      { outputs = []; fired = None }
+
+let run_batch t pkts = Array.map (step t) pkts
+
+let replay ?(profile = Packet.Traffic.default_profile) t ~seed ~n =
+  let rng = Packet.Rng.create seed in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    ignore (step t (Packet.Traffic.random_pkt rng profile))
+  done;
+  Unix.gettimeofday () -. t0
+
+let snapshot t = Flowstate.snapshot t.state
+
+let pp_stats ppf t =
+  let s = t.stats in
+  Fmt.pf ppf
+    "packets %d | hits: index %d, scan %d (%d entry tests) | miss: no-config %d, no-match %d | evictions %d"
+    s.packets s.index_hits s.scan_hits s.scan_tests s.miss_no_config s.miss_no_match
+    (Flowstate.evictions t.state)
+
+let stats_json t =
+  let s = t.stats in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{";
+  Printf.bprintf b "\"nf\": %S, " t.plan.Compile.model.Nfactor.Model.nf_name;
+  Printf.bprintf b "\"packets\": %d, " s.packets;
+  Printf.bprintf b "\"index_hits\": %d, " s.index_hits;
+  Printf.bprintf b "\"scan_hits\": %d, " s.scan_hits;
+  Printf.bprintf b "\"scan_tests\": %d, " s.scan_tests;
+  Printf.bprintf b "\"miss_no_config\": %d, " s.miss_no_config;
+  Printf.bprintf b "\"miss_no_match\": %d, " s.miss_no_match;
+  Printf.bprintf b "\"evictions\": %d, " (Flowstate.evictions t.state);
+  Printf.bprintf b "\"live_entries\": %d, " t.plan.Compile.live;
+  Printf.bprintf b "\"indexed_entries\": %d, " t.plan.Compile.indexed;
+  Printf.bprintf b "\"dropped_static\": %d, " t.plan.Compile.dropped_static;
+  Printf.bprintf b "\"entry_hits\": [%s]"
+    (String.concat ", " (Array.to_list (Array.map string_of_int s.entry_hits)));
+  Buffer.add_string b "}";
+  Buffer.contents b

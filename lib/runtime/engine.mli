@@ -1,0 +1,72 @@
+(** Batched execution of a compiled plan over a mutable flow-state
+    store.
+
+    Per packet the engine walks the plan's segments in order: index
+    segments evaluate their key tuple once and hash-probe for
+    candidates; scan segments test entries one by one. Every literal
+    verdict is cached per packet in a generation-stamped slot array, so
+    a literal shared by many entries evaluates at most once. The first
+    entry whose remaining slots all hold fires, exactly like
+    {!Nfactor.Model_interp.step}. *)
+
+type stats = {
+  mutable packets : int;
+  entry_hits : int array;  (** fires per source-model entry index *)
+  mutable index_hits : int;  (** packets resolved through an index probe *)
+  mutable scan_hits : int;  (** packets resolved by an ordered scan *)
+  mutable scan_tests : int;  (** entries tested across all scans *)
+  mutable miss_no_config : int;
+      (** drops because no entry survived static config evaluation *)
+  mutable miss_no_match : int;  (** drops because no live entry matched *)
+}
+
+type t = {
+  plan : Compile.t;
+  state : Flowstate.t;
+  stats : stats;
+  cache : int array;  (** per-literal [(gen lsl 1) lor verdict] stamps *)
+  mutable gen : int;
+}
+
+val create : ?capacity:int -> Compile.t -> store:Nfactor.Model_interp.store -> t
+(** Fresh engine over [store] (scalars + flow tables, see
+    {!Flowstate.create}); [capacity] bounds each flow table with LRU
+    eviction — leave it unset for exact interpreter equivalence. *)
+
+val of_model :
+  ?capacity:int ->
+  Nfactor.Model.t ->
+  config:Nfactor.Model_interp.store ->
+  store:Nfactor.Model_interp.store ->
+  t
+(** Compile against [config] and create in one step. [config] and
+    [store] are usually the same extraction-time initial store. *)
+
+type outcome = {
+  outputs : Packet.Pkt.t list;
+  fired : int option;  (** source-model entry index; [None] = drop by miss *)
+}
+
+val step : t -> Packet.Pkt.t -> outcome
+(** Process one packet: advance the logical clock, match, emit outputs
+    (evaluated against the pre-state), then commit state updates —
+    same observable order as the reference interpreter. *)
+
+val run_batch : t -> Packet.Pkt.t array -> outcome array
+
+val replay :
+  ?profile:Packet.Traffic.profile -> t -> seed:int -> n:int -> float
+(** Fold [n] packets of the seeded {!Packet.Traffic} generator through
+    the engine without materializing the packet list; returns elapsed
+    wall-clock seconds. The stream equals
+    [Packet.Traffic.random_stream ~seed ~n profile]. *)
+
+val snapshot : t -> Nfactor.Model_interp.store
+(** Final state as an interpreter store, comparable against
+    {!Nfactor.Model_interp.run}. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+val stats_json : t -> string
+(** Counters as a one-line JSON object (packets, hits, misses,
+    evictions) — consumed by the CLI and CI smoke checks. *)

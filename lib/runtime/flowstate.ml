@@ -1,0 +1,129 @@
+(** Managed mutable state store: scalar cells + hash-backed per-flow
+    tables with a capacity bound and clock-driven LRU eviction. *)
+
+open Symexec
+
+type slot = { mutable v : Value.t; mutable last_used : int }
+
+type cell = Scalar of Value.t | Table of (Value.t, slot) Hashtbl.t
+
+type t = {
+  cells : (string, cell) Hashtbl.t;
+  cap : int option;
+  mutable clock : int;
+  mutable evictions : int;
+}
+
+let unresolved name = raise (Nfactor.Model_interp.Unresolved name)
+
+let table_of_kvs kvs =
+  let h = Hashtbl.create (max 16 (2 * List.length kvs)) in
+  List.iter (fun (k, v) -> Hashtbl.replace h k { v; last_used = 0 }) kvs;
+  h
+
+let create ?capacity (store : Nfactor.Model_interp.store) =
+  let cells = Hashtbl.create 16 in
+  Nfactor.Model_interp.Smap.iter
+    (fun name v ->
+      Hashtbl.replace cells name
+        (match v with Value.Dict kvs -> Table (table_of_kvs kvs) | v -> Scalar v))
+    store;
+  { cells; cap = capacity; clock = 0; evictions = 0 }
+
+let capacity t = t.cap
+let clock t = t.clock
+let bump_clock t = t.clock <- t.clock + 1
+let evictions t = t.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let materialize h =
+  Value.Dict
+    (Hashtbl.fold (fun k s acc -> (k, s.v) :: acc) h []
+    |> List.sort (fun (a, _) (b, _) -> Value.compare a b))
+
+let read t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Scalar v) -> v
+  | Some (Table h) -> materialize h
+  | None -> unresolved name
+
+type handle = (Value.t, slot) Hashtbl.t
+
+let handle t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Table h) -> h
+  | Some (Scalar _) | None -> unresolved ("dict " ^ name)
+
+let handle_mem t h k =
+  match Hashtbl.find_opt h k with
+  | Some s ->
+      s.last_used <- t.clock;
+      true
+  | None -> false
+
+let handle_find t h k =
+  match Hashtbl.find_opt h k with
+  | Some s ->
+      s.last_used <- t.clock;
+      Some s.v
+  | None -> None
+
+let table_mem t name k = handle_mem t (handle t name) k
+let table_find t name k = handle_find t (handle t name) k
+let table_size t name = Hashtbl.length (handle t name)
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let set_scalar t name v =
+  Hashtbl.replace t.cells name
+    (match v with Value.Dict kvs -> Table (table_of_kvs kvs) | v -> Scalar v)
+
+(* Least-recently-used key; ties (same clock tick) break on the
+   smaller key so eviction order is independent of hash layout. *)
+let evict_lru t h =
+  let victim =
+    Hashtbl.fold
+      (fun k s acc ->
+        match acc with
+        | None -> Some (k, s.last_used)
+        | Some (k', lu') ->
+            if s.last_used < lu' || (s.last_used = lu' && Value.compare k k' < 0) then
+              Some (k, s.last_used)
+            else acc)
+      h None
+  in
+  match victim with
+  | Some (k, _) ->
+      Hashtbl.remove h k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let table_set t name k v =
+  let h = handle t name in
+  match Hashtbl.find_opt h k with
+  | Some s ->
+      s.v <- v;
+      s.last_used <- t.clock
+  | None ->
+      (match t.cap with
+      | Some cap when Hashtbl.length h >= cap -> evict_lru t h
+      | _ -> ());
+      Hashtbl.replace h k { v; last_used = t.clock }
+
+let table_remove t name k = Hashtbl.remove (handle t name) k
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name cell acc ->
+      let v = match cell with Scalar v -> v | Table h -> materialize h in
+      Nfactor.Model_interp.Smap.add name v acc)
+    t.cells Nfactor.Model_interp.Smap.empty

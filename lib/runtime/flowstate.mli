@@ -1,0 +1,82 @@
+(** Managed mutable state store for the compiled dataplane.
+
+    The reference interpreter ({!Nfactor.Model_interp}) threads a
+    persistent [Value.t Smap.t] through every step and rebuilds
+    dictionary values (sorted association lists) on each write — O(n)
+    per flow-table insert. This store replaces that with scalar cells
+    plus hash-backed per-flow tables keyed on the tested key
+    expression's concrete value, with an optional capacity bound and
+    LRU eviction driven by a logical packet clock.
+
+    Missing names and non-dictionary bases raise
+    {!Nfactor.Model_interp.Unresolved}, exactly like the reference
+    evaluator, so compiled literal evaluation keeps its
+    false-on-unresolved semantics. *)
+
+open Symexec
+
+type t
+
+val create : ?capacity:int -> Nfactor.Model_interp.store -> t
+(** Load an interpreter store: [Value.Dict] values become hash tables,
+    everything else a scalar cell. [capacity] bounds {e each} per-flow
+    table; inserting into a full table evicts the least-recently-used
+    key first (ties broken on the smaller key, so eviction is
+    deterministic). Omitted = unbounded, which is required for exact
+    equivalence with the reference interpreter (it never evicts). *)
+
+val capacity : t -> int option
+
+(** {1 Logical packet clock} *)
+
+val clock : t -> int
+
+val bump_clock : t -> unit
+(** Advance the clock; the engine calls this once per packet. Reads
+    and writes stamp the touched table key with the current clock,
+    which is the recency order eviction uses. *)
+
+(** {1 Reads} *)
+
+val read : t -> string -> Value.t
+(** Scalar read; a table materializes back into a (sorted)
+    [Value.Dict].
+    @raise Nfactor.Model_interp.Unresolved on missing names. *)
+
+type handle
+(** A resolved per-flow table. Resolving ({!handle}) and querying are
+    split so compiled dictionary atoms can mirror the reference
+    evaluator's order: base resolution fails before any key is
+    evaluated. *)
+
+val handle : t -> string -> handle
+(** @raise Nfactor.Model_interp.Unresolved when [name] is absent or
+    not a table. *)
+
+val handle_mem : t -> handle -> Value.t -> bool
+val handle_find : t -> handle -> Value.t -> Value.t option
+
+val table_mem : t -> string -> Value.t -> bool
+val table_find : t -> string -> Value.t -> Value.t option
+val table_size : t -> string -> int
+
+(** {1 Writes} *)
+
+val set_scalar : t -> string -> Value.t -> unit
+(** Assigning a [Value.Dict] (re)creates a table. *)
+
+val table_set : t -> string -> Value.t -> Value.t -> unit
+(** Insert or update; inserting into a table at capacity evicts the
+    LRU key first. *)
+
+val table_remove : t -> string -> Value.t -> unit
+
+(** {1 Telemetry and snapshots} *)
+
+val evictions : t -> int
+(** Total keys evicted by the capacity bound since {!create}. *)
+
+val snapshot : t -> Nfactor.Model_interp.store
+(** Materialize back into an interpreter store (tables become sorted
+    [Value.Dict]s) — byte-comparable against
+    {!Nfactor.Model_interp.run}'s final store. *)

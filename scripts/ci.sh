@@ -5,3 +5,18 @@ set -eux
 dune build
 dune runtest
 dune exec bench/main.exe -- --smoke --json BENCH_smoke.json
+
+# Runtime dataplane gates: the smoke telemetry must show the compiled
+# engine agreeing with the interpreter and beating it >= 5x, and the
+# engine's counter JSON must be well-formed.
+grep -q '"runtime":' BENCH_smoke.json
+if grep -q '"speedup_ok": false' BENCH_smoke.json; then
+  echo "runtime engine below the 5x speedup gate" >&2
+  exit 1
+fi
+if grep -q '"outputs_and_state_equal": false' BENCH_smoke.json; then
+  echo "runtime engine diverged from the interpreter" >&2
+  exit 1
+fi
+dune exec bin/nfactor_cli.exe -- run -n 5000 --check snort
+dune exec bin/nfactor_cli.exe -- run -n 5000 --json snort | grep -q '"index_hits"'

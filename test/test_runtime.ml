@@ -1,0 +1,268 @@
+(* The compiled dataplane (lib/runtime) against the reference
+   interpreter: same entry fires, same outputs, same final state, on
+   every corpus NF — plus the engine-only behaviors (plan shape, miss
+   counters, LRU-bounded stores, streaming replay). *)
+
+open Symexec
+open Nfactor_runtime
+
+let extractions : (string, Nfactor.Extract.result) Hashtbl.t = Hashtbl.create 16
+
+let extraction name =
+  match Hashtbl.find_opt extractions name with
+  | Some ex -> ex
+  | None ->
+      let e = Option.get (Nfs.Corpus.find name) in
+      let ex = Nfactor.Extract.run ~name (e.Nfs.Corpus.program ()) in
+      Hashtbl.add extractions name ex;
+      ex
+
+let stores_equal = Nfactor.Model_interp.Smap.equal Value.equal
+
+let outputs_equal a b =
+  List.length a = List.length b && List.for_all2 Packet.Pkt.equal a b
+
+(* Engine vs interpreter, packet by packet: fired entry, emitted
+   packets and the store after every step must agree. *)
+let differential ?capacity name ~seed ~n () =
+  let ex = extraction name in
+  let model = ex.Nfactor.Extract.model in
+  let store = Nfactor.Model_interp.initial_store ex in
+  let plan = Compile.compile model ~config:store in
+  let eng = Engine.create ?capacity plan ~store in
+  let acts = Nfactor.Model_interp.actives model store in
+  let pkts = Packet.Traffic.random_stream ~seed ~n () in
+  let _ =
+    List.fold_left
+      (fun (st, i) pkt ->
+        let r = Nfactor.Model_interp.step ~actives:acts model st pkt in
+        let o = Engine.step eng pkt in
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s: fired entry, packet %d" name i)
+          r.Nfactor.Model_interp.matched o.Engine.fired;
+        if not (outputs_equal r.Nfactor.Model_interp.outputs o.Engine.outputs) then
+          Alcotest.failf "%s: outputs differ on packet %d" name i;
+        (r.Nfactor.Model_interp.store, i + 1))
+      (store, 0) pkts
+  in
+  ()
+
+let final_state name ~seed ~n () =
+  let ex = extraction name in
+  let model = ex.Nfactor.Extract.model in
+  let store = Nfactor.Model_interp.initial_store ex in
+  let pkts = Packet.Traffic.random_stream ~seed ~n () in
+  let ref_store, _ = Nfactor.Model_interp.run model ~store ~pkts in
+  let eng = Engine.of_model model ~config:store ~store in
+  let _ = Engine.run_batch eng (Array.of_list pkts) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: final store equal" name)
+    true
+    (stores_equal ref_store (Engine.snapshot eng))
+
+(* Same traffic delivered through [replay]'s streaming generator and
+   through a materialized [run_batch] must leave identical state and
+   counters — the generator equivalence the bench relies on. *)
+let test_replay_matches_batch () =
+  List.iter
+    (fun name ->
+      let ex = extraction name in
+      let model = ex.Nfactor.Extract.model in
+      let store = Nfactor.Model_interp.initial_store ex in
+      let plan = Compile.compile model ~config:store in
+      let a = Engine.create plan ~store in
+      let _ = Engine.replay a ~seed:7 ~n:500 in
+      let b = Engine.create plan ~store in
+      let _ =
+        Engine.run_batch b (Array.of_list (Packet.Traffic.random_stream ~seed:7 ~n:500 ()))
+      in
+      Alcotest.(check bool)
+        (name ^ ": replay state == batch state")
+        true
+        (stores_equal (Engine.snapshot a) (Engine.snapshot b));
+      Alcotest.(check int) (name ^ ": packets") 500 a.Engine.stats.Engine.packets;
+      Alcotest.(check (list int))
+        (name ^ ": per-entry hits")
+        (Array.to_list b.Engine.stats.Engine.entry_hits)
+        (Array.to_list a.Engine.stats.Engine.entry_hits))
+    [ "lb"; "snort"; "portknock" ]
+
+(* Partial evaluation must only ever drop entries whose config is
+   statically false; the plan totals have to account for every entry. *)
+let test_plan_accounting () =
+  List.iter
+    (fun (e : Nfs.Corpus.entry) ->
+      let name = e.Nfs.Corpus.name in
+      let ex = extraction name in
+      let model = ex.Nfactor.Extract.model in
+      let store = Nfactor.Model_interp.initial_store ex in
+      let plan = Compile.compile model ~config:store in
+      Alcotest.(check int)
+        (name ^ ": live + dropped = entries")
+        (Nfactor.Model.entry_count model)
+        (plan.Compile.live + plan.Compile.dropped_static);
+      let actives = Nfactor.Model_interp.actives model store in
+      Alcotest.(check int)
+        (name ^ ": live = interpreter actives")
+        (List.length actives) plan.Compile.live)
+    Nfs.Corpus.all
+
+(* snort's rule dispatch is pure equality tests over cfg-derived
+   values: the compiler must index it (that's where the throughput
+   comes from), and balance's flow tables likewise. *)
+let test_index_used () =
+  List.iter
+    (fun name ->
+      let ex = extraction name in
+      let model = ex.Nfactor.Extract.model in
+      let store = Nfactor.Model_interp.initial_store ex in
+      let plan = Compile.compile model ~config:store in
+      Alcotest.(check bool) (name ^ ": some entries indexed") true (plan.Compile.indexed > 0))
+    [ "snort"; "balance"; "lb" ]
+
+(* Miss-reason bookkeeping, both in the interpreter and the engine. *)
+let test_miss_reasons () =
+  let ex = extraction "lb" in
+  let model = ex.Nfactor.Extract.model in
+  let store = Nfactor.Model_interp.initial_store ex in
+  let pkt = List.hd (Packet.Traffic.random_stream ~seed:1 ~n:1 ()) in
+  (* no entries at all *)
+  let empty = { model with Nfactor.Model.entries = [] } in
+  let r = Nfactor.Model_interp.step empty store pkt in
+  Alcotest.(check bool) "no entries -> No_entries" true
+    (r.Nfactor.Model_interp.miss = Some Nfactor.Model_interp.No_entries);
+  (* only the statically-dead entries: config can never hold *)
+  let dead =
+    List.filter
+      (fun (e : Nfactor.Model.entry) ->
+        not
+          (List.exists
+             (fun (a : Nfactor.Model_interp.active) ->
+               a.Nfactor.Model_interp.a_entry == e)
+             (Nfactor.Model_interp.actives model store)))
+      model.Nfactor.Model.entries
+  in
+  Alcotest.(check bool) "lb has a statically-dead entry" true (dead <> []);
+  let dead_model = { model with Nfactor.Model.entries = dead } in
+  let r = Nfactor.Model_interp.step dead_model store pkt in
+  Alcotest.(check bool) "dead config -> No_active_config" true
+    (r.Nfactor.Model_interp.miss = Some Nfactor.Model_interp.No_active_config);
+  let eng = Engine.of_model dead_model ~config:store ~store in
+  let o = Engine.step eng pkt in
+  Alcotest.(check (option int)) "engine drops" None o.Engine.fired;
+  Alcotest.(check int) "engine counts miss_no_config" 1
+    eng.Engine.stats.Engine.miss_no_config;
+  (* a live entry that doesn't match this packet *)
+  let live =
+    List.filter (fun (e : Nfactor.Model.entry) -> not (List.memq e dead)) model.Nfactor.Model.entries
+  in
+  let one = { model with Nfactor.Model.entries = [ List.hd live ] } in
+  let miss_pkt =
+    (* dport 1 matches no lb virtual service *)
+    Packet.Pkt.make ~ip_src:(Packet.Addr.ip 10 0 0 1) ~ip_dst:(Packet.Addr.ip 10 0 0 2)
+      ~sport:1 ~dport:1 ()
+  in
+  let r = Nfactor.Model_interp.step one store miss_pkt in
+  Alcotest.(check bool) "no match -> No_flow_state_match" true
+    (r.Nfactor.Model_interp.miss = Some Nfactor.Model_interp.No_flow_state_match
+    || r.Nfactor.Model_interp.matched <> None);
+  (match r.Nfactor.Model_interp.miss with
+  | Some Nfactor.Model_interp.No_flow_state_match ->
+      let eng = Engine.of_model one ~config:store ~store in
+      let o = Engine.step eng miss_pkt in
+      Alcotest.(check (option int)) "engine drops too" None o.Engine.fired;
+      Alcotest.(check int) "engine counts miss_no_match" 1
+        eng.Engine.stats.Engine.miss_no_match
+  | _ -> ())
+
+(* compile_expr must be extensionally equal to Model_interp.eval —
+   exercised on every literal of every corpus model under live stores
+   and random packets. *)
+let test_compile_expr_parity () =
+  List.iter
+    (fun (e : Nfs.Corpus.entry) ->
+      let name = e.Nfs.Corpus.name in
+      let ex = extraction name in
+      let model = ex.Nfactor.Extract.model in
+      let pkt_var = model.Nfactor.Model.pkt_var in
+      let store = Nfactor.Model_interp.initial_store ex in
+      let pkts = Packet.Traffic.random_stream ~seed:11 ~n:50 () in
+      let atoms =
+        List.concat_map
+          (fun (en : Nfactor.Model.entry) ->
+            List.map
+              (fun (l : Solver.literal) -> l.Solver.atom)
+              (en.Nfactor.Model.config @ en.Nfactor.Model.flow_match
+             @ en.Nfactor.Model.state_match @ en.Nfactor.Model.residual_match))
+          model.Nfactor.Model.entries
+      in
+      let fs = Flowstate.create store in
+      List.iter
+        (fun atom ->
+          let compiled = Compile.compile_expr ~pkt_var atom in
+          List.iter
+            (fun pkt ->
+              let reference =
+                match Nfactor.Model_interp.eval ~pkt_var store pkt atom with
+                | v -> Ok v
+                | exception Nfactor.Model_interp.Unresolved _ -> Error "unresolved"
+                | exception Value.Type_error _ -> Error "type"
+              in
+              let got =
+                match compiled fs pkt with
+                | v -> Ok v
+                | exception Nfactor.Model_interp.Unresolved _ -> Error "unresolved"
+                | exception Value.Type_error _ -> Error "type"
+              in
+              let same =
+                match (reference, got) with
+                | Ok a, Ok b -> Value.equal a b
+                | Error a, Error b -> a = b
+                | _ -> false
+              in
+              if not same then
+                Alcotest.failf "%s: compile_expr diverges on %s" name (Sexpr.to_string atom))
+            pkts)
+        atoms)
+    Nfs.Corpus.all
+
+(* Randomized seeds: full-corpus engine == interpreter as a law. *)
+let prop_engine_agrees =
+  QCheck.Test.make ~name:"property: engine == interpreter on random seeds" ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun name ->
+          let ex = extraction name in
+          let model = ex.Nfactor.Extract.model in
+          let store = Nfactor.Model_interp.initial_store ex in
+          let pkts = Packet.Traffic.random_stream ~seed ~n:120 () in
+          let ref_store, ref_out = Nfactor.Model_interp.run model ~store ~pkts in
+          let eng = Engine.of_model model ~config:store ~store in
+          let outs = Engine.run_batch eng (Array.of_list pkts) in
+          List.for_all2
+            (fun r (o : Engine.outcome) -> outputs_equal r o.Engine.outputs)
+            ref_out (Array.to_list outs)
+          && stores_equal ref_store (Engine.snapshot eng))
+        [ "lb"; "balance"; "snort"; "nat"; "portknock" ])
+
+let corpus_cases =
+  List.concat_map
+    (fun (e : Nfs.Corpus.entry) ->
+      let name = e.Nfs.Corpus.name in
+      [
+        Alcotest.test_case (name ^ " differential 1000") `Slow (differential name ~seed:2016 ~n:1000);
+        Alcotest.test_case (name ^ " final state 1000") `Slow (final_state name ~seed:4242 ~n:1000);
+      ])
+    Nfs.Corpus.all
+
+let suite =
+  corpus_cases
+  @ [
+      Alcotest.test_case "replay == batch" `Quick test_replay_matches_batch;
+      Alcotest.test_case "plan accounting" `Quick test_plan_accounting;
+      Alcotest.test_case "index used on snort/balance/lb" `Quick test_index_used;
+      Alcotest.test_case "miss reasons" `Quick test_miss_reasons;
+      Alcotest.test_case "compile_expr == eval" `Quick test_compile_expr_parity;
+      QCheck_alcotest.to_alcotest prop_engine_agrees;
+    ]
