@@ -28,9 +28,15 @@ let section title =
 
 let corpus_entry name = Option.get (Nfs.Corpus.find name)
 
+(* One pass manager for the whole harness: sections that need the same
+   NF's extraction (accuracy, applications, micro-bench setup, ...)
+   share it through the in-memory artifact table instead of re-running
+   Algorithm 1, and every exploration feeds one solver memo. *)
+let mgr = Pipeline.Manager.create ()
+
 let extract name =
   let e = corpus_entry name in
-  Nfactor.Extract.run ~name (e.Nfs.Corpus.program ())
+  Pipeline.Manager.extract mgr ~name (e.Nfs.Corpus.program ())
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                            *)
@@ -73,8 +79,8 @@ let table2 () =
   List.iter
     (fun (e : Nfs.Corpus.entry) ->
       let _, row =
-        Nfactor.Report.measure ~se_budget:1000 ~name:e.Nfs.Corpus.name
-          ~source:(e.Nfs.Corpus.source ()) (e.Nfs.Corpus.program ())
+        Nfactor.Report.measure ~se_budget:1000 ~ex:(extract e.Nfs.Corpus.name)
+          ~name:e.Nfs.Corpus.name ~source:(e.Nfs.Corpus.source ()) (e.Nfs.Corpus.program ())
       in
       print_endline (Nfactor.Report.row_to_string row))
     Nfs.Corpus.all;
@@ -198,11 +204,11 @@ let scaling () =
 (* ------------------------------------------------------------------ *)
 
 (* The incremental/memoizing solver layer, measured on its own terms:
-   each NF is extracted (slice exploration, fresh verdict cache), then
-   the unsliced original is explored *sharing* that cache — the
-   original re-decides the slice's branch conditions, so its checks hit.
-   "baseline" is the pre-memoization accounting: two fresh full-pc
-   solver calls per undecided branch. *)
+   each NF is extracted (slice exploration, manager-shared verdict
+   cache), then the unsliced original is explored *sharing* that cache
+   — the original re-decides the slice's branch conditions, so its
+   checks hit. "baseline" is the pre-memoization accounting: two fresh
+   full-pc solver calls per undecided branch. *)
 type telemetry_row = {
   tr_name : string;
   tr_slice_paths : int;
@@ -227,7 +233,7 @@ let solver_telemetry () =
     List.map
       (fun (e : Nfs.Corpus.entry) ->
         let name = e.Nfs.Corpus.name in
-        let ex = Nfactor.Extract.run ~name (e.Nfs.Corpus.program ()) in
+        let ex = extract name in
         let budget =
           { Symexec.Explore.default_config with Symexec.Explore.max_paths = 1000 }
         in
@@ -376,7 +382,119 @@ let runtime_throughput ~smoke () =
   rows
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable telemetry (BENCH_pr3.json)                         *)
+(* Pass pipeline: cold synthesis vs warm cache replay                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The content-addressed pipeline measured end-to-end: a cold pass
+   synthesizes the whole corpus into an empty artifact store, then a
+   warm pass replays it through a *fresh* manager (the stand-in for a
+   new process) over the populated store. Sources are materialized
+   outside the timed regions; warm takes the best of three runs, and
+   correctness is asserted in-bench: every warm pass must be a disk
+   hit and every warm model byte-identical to its cold counterpart. *)
+type pipeline_row = {
+  pc_nfs : int;
+  pc_passes : int;
+  pc_cold_ms : float;
+  pc_warm_ms : float;
+  pc_speedup : float;
+  pc_warm_misses : int;
+  pc_warm_hit_rate : float;
+  pc_models_identical : bool;
+  pc_stage_cold_ms : (string * float) list;
+  pc_stage_warm_ms : (string * float) list;
+}
+
+let rec rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun entry -> rm_rf (Filename.concat p entry)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+
+let pipeline_cache () =
+  section "Pass pipeline: cold synthesis vs warm cache replay (--cache-dir)";
+  (* Flush floating garbage so earlier sections' major-GC debt is not
+     collected inside the timed regions. *)
+  Gc.full_major ();
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nfactor-bench-cache.%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let sources =
+    List.map (fun (e : Nfs.Corpus.entry) -> (e.Nfs.Corpus.name, e.Nfs.Corpus.source ())) Nfs.Corpus.all
+  in
+  let run_all m =
+    List.map (fun (name, src) -> (name, Pipeline.Manager.extract_source m ~name src)) sources
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let synth_passes = List.filter (fun p -> p <> "compile") Pipeline.Manager.passes in
+  let stage_ms traces =
+    List.map
+      (fun pass ->
+        ( pass,
+          1e3
+          *. List.fold_left
+               (fun acc (tr : Pipeline.Trace.t) ->
+                 if tr.Pipeline.Trace.pass = pass then acc +. tr.Pipeline.Trace.wall_s else acc)
+               0. traces ))
+      synth_passes
+  in
+  let count_misses traces =
+    List.length
+      (List.filter (fun (tr : Pipeline.Trace.t) -> tr.Pipeline.Trace.status = Pipeline.Trace.Miss) traces)
+  in
+  (* cold: populate the empty store *)
+  let cold_m = Pipeline.Manager.create ~cache_dir:dir () in
+  let cold_exs, cold_s = timed (fun () -> run_all cold_m) in
+  let cold_traces = Pipeline.Manager.traces cold_m in
+  (* warm: fresh manager over the populated store, best of 3 *)
+  let warm_once () =
+    let m = Pipeline.Manager.create ~cache_dir:dir () in
+    let exs, w = timed (fun () -> run_all m) in
+    (Pipeline.Manager.traces m, exs, w)
+  in
+  let w1 = warm_once () and w2 = warm_once () and w3 = warm_once () in
+  let warm_traces, warm_exs, _ = w1 in
+  let warm_s = List.fold_left (fun acc (_, _, w) -> min acc w) infinity [ w1; w2; w3 ] in
+  rm_rf dir;
+  let model_str (_, ex) = Nfactor.Model_io.to_string ex.Nfactor.Extract.model in
+  let models_identical =
+    List.for_all2 (fun c w -> fst c = fst w && model_str c = model_str w) cold_exs warm_exs
+  in
+  let row =
+    {
+      pc_nfs = List.length sources;
+      pc_passes = List.length cold_traces;
+      pc_cold_ms = cold_s *. 1e3;
+      pc_warm_ms = warm_s *. 1e3;
+      pc_speedup = (if warm_s > 0. then cold_s /. warm_s else 0.);
+      pc_warm_misses = count_misses warm_traces;
+      pc_warm_hit_rate = Pipeline.Trace.hit_rate warm_traces;
+      pc_models_identical = models_identical;
+      pc_stage_cold_ms = stage_ms cold_traces;
+      pc_stage_warm_ms = stage_ms warm_traces;
+    }
+  in
+  Fmt.pr "%-14s | %10s %10s@." "stage" "cold (ms)" "warm (ms)";
+  List.iter2
+    (fun (pass, c) (_, w) -> Fmt.pr "%-14s | %10.3f %10.3f@." pass c w)
+    row.pc_stage_cold_ms row.pc_stage_warm_ms;
+  Fmt.pr "%-14s | %10.3f %10.3f@." "end-to-end" row.pc_cold_ms row.pc_warm_ms;
+  Fmt.pr "@.%d NFs, %d passes; warm replay %.1fx faster; warm hit rate %.0f%% (%d misses); \
+          models byte-identical: %b@."
+    row.pc_nfs row.pc_passes row.pc_speedup row.pc_warm_hit_rate row.pc_warm_misses
+    row.pc_models_identical;
+  row
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable telemetry (BENCH_pr5.json)                         *)
 (* ------------------------------------------------------------------ *)
 
 (* PR-2 telemetry on the same harness and budgets (BENCH_pr2.json as
@@ -390,13 +508,38 @@ let pr2_baseline =
     ("balance", (53, 80, 18, 18.4, 0.079, 0.227));
   ]
 
-let emit_json path rows rt_rows =
+(* PR-3 runtime telemetry as recorded when PR 3 landed (BENCH_pr3.json):
+   the dataplane reference this PR's runtime section is read against —
+   the pipeline refactor must not regress the compiled engine. *)
+let pr3_baseline =
+  [
+    (* name, (packets, engine ms recorded, speedup recorded) *)
+    ("snort", (100_000, 64.337, 7.17));
+    ("balance", (100_000, 47.736, 224.39));
+    ("portknock", (100_000, 65.902, 13.39));
+    ("lb", (20_000, 26.077, 221.61));
+    ("nat", (10_000, 21.442, 537.12));
+  ]
+
+let emit_json path rows rt_rows pc =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"pr\": 3,\n";
-  add "  \"subject\": \"compiled-model dataplane: match-tree compiler, flow-state engine, batched replay\",\n";
+  add "  \"pr\": 5,\n";
+  add "  \"subject\": \"content-addressed pass pipeline: fingerprinted stages, artifact cache, warm replay\",\n";
   add "  \"budgets\": { \"se_orig_max_paths\": 1000 },\n";
+  add "  \"pipeline\": {\n";
+  add "    \"nfs\": %d, \"passes\": %d,\n" pc.pc_nfs pc.pc_passes;
+  add "    \"cold_ms\": %.3f, \"warm_ms\": %.3f, \"speedup\": %.2f, \"speedup_ok\": %b,\n"
+    pc.pc_cold_ms pc.pc_warm_ms pc.pc_speedup (pc.pc_speedup >= 5.);
+  add "    \"warm_hit_rate_pct\": %.1f, \"warm_misses\": %d, \"models_byte_identical\": %b,\n"
+    pc.pc_warm_hit_rate pc.pc_warm_misses pc.pc_models_identical;
+  let stage_obj stages =
+    String.concat ", " (List.map (fun (st, t) -> Printf.sprintf "%S: %.3f" st t) stages)
+  in
+  add "    \"stage_cold_ms\": { %s },\n" (stage_obj pc.pc_stage_cold_ms);
+  add "    \"stage_warm_ms\": { %s }\n" (stage_obj pc.pc_stage_warm_ms);
+  add "  },\n";
   add "  \"baseline_pr2\": {\n";
   List.iteri
     (fun i (name, (decides, calls, hits, rate, solver_rec, orig_rec)) ->
@@ -409,6 +552,14 @@ let emit_json path rows rt_rows =
         solver_rec orig_rec
         (if i = List.length pr2_baseline - 1 then "" else ","))
     pr2_baseline;
+  add "  },\n";
+  add "  \"baseline_pr3_runtime\": {\n";
+  List.iteri
+    (fun i (name, (pkts, engine_rec, speedup_rec)) ->
+      add "    %S: { \"packets\": %d, \"engine_ms_recorded\": %.3f, \"speedup_recorded\": %.2f }%s\n"
+        name pkts engine_rec speedup_rec
+        (if i = List.length pr3_baseline - 1 then "" else ","))
+    pr3_baseline;
   add "  },\n";
   add "  \"runtime\": [\n";
   List.iteri
@@ -593,6 +744,10 @@ let run_micro () =
    writes the machine-readable solver telemetry next to the printed
    tables. *)
 let () =
+  (* Same batch-tool GC tuning as the CLI: synthesis and cache replay
+     are allocation-rate-bound; the default nursery halves warm-replay
+     throughput with minor collections. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let smoke = ref false in
   let json_path = ref None in
   let rec parse = function
@@ -608,6 +763,8 @@ let () =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* First, on a quiet heap: the pipeline cold/warm comparison. *)
+  let pc = pipeline_cache () in
   table1 ();
   figure6 ();
   if not !smoke then begin
@@ -621,6 +778,6 @@ let () =
   end;
   let rt_rows = runtime_throughput ~smoke:!smoke () in
   let rows = solver_telemetry () in
-  Option.iter (fun path -> emit_json path rows rt_rows) !json_path;
+  Option.iter (fun path -> emit_json path rows rt_rows pc) !json_path;
   if not !smoke then run_micro ();
   Fmt.pr "@.done.@."

@@ -34,6 +34,19 @@ let nf_arg =
   let doc = "NF to analyze: a corpus name or a path to an .nfl file." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
 
+(* Every synthesizing command funnels through one pass manager per
+   invocation: repeated extractions of the same NF dedup in memory, and
+   --cache-dir persists stage artifacts so later invocations replay
+   unchanged stages instead of recomputing them. *)
+let cache_dir_arg =
+  let doc =
+    "Persist pipeline artifacts (canonical program, classification, slices, paths, model) \
+     in $(docv); subsequent runs replay unchanged stages from the cache."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let manager ?cache_dir () = Pipeline.Manager.create ?cache_dir ()
+
 let with_nf f arg =
   match load_nf arg with
   | Ok (name, src, p) -> f name src p
@@ -72,20 +85,32 @@ let classify_cmd =
     Term.(const run $ nf_arg)
 
 let slice_cmd =
-  let run =
+  let run cache_dir =
     with_nf (fun name _ p ->
-        let ex = Nfactor.Extract.run ~name p in
+        let m = manager ?cache_dir () in
+        let ex = Pipeline.Manager.extract m ~name p in
         Fmt.pr "# packet+state slice of %s (pruned statements commented)@." name;
         print_string (Nfl.Pretty.program ~slice:ex.Nfactor.Extract.union_slice ex.Nfactor.Extract.program))
   in
   Cmd.v
     (Cmd.info "slice" ~doc:"Render the canonical source with non-slice statements pruned.")
-    Term.(const run $ nf_arg)
+    Term.(const run $ cache_dir_arg $ nf_arg)
 
 (* Exploration + solver telemetry, shared by `extract --stats` and
    `paths --stats`. The baseline is the historical 2-calls-per-branch
    accounting (every undecided branch checked both sides afresh). *)
-let pp_telemetry name (ex : Nfactor.Extract.result) =
+let pp_traces m =
+  let traces = Pipeline.Manager.traces m in
+  Fmt.pr "@.pass pipeline%s:@."
+    (match Pipeline.Manager.cache_dir m with
+    | Some d -> Printf.sprintf " (cache: %s)" d
+    | None -> "");
+  List.iter (fun t -> Fmt.pr "  %a@." Pipeline.Trace.pp t) traces;
+  Fmt.pr "  hit rate %.0f%%, total %.2fms@."
+    (Pipeline.Trace.hit_rate traces)
+    (Pipeline.Trace.total_wall_s traces *. 1e3)
+
+let pp_telemetry ?m name (ex : Nfactor.Extract.result) =
   let s = ex.Nfactor.Extract.stats in
   let open Symexec.Explore in
   Fmt.pr "@.solver telemetry for %s:@." name;
@@ -110,25 +135,28 @@ let pp_telemetry name (ex : Nfactor.Extract.result) =
     (String.concat ", "
        (List.map
           (fun (stage, t) -> Printf.sprintf "%s %.2fms" stage (t *. 1e3))
-          ex.Nfactor.Extract.stage_times))
+          ex.Nfactor.Extract.stage_times));
+  Option.iter pp_traces m
 
 let stats_flag =
   Arg.(value & flag & info [ "stats" ] ~doc:"Also print exploration and solver telemetry.")
 
 let extract_cmd =
-  let run stats =
+  let run stats cache_dir =
     with_nf (fun name _ p ->
-        let ex = Nfactor.Extract.run ~name p in
+        let m = manager ?cache_dir () in
+        let ex = Pipeline.Manager.extract m ~name p in
         Fmt.pr "%a" Nfactor.Model.pp ex.Nfactor.Extract.model;
-        if stats then pp_telemetry name ex)
+        if stats then pp_telemetry ~m name ex)
   in
   Cmd.v (Cmd.info "extract" ~doc:"Synthesize and print the forwarding model (Figure 6).")
-    Term.(const run $ stats_flag $ nf_arg)
+    Term.(const run $ stats_flag $ cache_dir_arg $ nf_arg)
 
 let paths_cmd =
-  let run stats =
+  let run stats cache_dir =
     with_nf (fun name _ p ->
-        let ex = Nfactor.Extract.run ~name p in
+        let m = manager ?cache_dir () in
+        let ex = Pipeline.Manager.extract m ~name p in
         let s = ex.Nfactor.Extract.stats in
         Fmt.pr "%s: %d path(s), %d truncated, %d fork(s), %d solver call(s)%s@." name
           s.Symexec.Explore.paths s.Symexec.Explore.truncated_paths s.Symexec.Explore.forks
@@ -143,27 +171,31 @@ let paths_cmd =
               | [] -> "drop"
               | l -> Printf.sprintf "%d send(s)" (List.length l)))
           ex.Nfactor.Extract.paths;
-        if stats then pp_telemetry name ex)
+        if stats then pp_telemetry ~m name ex)
   in
   Cmd.v (Cmd.info "paths" ~doc:"Show execution paths of the slice union.")
-    Term.(const run $ stats_flag $ nf_arg)
+    Term.(const run $ stats_flag $ cache_dir_arg $ nf_arg)
 
 let report_cmd =
   let budget =
     Arg.(value & opt int 1000 & info [ "se-budget" ] ~doc:"Path budget for the original program.")
   in
-  let run budget =
+  let run budget cache_dir =
+    let m = manager ?cache_dir () in
     print_endline Nfactor.Report.header;
     List.iter
       (fun (e : Nfs.Corpus.entry) ->
+        let name = e.Nfs.Corpus.name in
+        let ex = Pipeline.Manager.extract_source m ~name (e.Nfs.Corpus.source ()) in
         let _, row =
-          Nfactor.Report.measure ~se_budget:budget ~name:e.Nfs.Corpus.name
+          Nfactor.Report.measure ~se_budget:budget ~ex ~name
             ~source:(e.Nfs.Corpus.source ()) (e.Nfs.Corpus.program ())
         in
         print_endline (Nfactor.Report.row_to_string row))
       Nfs.Corpus.all
   in
-  Cmd.v (Cmd.info "report" ~doc:"Table-2 metrics for the whole corpus.") Term.(const run $ budget)
+  Cmd.v (Cmd.info "report" ~doc:"Table-2 metrics for the whole corpus.")
+    Term.(const run $ budget $ cache_dir_arg)
 
 let accuracy_cmd =
   let trials = Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Random packets per NF.") in
@@ -171,10 +203,10 @@ let accuracy_cmd =
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Replay a packet trace FILE instead of random traffic.")
   in
-  let run trials seed trace arg =
+  let run trials seed trace cache_dir arg =
     with_nf
       (fun name _ p ->
-        let ex = Nfactor.Extract.run ~name p in
+        let ex = Pipeline.Manager.extract (manager ?cache_dir ()) ~name p in
         let v =
           match trace with
           | Some file -> Nfactor.Equiv.differential ex ~pkts:(Packet.Codec.load ~file)
@@ -195,7 +227,7 @@ let accuracy_cmd =
   Cmd.v
     (Cmd.info "accuracy"
        ~doc:"Differential testing: program vs model on random or replayed traffic.")
-    Term.(const run $ trials $ seed $ trace $ nf_arg)
+    Term.(const run $ trials $ seed $ trace $ cache_dir_arg $ nf_arg)
 
 let gen_trace_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
@@ -217,9 +249,9 @@ let gen_trace_cmd =
     Term.(const run $ seed $ n $ flows $ out)
 
 let testgen_cmd =
-  let run =
+  let run cache_dir =
     with_nf (fun name _ p ->
-        let ex = Nfactor.Extract.run ~name p in
+        let ex = Pipeline.Manager.extract (manager ?cache_dir ()) ~name p in
         let c = Verify.Testgen.cover ex in
         Fmt.pr "%s: %a@." name Verify.Testgen.pp_coverage c;
         List.iteri (fun i pk -> Fmt.pr "  #%d %a@." i Packet.Pkt.pp pk) c.Verify.Testgen.pkts;
@@ -228,7 +260,7 @@ let testgen_cmd =
           (if Nfactor.Equiv.ok v then "program matches model on all generated packets" else "MISMATCH"))
   in
   Cmd.v (Cmd.info "testgen" ~doc:"Generate model-covering test packets (BUZZ-style).")
-    Term.(const run $ nf_arg)
+    Term.(const run $ cache_dir_arg $ nf_arg)
 
 let run_cmd =
   let n = Arg.(value & opt int 100_000 & info [ "n" ] ~doc:"Packets to replay.") in
@@ -240,13 +272,14 @@ let run_cmd =
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"Also run the reference interpreter on the same traffic and compare outputs and final state.")
   in
-  let run n seed capacity json check arg =
+  let run n seed capacity json check cache_dir arg =
     with_nf
       (fun name _ p ->
-        let ex = Nfactor.Extract.run ~name p in
+        let m = manager ?cache_dir () in
+        let ex = Pipeline.Manager.extract m ~name p in
         let model = ex.Nfactor.Extract.model in
         let store = Nfactor.Model_interp.initial_store ex in
-        let plan = Nfactor_runtime.Compile.compile model ~config:store in
+        let plan = Pipeline.Manager.plan m ex in
         let eng = Nfactor_runtime.Engine.create ?capacity plan ~store in
         let secs = Nfactor_runtime.Engine.replay eng ~seed ~n in
         if json then print_endline (Nfactor_runtime.Engine.stats_json eng)
@@ -292,30 +325,30 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile the model into the runtime dataplane and replay seeded traffic through it.")
-    Term.(const run $ n $ seed $ capacity $ json $ check $ nf_arg)
+    Term.(const run $ n $ seed $ capacity $ json $ check $ cache_dir_arg $ nf_arg)
 
 let fsm_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
-  let run dot arg =
+  let run dot cache_dir arg =
     with_nf
       (fun name _ p ->
-        let ex = Nfactor.Extract.run ~name p in
+        let ex = Pipeline.Manager.extract (manager ?cache_dir ()) ~name p in
         let fsm = Nfactor.Fsm.of_extraction ex in
         if dot then print_string (Nfactor.Fsm.to_dot ~name fsm)
         else Fmt.pr "per-flow FSM for %s:@.%a" name Nfactor.Fsm.pp fsm)
       arg
   in
   Cmd.v (Cmd.info "fsm" ~doc:"Derive the per-flow finite state machine from the model.")
-    Term.(const run $ dot $ nf_arg)
+    Term.(const run $ dot $ cache_dir_arg $ nf_arg)
 
 let export_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write to FILE.")
   in
-  let run out arg =
+  let run out cache_dir arg =
     with_nf
       (fun name _ p ->
-        let ex = Nfactor.Extract.run ~name p in
+        let ex = Pipeline.Manager.extract (manager ?cache_dir ()) ~name p in
         let text = Nfactor.Model_io.to_string ex.Nfactor.Extract.model in
         match out with
         | None -> print_endline text
@@ -330,7 +363,7 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Serialize the model to the interchange format (what a vendor ships an operator).")
-    Term.(const run $ out $ nf_arg)
+    Term.(const run $ out $ cache_dir_arg $ nf_arg)
 
 let import_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Model file.") in
@@ -354,13 +387,16 @@ let classes_cmd =
   let nfs =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"NF..." ~doc:"Chain of NFs, in order.")
   in
-  let run names =
+  let run cache_dir names =
+    (* One manager for the whole chain: an NF appearing twice is
+       synthesized once. *)
+    let m = manager ?cache_dir () in
     let nodes =
       List.map
         (fun n ->
           match load_nf n with
           | Ok (name, _, p) ->
-              let ex = Nfactor.Extract.run ~name p in
+              let ex = Pipeline.Manager.extract m ~name p in
               (name, ex.Nfactor.Extract.model, Nfactor.Model_interp.initial_store ex)
           | Error msg ->
               Fmt.epr "error: %s@." msg;
@@ -379,18 +415,20 @@ let classes_cmd =
   Cmd.v
     (Cmd.info "classes"
        ~doc:"Header-space style end-to-end forwarding classes of an NF chain.")
-    Term.(const run $ nfs)
+    Term.(const run $ cache_dir_arg $ nfs)
 
 let compose_cmd =
   let nfs =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"NF..." ~doc:"NFs to order.")
   in
-  let run names =
+  let run cache_dir names =
+    let m = manager ?cache_dir () in
     let models =
       List.map
         (fun n ->
           match load_nf n with
-          | Ok (name, _, p) -> (name, (Nfactor.Extract.run ~name p).Nfactor.Extract.model)
+          | Ok (name, _, p) ->
+              (name, (Pipeline.Manager.extract m ~name p).Nfactor.Extract.model)
           | Error msg ->
               Fmt.epr "error: %s@." msg;
               exit 1)
@@ -403,14 +441,89 @@ let compose_cmd =
   in
   Cmd.v
     (Cmd.info "compose" ~doc:"Rank service-chain orders by interference (PGA-style).")
-    Term.(const run $ nfs)
+    Term.(const run $ cache_dir_arg $ nfs)
+
+let synth_all_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the run as JSON (for CI gates).") in
+  let run json cache_dir =
+    let m = manager ?cache_dir () in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      List.map
+        (fun (e : Nfs.Corpus.entry) ->
+          let name = e.Nfs.Corpus.name in
+          let ex = Pipeline.Manager.extract_source m ~name (e.Nfs.Corpus.source ()) in
+          let text = Nfactor.Model_io.to_string ex.Nfactor.Extract.model in
+          (name, Digest.to_hex (Digest.string text), ex))
+        Nfs.Corpus.all
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let traces = Pipeline.Manager.traces m in
+    let misses = List.length (List.filter (fun t -> not (Pipeline.Trace.is_hit t)) traces) in
+    if json then begin
+      let nf_json =
+        List.map
+          (fun (name, digest, ex) ->
+            Printf.sprintf
+              "    { \"name\": %S, \"model_md5\": %S, \"entries\": %d, \"paths\": %d }" name
+              digest
+              (List.length ex.Nfactor.Extract.model.Nfactor.Model.entries)
+              ex.Nfactor.Extract.stats.Symexec.Explore.paths)
+          results
+      in
+      let trace_json = List.map (fun t -> "    " ^ Pipeline.Trace.to_json t) traces in
+      Printf.printf
+        "{\n\
+        \  \"cache_dir\": %s,\n\
+        \  \"nfs\": [\n%s\n  ],\n\
+        \  \"traces\": [\n%s\n  ],\n\
+        \  \"passes\": %d,\n\
+        \  \"misses\": %d,\n\
+        \  \"hit_rate_pct\": %.1f,\n\
+        \  \"wall_ms\": %.3f\n\
+         }\n"
+        (match Pipeline.Manager.cache_dir m with
+        | Some d -> Printf.sprintf "%S" d
+        | None -> "null")
+        (String.concat ",\n" nf_json)
+        (String.concat ",\n" trace_json)
+        (List.length traces) misses
+        (Pipeline.Trace.hit_rate traces)
+        (wall_s *. 1e3)
+    end
+    else begin
+      Fmt.pr "%-12s %-34s %7s %5s@." "NF" "MODEL-MD5" "ENTRIES" "PATHS";
+      List.iter
+        (fun (name, digest, ex) ->
+          Fmt.pr "%-12s %-34s %7d %5d@." name digest
+            (List.length ex.Nfactor.Extract.model.Nfactor.Model.entries)
+            ex.Nfactor.Extract.stats.Symexec.Explore.paths)
+        results;
+      pp_traces m;
+      Fmt.pr "@.%d NF(s) synthesized in %.1fms (%d pass(es), %d recomputed)@."
+        (List.length results) (wall_s *. 1e3) (List.length traces) misses
+    end
+  in
+  Cmd.v
+    (Cmd.info "synth-all"
+       ~doc:
+         "Synthesize the whole corpus through one pass manager, printing per-pass cache \
+          traces and model digests. With --cache-dir, a second run replays every stage \
+          from the cache.")
+    Term.(const run $ json $ cache_dir_arg)
 
 let main =
   let doc = "Automatic synthesis of NF forwarding models by program analysis (HotNets'16)." in
   Cmd.group (Cmd.info "nfactor" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; classify_cmd; slice_cmd; extract_cmd; paths_cmd; report_cmd;
-      accuracy_cmd; run_cmd; gen_trace_cmd; testgen_cmd; fsm_cmd; export_cmd; import_cmd; classes_cmd; compose_cmd;
+      accuracy_cmd; run_cmd; gen_trace_cmd; testgen_cmd; fsm_cmd; export_cmd; import_cmd;
+      classes_cmd; compose_cmd; synth_all_cmd;
     ]
 
+(* Batch-tool GC tuning: synthesis (solver terms, path envs) and cache
+   replay (artifact decoding) are allocation-rate-bound, and the
+   default 256k-word minor heap spends half the warm-path time in
+   collections. A 4M-word nursery is the knee of the curve here. *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 }
 let () = exit (Cmd.eval main)

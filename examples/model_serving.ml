@@ -17,7 +17,7 @@ let section title = Fmt.pr "@.=== %s ===@.@." title
 
 let () =
   section "1. Vendor side: synthesize and export the model";
-  let ex = Extract.run ~name:"lb" (Nfs.Lb.program ()) in
+  let ex = Pipeline.Manager.extract (Pipeline.Manager.create ()) ~name:"lb" (Nfs.Lb.program ()) in
   let wire = Model_io.to_string ex.Extract.model in
   Fmt.pr "%d entries serialized to %d bytes of interchange format@."
     (Model.entry_count ex.Extract.model)

@@ -30,7 +30,8 @@ let () =
     classes.Statealyzer.Varclass.categories;
 
   section "3. Packet + state slice";
-  let ex = Extract.run ~name:"lb" program in
+  let mgr = Pipeline.Manager.create () in
+  let ex = Pipeline.Manager.extract mgr ~name:"lb" program in
   Fmt.pr "%d of %d statements are in the slice union@."
     (List.length ex.Extract.union_slice)
     (Nfl.Ast.stmt_count ex.Extract.program);

@@ -14,9 +14,11 @@ open Nfactor
 open Verify
 open Symexec
 
+let mgr = Pipeline.Manager.create ()
+
 let extract name =
   let e = Option.get (Nfs.Corpus.find name) in
-  Extract.run ~name (e.Nfs.Corpus.program ())
+  Pipeline.Manager.extract mgr ~name (e.Nfs.Corpus.program ())
 
 let node name =
   let ex = extract name in

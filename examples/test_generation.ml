@@ -12,11 +12,13 @@
 open Nfactor
 open Verify
 
+let mgr = Pipeline.Manager.create ()
+
 let () =
   List.iter
     (fun name ->
       let entry = Option.get (Nfs.Corpus.find name) in
-      let ex = Extract.run ~name (entry.Nfs.Corpus.program ()) in
+      let ex = Pipeline.Manager.extract mgr ~name (entry.Nfs.Corpus.program ()) in
       Fmt.pr "@.== %s (%d model entries) ==@." name (Model.entry_count ex.Extract.model);
       let c = Testgen.cover ex in
       Fmt.pr "%a@." Testgen.pp_coverage c;

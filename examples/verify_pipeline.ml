@@ -14,9 +14,11 @@
 open Nfactor
 open Verify
 
+let mgr = Pipeline.Manager.create ()
+
 let extract name =
   let e = Option.get (Nfs.Corpus.find name) in
-  Extract.run ~name (e.Nfs.Corpus.program ())
+  Pipeline.Manager.extract mgr ~name (e.Nfs.Corpus.program ())
 
 let pkt ?(flags = Packet.Headers.ack) ~src ~sport ~dst ~dport () =
   Packet.Pkt.make ~ip_src:(Packet.Addr.of_string src) ~ip_dst:(Packet.Addr.of_string dst) ~sport

@@ -123,25 +123,43 @@ let ensure_canonical (p : Nfl.Ast.program) =
   in
   if is_canonical then p else Nfl.Transform.canonicalize p
 
-(** Run Algorithm 1 on an NF program. The program is canonicalized
-    (structure-normalized and inlined) first, so any of the Figure-4
-    shapes is accepted. *)
-let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
-  let stage_times = ref [] in
-  let timed stage f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    stage_times := (stage, Unix.gettimeofday () -. t0) :: !stage_times;
-    r
-  in
-  let p = timed "canonicalize" (fun () -> ensure_canonical p) in
-  let classes = timed "classify" (fun () -> Statealyzer.Varclass.analyze p) in
-  let pkt_var = classes.Statealyzer.Varclass.pkt_var in
-  let cfg_vars = Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Cfg_var in
+(* ------------------------------------------------------------------ *)
+(* Pipeline stages                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each Algorithm-1 stage is a pure function of its upstream artifacts,
+   so the pass pipeline (lib/pipeline) can fingerprint, memoize and
+   persist them independently; [run] below composes the same functions
+   without any caching. *)
+
+let canonical_stage (p : Nfl.Ast.program) =
+  (* Renumber statement ids by round-tripping the canonical program
+     through the pretty-printer: sids become a pure function of the
+     canonical *text*, so artifacts that mention sids (slices, path
+     traces, model [path_sids]) stay valid when the canonical program
+     is reloaded from a cache and re-parsed in another session. *)
+  Nfl.Parser.program (Nfl.Pretty.program (ensure_canonical p))
+
+let classify_stage (p : Nfl.Ast.program) = Statealyzer.Varclass.analyze p
+
+type slices = {
+  sl_pkt : int list;  (** packet slice (Algorithm 1 lines 1-4) *)
+  sl_state : int list;  (** state slice (lines 6-9) *)
+  sl_union : int list;
+  sl_body : Nfl.Ast.block;  (** loop body restricted to the union *)
+}
+
+(** Recompute the sliced loop body from the canonical program and the
+    slice union (used when slices are reloaded from a cache: only the
+    statement-id lists are persisted). *)
+let sliced_body_of_union (p : Nfl.Ast.program) union_slice =
+  let sliced_main = Slicing.Slice.restrict_block union_slice p.Nfl.Ast.main in
+  let _, body, _ = Nfl.Transform.packet_loop { p with Nfl.Ast.main = sliced_main } in
+  body
+
+let slice_stage (p : Nfl.Ast.program) (classes : Statealyzer.Varclass.t) =
   let ois_vars = Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Ois_var in
-  (* Lines 1-5: packet slice (computed inside the classifier). *)
   let pkt_slice = classes.Statealyzer.Varclass.pkt_slice in
-  (* Lines 6-9: state slice — backward slices from every oisVar update. *)
   let persistent =
     List.fold_left
       (fun acc (s : Nfl.Ast.stmt) ->
@@ -157,30 +175,31 @@ let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
         |> Nfl.Ast.Sset.exists (fun v -> List.mem v ois_vars))
   in
   let state_slice =
-    timed "slice" (fun () ->
-        if ois_update_sids = [] then []
-        else Slicing.Slice.backward_union ctx ~criteria:ois_update_sids)
+    if ois_update_sids = [] then []
+    else Slicing.Slice.backward_union ctx ~criteria:ois_update_sids
   in
   let union_slice = distinct_sorted (pkt_slice @ state_slice) in
-  (* Restrict the program to the slice union. *)
-  let sliced_main = Slicing.Slice.restrict_block union_slice p.Nfl.Ast.main in
-  let sliced_program = { p with Nfl.Ast.main = sliced_main } in
-  let _, sliced_loop_body, _ =
-    Nfl.Transform.packet_loop sliced_program
-  in
+  {
+    sl_pkt = pkt_slice;
+    sl_state = state_slice;
+    sl_union = union_slice;
+    sl_body = sliced_body_of_union p union_slice;
+  }
+
+let explore_stage ?(config = Explore.default_config) ~memo (p : Nfl.Ast.program)
+    (classes : Statealyzer.Varclass.t) (sl : slices) =
   let body_no_recv =
-    List.filter (fun s -> not (Nfl.Builtins.is_pkt_input_stmt s)) sliced_loop_body
+    List.filter (fun s -> not (Nfl.Builtins.is_pkt_input_stmt s)) sl.sl_body
   in
-  (* Line 10: execution paths over the slice union. *)
   let init = Interp.initial_state p in
-  let env = symbolic_env ~classes ~init ~pkt_var in
-  let solver_memo = Solver.memo_create () in
-  let paths, stats =
-    timed "explore" (fun () -> Explore.block ~config ~memo:solver_memo ~env body_no_recv)
-  in
-  (* Lines 11-16: refinement into model entries. *)
+  let env = symbolic_env ~classes ~init ~pkt_var:classes.Statealyzer.Varclass.pkt_var in
+  Explore.block ~config ~memo ~env body_no_recv
+
+let refine_stage ~name (classes : Statealyzer.Varclass.t) (paths : Explore.path list) =
+  let pkt_var = classes.Statealyzer.Varclass.pkt_var in
+  let cfg_vars = Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Cfg_var in
+  let ois_vars = Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Ois_var in
   let entries =
-    timed "refine" @@ fun () ->
     List.map
       (fun (path : Explore.path) ->
         let config_l, flow_l, state_l, other_l =
@@ -210,17 +229,43 @@ let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
         })
       paths
   in
-  let model = { Model.nf_name = name; pkt_var; cfg_vars; ois_vars; entries } in
+  { Model.nf_name = name; pkt_var; cfg_vars; ois_vars; entries }
+
+let assemble ~model ~classes ~program ~slices:sl ~paths ~stats ~stage_times ~solver_memo =
   {
     model;
     classes;
-    program = p;
-    pkt_slice;
-    state_slice;
-    union_slice;
-    sliced_body = sliced_loop_body;
+    program;
+    pkt_slice = sl.sl_pkt;
+    state_slice = sl.sl_state;
+    union_slice = sl.sl_union;
+    sliced_body = sl.sl_body;
     paths;
     stats;
-    stage_times = List.rev !stage_times;
+    stage_times;
     solver_memo;
   }
+
+(** Run Algorithm 1 on an NF program: the uncached composition of the
+    stage functions above (the pass pipeline in [lib/pipeline] runs the
+    same stages with fingerprinting and artifact caching). The program
+    is canonicalized (structure-normalized and inlined) first, so any
+    of the Figure-4 shapes is accepted. *)
+let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
+  let stage_times = ref [] in
+  let timed stage f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    stage_times := (stage, Unix.gettimeofday () -. t0) :: !stage_times;
+    r
+  in
+  let p = timed "canonicalize" (fun () -> canonical_stage p) in
+  let classes = timed "classify" (fun () -> classify_stage p) in
+  let sl = timed "slice" (fun () -> slice_stage p classes) in
+  let solver_memo = Solver.memo_create () in
+  let paths, stats =
+    timed "explore" (fun () -> explore_stage ~config ~memo:solver_memo p classes sl)
+  in
+  let model = timed "refine" (fun () -> refine_stage ~name classes paths) in
+  assemble ~model ~classes ~program:p ~slices:sl ~paths ~stats
+    ~stage_times:(List.rev !stage_times) ~solver_memo

@@ -51,6 +51,56 @@ val classify_literal :
     only pure-config atoms split tables. Literals classifying [L_other]
     are recorded on the entry's [residual_match]. *)
 
+(** {1 Pipeline stages}
+
+    Each Algorithm-1 stage as a pure function of its upstream
+    artifacts. {!run} composes them without caching; the pass pipeline
+    in [lib/pipeline] composes the same functions with content-
+    addressed fingerprints and artifact caching. *)
+
+val canonical_stage : Nfl.Ast.program -> Nfl.Ast.program
+(** {!ensure_canonical} followed by a pretty-print/parse round trip, so
+    statement ids are a pure function of the canonical text and stay
+    valid for artifacts reloaded from a cache in another session. *)
+
+val classify_stage : Nfl.Ast.program -> Statealyzer.Varclass.t
+
+type slices = {
+  sl_pkt : int list;  (** packet slice (Algorithm 1 lines 1-4) *)
+  sl_state : int list;  (** state slice (lines 6-9) *)
+  sl_union : int list;
+  sl_body : Nfl.Ast.block;  (** loop body restricted to the union *)
+}
+
+val sliced_body_of_union : Nfl.Ast.program -> int list -> Nfl.Ast.block
+(** Recompute [sl_body] from the canonical program and the slice
+    union (cached slices persist only the statement-id lists). *)
+
+val slice_stage : Nfl.Ast.program -> Statealyzer.Varclass.t -> slices
+
+val explore_stage :
+  ?config:Explore.config ->
+  memo:Solver.memo ->
+  Nfl.Ast.program ->
+  Statealyzer.Varclass.t ->
+  slices ->
+  Explore.path list * Explore.stats
+
+val refine_stage :
+  name:string -> Statealyzer.Varclass.t -> Explore.path list -> Model.t
+
+val assemble :
+  model:Model.t ->
+  classes:Statealyzer.Varclass.t ->
+  program:Nfl.Ast.program ->
+  slices:slices ->
+  paths:Explore.path list ->
+  stats:Explore.stats ->
+  stage_times:(string * float) list ->
+  solver_memo:Solver.memo ->
+  result
+(** Build the {!result} record from stage artifacts. *)
+
 val run : ?config:Explore.config -> name:string -> Nfl.Ast.program -> result
-(** Run the whole pipeline. Accepts any Figure-4 structure (the
-    program is canonicalized first). *)
+(** Run the whole pipeline (uncached stage composition). Accepts any
+    Figure-4 structure (the program is canonicalized first). *)

@@ -36,11 +36,22 @@ type sexp = Atom of string | List of sexp list
 
 exception Parse_error of string
 
-let atom_ok_char c =
-  (c >= 'a' && c <= 'z')
-  || (c >= 'A' && c <= 'Z')
-  || (c >= '0' && c <= '9')
-  || String.contains "_.:+*/%<>=!&|#~?@^-" c
+(* Atom-alphabet membership is the parser's innermost loop; a 256-entry
+   table beats re-scanning the punctuation string per character. *)
+let atom_char_table =
+  let t = Array.make 256 false in
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || String.contains "_.:+*/%<>=!&|#~?@^-" c
+  in
+  for i = 0 to 255 do
+    t.(i) <- ok (Char.chr i)
+  done;
+  t
+
+let atom_ok_char c = Array.unsafe_get atom_char_table (Char.code c)
 
 let atom_needs_quotes s =
   s = "" || not (String.for_all atom_ok_char s)
@@ -66,13 +77,16 @@ let sexp_to_string s =
 let parse_sexp (input : string) =
   let pos = ref 0 in
   let n = String.length input in
-  let peek () = if !pos < n then input.[!pos] else '\000' in
+  let peek () = if !pos < n then String.unsafe_get input !pos else '\000' in
   let advance () = incr pos in
-  let rec skip_ws () =
-    if !pos < n && (peek () = ' ' || peek () = '\n' || peek () = '\t' || peek () = '\r') then begin
-      advance ();
-      skip_ws ()
-    end
+  let skip_ws () =
+    while
+      !pos < n
+      &&
+      match String.unsafe_get input !pos with ' ' | '\n' | '\t' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
   in
   let parse_quoted () =
     advance ();
@@ -133,8 +147,8 @@ let parse_sexp (input : string) =
       | ')' -> raise (Parse_error "unexpected ')'")
       | _ ->
           let start = !pos in
-          while !pos < n && atom_ok_char (peek ()) do
-            advance ()
+          while !pos < n && atom_ok_char (String.unsafe_get input !pos) do
+            incr pos
           done;
           if !pos = start then raise (Parse_error (Printf.sprintf "stray character %C" (peek ())));
           Atom (String.sub input start (!pos - start))
@@ -235,6 +249,8 @@ let rec expr_of_sexp = function
   | List [ Atom "dget"; d; k ] -> Sexpr.mk_dget (dict_of_sexp d) (expr_of_sexp k)
   | s -> raise (Parse_error ("bad expression: " ^ sexp_to_string s))
 
+and dict_state_of_sexp s = dict_of_sexp s
+
 and dict_of_sexp = function
   | List (Atom "dictstate" :: Atom base :: writes) ->
       {
@@ -248,6 +264,8 @@ and dict_of_sexp = function
             writes;
       }
   | s -> raise (Parse_error ("bad dict state: " ^ sexp_to_string s))
+
+let sexp_of_dict_state = sexp_of_dict
 
 (* ------------------------------------------------------------------ *)
 (* Model encoding                                                     *)

@@ -20,12 +20,19 @@ val parse_sexp : string -> sexp
 
 val sexp_of_value : Value.t -> sexp
 val value_of_sexp : sexp -> Value.t
+
+val binop_name : Nfl.Ast.binop -> string
+val binop_of_name : string -> Nfl.Ast.binop
+(** @raise Parse_error on an unknown operator name. *)
+
 val sexp_of_expr : Sexpr.t -> sexp
 
 (** Rebuilds through the interning smart constructors: term ids are
     session-local, so parsing re-interns structurally in the reader's
     table. *)
 val expr_of_sexp : sexp -> Sexpr.t
+val sexp_of_dict_state : Sexpr.dict_state -> sexp
+val dict_state_of_sexp : sexp -> Sexpr.dict_state
 val sexp_of_literal : Solver.literal -> sexp
 val literal_of_sexp : sexp -> Solver.literal
 val sexp_of_entry : Model.entry -> sexp

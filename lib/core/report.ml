@@ -58,8 +58,11 @@ let explore_slice ?(config = Explore.default_config) ?memo (ex : Extract.result)
   Explore.block ~config ?memo ~env:(extraction_env ex) body_no_recv
 
 (** Measure one NF end to end. [se_budget] caps the original-program
-    exploration (the slice side should never need it). *)
-let measure ?(config = Explore.default_config) ?(se_budget = 1000) ~name ~source
+    exploration (the slice side should never need it). [ex] supplies an
+    already-synthesized extraction (e.g. from a pass-manager cache) so
+    the measurement layers on top of it instead of re-running
+    [Extract.run]. *)
+let measure ?(config = Explore.default_config) ?(se_budget = 1000) ?ex ~name ~source
     (program : Nfl.Ast.program) =
   let loc_orig =
     String.split_on_char '\n' source
@@ -70,10 +73,9 @@ let measure ?(config = Explore.default_config) ?(se_budget = 1000) ~name ~source
   in
   (* Slicing time: canonicalization + classification + both slices;
      symbolic execution of original and slice are measured directly. *)
-  let ex, extract_time =
-    time (fun () -> Extract.run ~config ~name program)
+  let ex =
+    match ex with Some ex -> ex | None -> Extract.run ~config ~name program
   in
-  ignore extract_time;
   let _, slice_only_time =
     time (fun () ->
         (* Re-run the pre-exploration pipeline: canonicalize, classify,

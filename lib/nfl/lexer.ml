@@ -109,25 +109,6 @@ let token_to_string = function
 
 exception Error of string * Ast.pos
 
-let keywords =
-  [
-    ("true", KW_true);
-    ("false", KW_false);
-    ("def", KW_def);
-    ("main", KW_main);
-    ("if", KW_if);
-    ("else", KW_else);
-    ("while", KW_while);
-    ("for", KW_for);
-    ("in", KW_in);
-    ("not", KW_not);
-    ("and", KW_and);
-    ("or", KW_or);
-    ("return", KW_return);
-    ("del", KW_del);
-    ("pass", KW_pass);
-  ]
-
 type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
 
 let make src = { src; pos = 0; line = 1; col = 1 }
@@ -163,14 +144,13 @@ let rec skip_ws st =
   | _ -> ()
 
 let lex_number st =
-  let b = Buffer.create 8 in
   let read_digits () =
-    Buffer.clear b;
+    let n = ref 0 in
     while is_digit (peek st) do
-      Buffer.add_char b (peek st);
+      n := (!n * 10) + (Char.code (peek st) - Char.code '0');
       advance st
     done;
-    int_of_string (Buffer.contents b)
+    !n
   in
   let n1 = read_digits () in
   (* Dotted quad: number '.' digit can only be an IP literal. *)
@@ -235,14 +215,31 @@ let lex_string st =
   go ();
   STR (Buffer.contents b)
 
+(* Identifiers are the most common token, so this is the lexer's hot
+   path: slice the source directly (no per-char buffering) and resolve
+   keywords through a compiled string match instead of an assoc scan. *)
 let lex_ident st =
-  let b = Buffer.create 16 in
+  let start = st.pos in
   while is_id_char (peek st) do
-    Buffer.add_char b (peek st);
     advance st
   done;
-  let s = Buffer.contents b in
-  match List.assoc_opt s keywords with Some kw -> kw | None -> ID s
+  match String.sub st.src start (st.pos - start) with
+  | "true" -> KW_true
+  | "false" -> KW_false
+  | "def" -> KW_def
+  | "main" -> KW_main
+  | "if" -> KW_if
+  | "else" -> KW_else
+  | "while" -> KW_while
+  | "for" -> KW_for
+  | "in" -> KW_in
+  | "not" -> KW_not
+  | "and" -> KW_and
+  | "or" -> KW_or
+  | "return" -> KW_return
+  | "del" -> KW_del
+  | "pass" -> KW_pass
+  | s -> ID s
 
 (** Next token plus its start position. *)
 let next st =

@@ -1,0 +1,25 @@
+type t = string
+
+let of_text s = Digest.to_hex (Digest.string s)
+
+let combine ~pass ~version ?(params = []) upstream =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf pass;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf (string_of_int version);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf v)
+    params;
+  List.iter
+    (fun fp ->
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf fp)
+    upstream;
+  of_text (Buffer.contents buf)
+
+let short fp = if String.length fp > 8 then String.sub fp 0 8 else fp
+let pp ppf fp = Fmt.string ppf (short fp)

@@ -1,0 +1,27 @@
+(** Content-addressed pass fingerprints.
+
+    A fingerprint is the hex digest of everything that can influence a
+    pass's output: the canonical text of its primary input, the pass
+    name and implementation version, its parameters, and the
+    fingerprints of its upstream artifacts. Two pipeline runs compute
+    the same fingerprint for a stage iff the stage is guaranteed to
+    produce the same artifact, so fingerprints double as cache keys for
+    both the in-memory memo and the on-disk artifact store. *)
+
+type t = string
+(** 32-character lowercase hex digest. *)
+
+val of_text : string -> t
+(** Digest of raw content (e.g. the pretty-printed canonical AST). *)
+
+val combine :
+  pass:string -> version:int -> ?params:(string * string) list -> t list -> t
+(** Fingerprint of a pass application: pass identity, implementation
+    [version] (bump to invalidate cached artifacts when a stage's
+    semantics change), stage [params], and the upstream fingerprints in
+    order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Short (8-char) rendering for traces. *)
+
+val short : t -> string

@@ -1,0 +1,38 @@
+let magic = "nfactor-artifact-v1"
+
+let file ~dir ~pass ~fp = Filename.concat dir (Printf.sprintf "%s-%s.nfart" pass fp)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir ~pass ~fp payload =
+  mkdir_p dir;
+  let path = file ~dir ~pass ~fp in
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Printf.fprintf oc "%s %s %s %s\n" magic pass fp (Digest.to_hex (Digest.string payload));
+  output_string oc payload;
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~dir ~pass ~fp =
+  let path = file ~dir ~pass ~fp in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      let finish r = close_in ic; r in
+      match input_line ic with
+      | header -> (
+          match String.split_on_char ' ' header with
+          | [ m; p; f; digest ] when m = magic && p = pass && f = fp ->
+              let len = in_channel_length ic - pos_in ic in
+              let payload = really_input_string ic len in
+              if Digest.to_hex (Digest.string payload) = digest then finish (Some payload)
+              else finish None
+          | _ -> finish None)
+      | exception End_of_file -> finish None
+    with Sys_error _ | End_of_file -> None

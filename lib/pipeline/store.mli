@@ -1,0 +1,21 @@
+(** On-disk artifact store backing [--cache-dir].
+
+    One file per artifact, named by pass and fingerprint. Every file
+    carries a self-validating header (magic, pass, fingerprint, payload
+    digest): {!load} returns [None] — never garbage — for entries that
+    are missing, truncated, bit-rotted, renamed, or written by an
+    incompatible store version, so corrupted or stale cache entries are
+    recomputed rather than trusted. Writes go through a temp file and
+    rename, so a crashed writer cannot leave a half-written artifact
+    under a valid name. *)
+
+val file : dir:string -> pass:string -> fp:Fingerprint.t -> string
+(** Path an artifact is stored at. *)
+
+val save : dir:string -> pass:string -> fp:Fingerprint.t -> string -> unit
+(** Persist a payload (creates [dir] as needed).
+    @raise Sys_error when the directory or file cannot be written. *)
+
+val load : dir:string -> pass:string -> fp:Fingerprint.t -> string option
+(** The validated payload, or [None] on absence or any integrity
+    failure. *)

@@ -20,3 +20,18 @@ if grep -q '"outputs_and_state_equal": false' BENCH_smoke.json; then
 fi
 dune exec bin/nfactor_cli.exe -- run -n 5000 --check snort
 dune exec bin/nfactor_cli.exe -- run -n 5000 --json snort | grep -q '"index_hits"'
+
+# Pass-pipeline cache gate: synthesize the corpus twice through one
+# on-disk artifact store. The second run must be a pure replay (zero
+# recomputed passes) and must reproduce byte-identical models.
+CACHE_DIR=$(mktemp -d)
+trap 'rm -rf "$CACHE_DIR"' EXIT
+dune exec bin/nfactor_cli.exe -- synth-all --cache-dir "$CACHE_DIR" --json > synth_cold.json
+dune exec bin/nfactor_cli.exe -- synth-all --cache-dir "$CACHE_DIR" --json > synth_warm.json
+grep -q '"misses": 0' synth_warm.json
+grep -q '"hit_rate_pct": 100.0' synth_warm.json
+# model_md5 lines must agree between the cold and the warm run
+grep '"model_md5"' synth_cold.json > cold_models.txt
+grep '"model_md5"' synth_warm.json > warm_models.txt
+cmp cold_models.txt warm_models.txt
+rm -f synth_cold.json synth_warm.json cold_models.txt warm_models.txt
