@@ -43,6 +43,81 @@ type t = {
 let state_signature (e : Model.entry) =
   Fmt.str "%a" Model.pp_literals e.Model.state_match
 
+(* ------------------------------------------------------------------ *)
+(* State-variable inference                                            *)
+(* ------------------------------------------------------------------ *)
+
+type state_key = { sk_base : string; sk_key : Sexpr.t }
+
+let state_key_equal a b = a.sk_base = b.sk_base && Sexpr.equal a.sk_key b.sk_key
+
+let is_cmp (op : Nfl.Ast.binop) =
+  match op with
+  | Nfl.Ast.Eq | Nfl.Ast.Ne | Nfl.Ast.Lt | Nfl.Ast.Le | Nfl.Ast.Gt | Nfl.Ast.Ge ->
+      true
+  | _ -> false
+
+let flip_cmp (op : Nfl.Ast.binop) =
+  match op with
+  | Nfl.Ast.Lt -> Nfl.Ast.Gt
+  | Nfl.Ast.Le -> Nfl.Ast.Ge
+  | Nfl.Ast.Gt -> Nfl.Ast.Lt
+  | Nfl.Ast.Ge -> Nfl.Ast.Le
+  | op -> op
+
+(* A snapshot with pending writes is not "the flow's current state":
+   its value depends on the path's own updates, not just the store. *)
+let plain_dict (d : Sexpr.dict_state) =
+  match d.Sexpr.writes with
+  | [] when d.Sexpr.base <> Sexpr.empty_base -> Some d.Sexpr.base
+  | _ -> None
+
+let state_key_of_literal (l : Solver.literal) =
+  let dget e =
+    match Sexpr.view e with
+    | Sexpr.Dget (d, k) ->
+        Option.map (fun base -> { sk_base = base; sk_key = k }) (plain_dict d)
+    | _ -> None
+  in
+  match Sexpr.view l.Solver.atom with
+  | Sexpr.Mem (d, k) ->
+      Option.map (fun base -> ({ sk_base = base; sk_key = k }, `Mem)) (plain_dict d)
+  | Sexpr.Bin (op, a, b) when is_cmp op -> (
+      match dget a with
+      | Some sk -> Some (sk, `Value (op, b))
+      | None -> (
+          match dget b with
+          | Some sk -> Some (sk, `Value (flip_cmp op, a))
+          | None -> None))
+  | _ -> None
+
+let state_partition (m : Model.t) =
+  let add acc idx sk =
+    let rec go = function
+      | [] -> [ (sk, [ idx ]) ]
+      | (sk', idxs) :: rest when state_key_equal sk sk' ->
+          (sk', if List.mem idx idxs then idxs else idx :: idxs) :: rest
+      | kv :: rest -> kv :: go rest
+    in
+    go acc
+  in
+  List.fold_left
+    (fun (i, acc) (e : Model.entry) ->
+      let acc =
+        List.fold_left
+          (fun acc (l : Solver.literal) ->
+            match state_key_of_literal l with
+            | Some (sk, _) -> add acc i sk
+            | None -> acc)
+          acc e.Model.state_match
+      in
+      (i + 1, acc))
+    (0, []) m.Model.entries
+  |> snd
+  |> List.map (fun (sk, idxs) -> (sk, List.rev idxs))
+  |> List.stable_sort (fun (_, a) (_, b) ->
+         compare (List.length b) (List.length a))
+
 (* A concrete witness packet for an entry under the current store:
    solver concretization over the flow atoms, laid over a small base
    palette (the solver cannot decide opaque prefix/port-set atoms, so

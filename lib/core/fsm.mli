@@ -30,6 +30,40 @@ type t = {
   initial : state_id option;  (** state of a never-seen flow *)
 }
 
+(** {1 State-variable inference}
+
+    Syntactic recognition of the per-flow state value a state-match
+    literal constrains — shared with the runtime match compiler, whose
+    per-flow FSM dispatch level partitions entries on exactly these
+    keys. *)
+
+type state_key = { sk_base : string; sk_key : Symexec.Sexpr.t }
+(** One per-flow state slot: the flow-table name and the (symbolic)
+    key expression that addresses this flow's entry in it. *)
+
+val state_key_equal : state_key -> state_key -> bool
+
+val is_cmp : Nfl.Ast.binop -> bool
+(** Comparison operators ([==], [!=], [<], [<=], [>], [>=]). *)
+
+val flip_cmp : Nfl.Ast.binop -> Nfl.Ast.binop
+(** Mirror a comparison across its operands ([a < b] ≡ [b > a]). *)
+
+val state_key_of_literal :
+  Symexec.Solver.literal ->
+  (state_key * [ `Mem | `Value of Nfl.Ast.binop * Symexec.Sexpr.t ]) option
+(** Classify a literal as a constraint on one per-flow state value:
+    [`Mem] is a membership atom on the key, [`Value (op, rhs)] a
+    comparison of the stored value (normalized so the state read is on
+    the left) against [rhs]. Dictionary snapshots with pending writes
+    never qualify. Polarity is {e not} consulted — callers combine the
+    atom's verdict with [literal.positive] themselves. *)
+
+val state_partition : Model.t -> (state_key * int list) list
+(** The state keys the model's entries dispatch on, each with the
+    indices of the entries whose [state_match] constrains it, most
+    constrained first. *)
+
 val of_extraction : Extract.result -> t
 val state_count : t -> int
 val transition_count : t -> int

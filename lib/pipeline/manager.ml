@@ -5,7 +5,7 @@ let passes = [ "canonicalize"; "classify"; "slice"; "explore"; "refine"; "compil
 (* Implementation version folded into every pass fingerprint: bump when
    any stage's semantics or artifact encoding changes, so persisted
    caches from older builds read as stale instead of wrong. *)
-let stage_version = 1
+let stage_version = 2 (* 2: match compiler v2 — FSM/decision-tree dispatch plans *)
 
 type artifact =
   | A_canon of (Nfl.Ast.program * string)

@@ -8,8 +8,11 @@ open Symexec
 type stats = {
   mutable packets : int;
   entry_hits : int array;
+  mutable fsm_hits : int;
   mutable index_hits : int;
+  mutable tree_hits : int;
   mutable scan_hits : int;
+  mutable leaf_tests : int;
   mutable scan_tests : int;
   mutable miss_no_config : int;
   mutable miss_no_match : int;
@@ -21,7 +24,15 @@ type t = {
   stats : stats;
   cache : int array;
   mutable gen : int;
+  mutable pmask : int;
+  uscratch : Value.t array;
 }
+
+(* [pmask] bits: which dispatch levels the current packet's walk
+   crossed, for hit attribution without per-packet allocation. *)
+let m_fsm = 1
+let m_hash = 2
+let m_tree = 4
 
 let create ?capacity (plan : Compile.t) ~store =
   {
@@ -31,14 +42,19 @@ let create ?capacity (plan : Compile.t) ~store =
       {
         packets = 0;
         entry_hits = Array.make (Nfactor.Model.entry_count plan.Compile.model) 0;
+        fsm_hits = 0;
         index_hits = 0;
+        tree_hits = 0;
         scan_hits = 0;
+        leaf_tests = 0;
         scan_tests = 0;
         miss_no_config = 0;
         miss_no_match = 0;
       };
     cache = Array.make (max 1 (Array.length plan.Compile.lit_fns)) 0;
     gen = 0;
+    pmask = 0;
+    uscratch = Array.make (max 1 plan.Compile.max_uslots) (Value.Bool false);
   }
 
 let of_model ?capacity m ~config ~store =
@@ -63,45 +79,61 @@ let entry_holds t pkt (ce : Compile.centry) =
   let rec go i = i >= n || (test t pkt ce.Compile.slots.(i) && go (i + 1)) in
   go 0
 
-(* A resolved state transition, evaluated entirely against the
-   pre-state before anything commits — mirroring [computed_update]'s
-   "all expressions see the pre-state" rule (and its exception
-   order: dict base first, then each op chronologically). *)
-type pending =
-  | PSet of string * Value.t
-  | PDict of string * (Value.t * Value.t option) list
+(* Updates evaluate entirely against the pre-state before anything
+   commits — mirroring [computed_update]'s "all expressions see the
+   pre-state" rule (and its exception order: dict base first, then
+   each op chronologically). Resolved values land in [t.uscratch]
+   (sized by the plan's [max_uslots]) in resolve order; the commit
+   pass walks the same updates with the same cursor discipline and
+   applies only the flagged ones — the compiler marked the last update
+   per variable, which is all the reference's [Smap.add] folding makes
+   observable. *)
+let resolve_updates t pkt (ce : Compile.centry) =
+  let sc = t.uscratch in
+  let i = ref 0 in
+  List.iter
+    (fun ((u : Compile.cupdate), _) ->
+      match u with
+      | Compile.CSet (_, f) ->
+          sc.(!i) <- f t.state pkt;
+          incr i
+      | Compile.CDict (v, ops) ->
+          ignore (Flowstate.handle t.state v);
+          List.iter
+            (fun (kf, uf) ->
+              sc.(!i) <- kf t.state pkt;
+              incr i;
+              match uf with
+              | Some f ->
+                  sc.(!i) <- f t.state pkt;
+                  incr i
+              | None -> ())
+            ops)
+    ce.Compile.updates
 
-let resolve_update t pkt (u : Compile.cupdate) =
-  match u with
-  | Compile.CSet (v, f) -> PSet (v, f t.state pkt)
-  | Compile.CDict (v, ops) ->
-      ignore (Flowstate.handle t.state v);
-      PDict
-        ( v,
-          List.map
-            (fun (kf, uf) -> (kf t.state pkt, Option.map (fun f -> f t.state pkt) uf))
-            ops )
-
-let commit t = function
-  | PSet (v, value) -> Flowstate.set_scalar t.state v value
-  | PDict (v, ops) ->
-      List.iter
-        (fun (k, op) ->
-          match op with
-          | Some value -> Flowstate.table_set t.state v k value
-          | None -> Flowstate.table_remove t.state v k)
-        ops
-
-(* The reference interpreter computes every update from the pre-state
-   and folds them with [Smap.add], so when one entry updates a variable
-   twice only the last update is observable. Committing in order
-   through a mutable store would merge them instead — keep the last
-   resolved update per variable. *)
-let dedupe_last pending =
-  let name = function PSet (v, _) | PDict (v, _) -> v in
-  List.filteri
-    (fun i p -> not (List.exists (fun p' -> name p' = name p) (List.filteri (fun j _ -> j > i) pending)))
-    pending
+let commit_updates t (ce : Compile.centry) =
+  let sc = t.uscratch in
+  let i = ref 0 in
+  List.iter
+    (fun ((u : Compile.cupdate), flagged) ->
+      match u with
+      | Compile.CSet (v, _) ->
+          let x = sc.(!i) in
+          incr i;
+          if flagged then Flowstate.set_scalar t.state v x
+      | Compile.CDict (v, ops) ->
+          List.iter
+            (fun (_, uf) ->
+              let k = sc.(!i) in
+              incr i;
+              match uf with
+              | Some _ ->
+                  let value = sc.(!i) in
+                  incr i;
+                  if flagged then Flowstate.table_set t.state v k value
+              | None -> if flagged then Flowstate.table_remove t.state v k)
+            ops)
+    ce.Compile.updates
 
 let fire t pkt (ce : Compile.centry) =
   let outputs =
@@ -110,64 +142,104 @@ let fire t pkt (ce : Compile.centry) =
          (fun snap -> List.fold_left (fun acc (set, f) -> set acc (f t.state pkt)) pkt snap)
          ce.Compile.emit)
   in
-  let pending = List.map (resolve_update t pkt) ce.Compile.updates in
-  List.iter (commit t) (dedupe_last pending);
+  resolve_updates t pkt ce;
+  commit_updates t ce;
   t.stats.entry_hits.(ce.Compile.eidx) <- t.stats.entry_hits.(ce.Compile.eidx) + 1;
   { outputs; fired = Some ce.Compile.eidx }
 
-(* Index keys come from equality literals every candidate entry tests,
-   so a key that fails to evaluate means those literals are false:
-   the whole segment misses, it does not raise. *)
-let probe_keys t pkt (keys : Compile.valfn array) =
-  match Array.to_list (Array.map (fun f -> f t.state pkt) keys) with
-  | kvs -> Some kvs
-  | exception Value.Type_error _ -> None
-  | exception Nfactor.Model_interp.Unresolved _ -> None
+(* Map a discriminator value to its class index. *)
+let seg_index cuts n =
+  (* 2 * (#cuts < n), plus 1 when n is itself a cut *)
+  let lo = ref 0 and hi = ref (Array.length cuts) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cuts.(mid) < n then lo := mid + 1 else hi := mid
+  done;
+  let k = !lo in
+  if k < Array.length cuts && cuts.(k) = n then (2 * k) + 1 else 2 * k
+
+let class_index (vdis : Compile.vdispatch) v =
+  match vdis with
+  | Compile.VHash { table; other } -> (
+      match Hashtbl.find_opt table v with Some i -> i | None -> other)
+  | Compile.VRange { cuts; classes; non_int } -> (
+      match v with
+      | Value.Int n -> classes.(seg_index cuts n)
+      | _ -> non_int)
 
 let find_candidate t pkt (ces : Compile.centry array) =
+  let dispatched = t.pmask <> 0 in
   let n = Array.length ces in
   let rec go i =
     if i >= n then None
     else begin
-      t.stats.scan_tests <- t.stats.scan_tests + 1;
-      if entry_holds t pkt ces.(i) then Some ces.(i) else go (i + 1)
+      let ce = ces.(i) in
+      if ce.Compile.scan || not dispatched then
+        t.stats.scan_tests <- t.stats.scan_tests + 1
+      else t.stats.leaf_tests <- t.stats.leaf_tests + 1;
+      if entry_holds t pkt ce then Some ce else go (i + 1)
     end
   in
   go 0
+
+let rec descend t pkt (node : Compile.dnode) =
+  match node with
+  | Compile.Leaf ces -> find_candidate t pkt ces
+  | Compile.Dstate { base; key; vdis; absent; unres; children } ->
+      let idx =
+        match key t.state pkt with
+        | exception (Value.Type_error _ | Nfactor.Model_interp.Unresolved _) ->
+            unres
+        | kv -> (
+            match Flowstate.state_read t.state base kv with
+            | `No_table -> unres
+            | `Absent -> absent
+            | `Value v -> class_index vdis v)
+      in
+      t.pmask <- t.pmask lor m_fsm;
+      descend t pkt children.(idx)
+  | Compile.Dexpr { expr; vdis; unres; children } ->
+      let idx =
+        match expr t.state pkt with
+        | exception (Value.Type_error _ | Nfactor.Model_interp.Unresolved _) ->
+            unres
+        | v -> class_index vdis v
+      in
+      t.pmask <-
+        t.pmask
+        lor (match vdis with Compile.VHash _ -> m_hash | Compile.VRange _ -> m_tree);
+      descend t pkt children.(idx)
+  | Compile.Dbool { expr; truthy; falsy; nonbool; unres; children } ->
+      let idx =
+        match expr t.state pkt with
+        | exception (Value.Type_error _ | Nfactor.Model_interp.Unresolved _) ->
+            unres
+        | Value.Bool true -> truthy
+        | Value.Bool false -> falsy
+        | Value.Int n -> if n <> 0 then truthy else falsy
+        | _ -> nonbool
+      in
+      t.pmask <- t.pmask lor m_tree;
+      descend t pkt children.(idx)
 
 let step t pkt =
   Flowstate.bump_clock t.state;
   t.gen <- t.gen + 1;
   t.stats.packets <- t.stats.packets + 1;
-  let segs = t.plan.Compile.segments in
-  let n = Array.length segs in
-  let rec walk i =
-    if i >= n then None
-    else
-      match segs.(i) with
-      | Compile.Scan ces -> (
-          match find_candidate t pkt ces with
-          | Some ce ->
-              t.stats.scan_hits <- t.stats.scan_hits + 1;
-              Some ce
-          | None -> walk (i + 1))
-      | Compile.Index { keys; table } -> (
-          let hit =
-            match probe_keys t pkt keys with
-            | None -> None
-            | Some kvs -> (
-                match Hashtbl.find_opt table kvs with
-                | None -> None
-                | Some ces -> find_candidate t pkt ces)
-          in
-          match hit with
-          | Some ce ->
-              t.stats.index_hits <- t.stats.index_hits + 1;
-              Some ce
-          | None -> walk (i + 1))
-  in
-  match walk 0 with
-  | Some ce -> fire t pkt ce
+  (* Attribution: state node on the walk -> FSM hit; else hash node ->
+     index hit; else range/truthiness node -> tree hit; nothing (root
+     leaf) or a residual entry -> scan. *)
+  t.pmask <- 0;
+  match descend t pkt t.plan.Compile.root with
+  | Some ce ->
+      if ce.Compile.scan then t.stats.scan_hits <- t.stats.scan_hits + 1
+      else if t.pmask land m_fsm <> 0 then t.stats.fsm_hits <- t.stats.fsm_hits + 1
+      else if t.pmask land m_hash <> 0 then
+        t.stats.index_hits <- t.stats.index_hits + 1
+      else if t.pmask land m_tree <> 0 then
+        t.stats.tree_hits <- t.stats.tree_hits + 1
+      else t.stats.scan_hits <- t.stats.scan_hits + 1;
+      fire t pkt ce
   | None ->
       let entries = Nfactor.Model.entry_count t.plan.Compile.model in
       if t.plan.Compile.live = 0 && entries > 0 then
@@ -177,21 +249,39 @@ let step t pkt =
 
 let run_batch t pkts = Array.map (step t) pkts
 
+(* Packet generation happens outside the timed sections, in chunks so
+   memory stays bounded: [engine_ms] charges [step] and nothing else.
+   The explicit fill loop keeps the RNG consumption order identical to
+   [Packet.Traffic.random_stream]. *)
 let replay ?(profile = Packet.Traffic.default_profile) t ~seed ~n =
   let rng = Packet.Rng.create seed in
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to n do
-    ignore (step t (Packet.Traffic.random_pkt rng profile))
+  let elapsed = ref 0.0 in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let m = min !remaining 4096 in
+    let buf = ref [] in
+    for _ = 1 to m do
+      buf := Packet.Traffic.random_pkt rng profile :: !buf
+    done;
+    let pkts = Array.of_list (List.rev !buf) in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to m - 1 do
+      ignore (step t pkts.(i))
+    done;
+    elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
+    remaining := !remaining - m
   done;
-  Unix.gettimeofday () -. t0
+  !elapsed
 
 let snapshot t = Flowstate.snapshot t.state
 
 let pp_stats ppf t =
   let s = t.stats in
   Fmt.pf ppf
-    "packets %d | hits: index %d, scan %d (%d entry tests) | miss: no-config %d, no-match %d | evictions %d"
-    s.packets s.index_hits s.scan_hits s.scan_tests s.miss_no_config s.miss_no_match
+    "packets %d | hits: fsm %d, index %d, tree %d, scan %d (%d leaf tests, %d scan tests) | \
+     miss: no-config %d, no-match %d | evictions %d"
+    s.packets s.fsm_hits s.index_hits s.tree_hits s.scan_hits s.leaf_tests
+    s.scan_tests s.miss_no_config s.miss_no_match
     (Flowstate.evictions t.state)
 
 let stats_json t =
@@ -200,14 +290,18 @@ let stats_json t =
   Buffer.add_string b "{";
   Printf.bprintf b "\"nf\": %S, " t.plan.Compile.model.Nfactor.Model.nf_name;
   Printf.bprintf b "\"packets\": %d, " s.packets;
+  Printf.bprintf b "\"fsm_hits\": %d, " s.fsm_hits;
   Printf.bprintf b "\"index_hits\": %d, " s.index_hits;
+  Printf.bprintf b "\"tree_hits\": %d, " s.tree_hits;
   Printf.bprintf b "\"scan_hits\": %d, " s.scan_hits;
+  Printf.bprintf b "\"leaf_tests\": %d, " s.leaf_tests;
   Printf.bprintf b "\"scan_tests\": %d, " s.scan_tests;
   Printf.bprintf b "\"miss_no_config\": %d, " s.miss_no_config;
   Printf.bprintf b "\"miss_no_match\": %d, " s.miss_no_match;
   Printf.bprintf b "\"evictions\": %d, " (Flowstate.evictions t.state);
   Printf.bprintf b "\"live_entries\": %d, " t.plan.Compile.live;
   Printf.bprintf b "\"indexed_entries\": %d, " t.plan.Compile.indexed;
+  Printf.bprintf b "\"scanned_entries\": %d, " t.plan.Compile.scanned;
   Printf.bprintf b "\"dropped_static\": %d, " t.plan.Compile.dropped_static;
   Printf.bprintf b "\"entry_hits\": [%s]"
     (String.concat ", " (Array.to_list (Array.map string_of_int s.entry_hits)));

@@ -1,20 +1,35 @@
 (** Batched execution of a compiled plan over a mutable flow-state
     store.
 
-    Per packet the engine walks the plan's segments in order: index
-    segments evaluate their key tuple once and hash-probe for
-    candidates; scan segments test entries one by one. Every literal
-    verdict is cached per packet in a generation-stamped slot array, so
-    a literal shared by many entries evaluates at most once. The first
-    entry whose remaining slots all hold fires, exactly like
-    {!Nfactor.Model_interp.step}. *)
+    Per packet the engine walks the plan's decision structure from the
+    root: state nodes probe the flow's current state value once and
+    branch on it (the per-flow FSM level), expression nodes branch on a
+    hash or interval lookup of a packet/store value, truthiness nodes
+    on an atom's boolean — until a leaf, whose candidates are tested in
+    order on their remaining literals. Every literal verdict is cached
+    per packet in a generation-stamped slot array, so a literal shared
+    by many entries evaluates at most once. The first entry whose
+    remaining slots all hold fires, exactly like
+    {!Nfactor.Model_interp.step}.
+
+    Counter taxonomy: a fired packet is attributed to exactly one
+    dispatch level — [fsm_hits] when its path crossed a state node,
+    else [index_hits] (hash node), else [tree_hits] (interval or
+    truthiness node), else [scan_hits] (root-leaf plans and
+    residual-match entries, which only the ordered scan resolves).
+    Candidate tests under a dispatch node count as [leaf_tests];
+    ordered-scan work (undispatched walks and residual candidates)
+    counts as [scan_tests]. *)
 
 type stats = {
   mutable packets : int;
   entry_hits : int array;  (** fires per source-model entry index *)
-  mutable index_hits : int;  (** packets resolved through an index probe *)
-  mutable scan_hits : int;  (** packets resolved by an ordered scan *)
-  mutable scan_tests : int;  (** entries tested across all scans *)
+  mutable fsm_hits : int;  (** resolved through a per-flow state node *)
+  mutable index_hits : int;  (** resolved through a hash node *)
+  mutable tree_hits : int;  (** resolved through interval/truthiness nodes *)
+  mutable scan_hits : int;  (** resolved by the ordered scan *)
+  mutable leaf_tests : int;  (** candidate tests under dispatch nodes *)
+  mutable scan_tests : int;  (** candidate tests attributable to scanning *)
   mutable miss_no_config : int;
       (** drops because no entry survived static config evaluation *)
   mutable miss_no_match : int;  (** drops because no live entry matched *)
@@ -26,6 +41,13 @@ type t = {
   stats : stats;
   cache : int array;  (** per-literal [(gen lsl 1) lor verdict] stamps *)
   mutable gen : int;
+  mutable pmask : int;
+      (** dispatch levels crossed by the current packet's walk
+          (1 = state, 2 = hash, 4 = tree), for hit attribution *)
+  uscratch : Symexec.Value.t array;
+      (** reusable buffer for resolved update values, sized by the
+          plan's [max_uslots] — updates resolve against the pre-state
+          into this scratch, then commit, with no per-fire allocation *)
 }
 
 val create : ?capacity:int -> Compile.t -> store:Nfactor.Model_interp.store -> t
@@ -56,9 +78,10 @@ val run_batch : t -> Packet.Pkt.t array -> outcome array
 
 val replay :
   ?profile:Packet.Traffic.profile -> t -> seed:int -> n:int -> float
-(** Fold [n] packets of the seeded {!Packet.Traffic} generator through
-    the engine without materializing the packet list; returns elapsed
-    wall-clock seconds. The stream equals
+(** Drive [n] packets of the seeded {!Packet.Traffic} generator through
+    the engine in bounded chunks; returns elapsed wall-clock seconds
+    spent in {!step} only — packet generation happens outside the
+    timed sections. The stream equals
     [Packet.Traffic.random_stream ~seed ~n profile]. *)
 
 val snapshot : t -> Nfactor.Model_interp.store
@@ -68,5 +91,5 @@ val snapshot : t -> Nfactor.Model_interp.store
 val pp_stats : Format.formatter -> t -> unit
 
 val stats_json : t -> string
-(** Counters as a one-line JSON object (packets, hits, misses,
-    evictions) — consumed by the CLI and CI smoke checks. *)
+(** Counters as a one-line JSON object (packets, per-level hits,
+    misses, evictions) — consumed by the CLI and CI smoke checks. *)

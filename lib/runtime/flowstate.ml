@@ -5,7 +5,21 @@ open Symexec
 
 type slot = { mutable v : Value.t; mutable last_used : int }
 
-type cell = Scalar of Value.t | Table of (Value.t, slot) Hashtbl.t
+(* Each table carries a one-entry probe memo: within one packet the
+   same flow key is typically probed several times (state dispatch,
+   match literals, emit reads, update keys), and a memo hit costs one
+   structural key comparison instead of a hash traversal plus bucket
+   walk. The memo holds the slot record itself, so in-place value
+   updates stay coherent; only structural changes (insert, remove,
+   evict, whole-table rebuild) invalidate it. *)
+type table = {
+  slots : (Value.t, slot) Hashtbl.t;
+  mutable m_valid : bool;
+  mutable m_key : Value.t;
+  mutable m_slot : slot option;  (* [None] = key probed absent *)
+}
+
+type cell = Scalar of Value.t | Table of table
 
 type t = {
   cells : (string, cell) Hashtbl.t;
@@ -16,17 +30,27 @@ type t = {
 
 let unresolved name = raise (Nfactor.Model_interp.Unresolved name)
 
-let table_of_kvs kvs =
-  let h = Hashtbl.create (max 16 (2 * List.length kvs)) in
-  List.iter (fun (k, v) -> Hashtbl.replace h k { v; last_used = 0 }) kvs;
-  h
+let mk_table slots =
+  { slots; m_valid = false; m_key = Value.Bool false; m_slot = None }
+
+(* [clock] is the recency stamp for every loaded slot: a table built
+   mid-run (whole-dict overwrite) must stamp with the current clock or
+   its fresh keys become the first LRU eviction victims. [size]
+   pre-sizes the bucket array — load-time tables get a large one so
+   steady-state inserts don't pay repeated rehash-everything growth. *)
+let table_of_kvs ~clock ?(size = 16) kvs =
+  let h = Hashtbl.create (max size (2 * List.length kvs)) in
+  List.iter (fun (k, v) -> Hashtbl.replace h k { v; last_used = clock }) kvs;
+  mk_table h
 
 let create ?capacity (store : Nfactor.Model_interp.store) =
   let cells = Hashtbl.create 16 in
   Nfactor.Model_interp.Smap.iter
     (fun name v ->
       Hashtbl.replace cells name
-        (match v with Value.Dict kvs -> Table (table_of_kvs kvs) | v -> Scalar v))
+        (match v with
+        | Value.Dict kvs -> Table (table_of_kvs ~clock:0 ~size:4096 kvs)
+        | v -> Scalar v))
     store;
   { cells; cap = capacity; clock = 0; evictions = 0 }
 
@@ -39,9 +63,19 @@ let evictions t = t.evictions
 (* Reads                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let probe h k =
+  if h.m_valid && Value.equal h.m_key k then h.m_slot
+  else begin
+    let r = Hashtbl.find_opt h.slots k in
+    h.m_valid <- true;
+    h.m_key <- k;
+    h.m_slot <- r;
+    r
+  end
+
 let materialize h =
   Value.Dict
-    (Hashtbl.fold (fun k s acc -> (k, s.v) :: acc) h []
+    (Hashtbl.fold (fun k s acc -> (k, s.v) :: acc) h.slots []
     |> List.sort (fun (a, _) (b, _) -> Value.compare a b))
 
 let read t name =
@@ -50,7 +84,7 @@ let read t name =
   | Some (Table h) -> materialize h
   | None -> unresolved name
 
-type handle = (Value.t, slot) Hashtbl.t
+type handle = table
 
 let handle t name =
   match Hashtbl.find_opt t.cells name with
@@ -58,22 +92,47 @@ let handle t name =
   | Some (Scalar _) | None -> unresolved ("dict " ^ name)
 
 let handle_mem t h k =
-  match Hashtbl.find_opt h k with
+  match probe h k with
   | Some s ->
       s.last_used <- t.clock;
       true
   | None -> false
 
 let handle_find t h k =
-  match Hashtbl.find_opt h k with
+  match probe h k with
   | Some s ->
       s.last_used <- t.clock;
       Some s.v
   | None -> None
 
+(* Allocation-free variant for the compiled dataplane's hot path: the
+   [option] box of {!handle_find} costs a minor-heap block per dict
+   read. [Not_found] is a constant exception, so raising it is free. *)
+let handle_get t h k =
+  match probe h k with
+  | Some s ->
+      s.last_used <- t.clock;
+      s.v
+  | None -> raise Stdlib.Not_found
+
+(* Narrow single-probe read for the engine's state-dispatch level:
+   never raises, distinguishes "no such table" from "key absent", and
+   stamps recency on a hit like any other read. This is the only state
+   access the FSM dispatch needs — match structure stays decoupled
+   from the store representation. *)
+let state_read t name k =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Table h) -> (
+      match probe h k with
+      | Some s ->
+          s.last_used <- t.clock;
+          `Value s.v
+      | None -> `Absent)
+  | Some (Scalar _) | None -> `No_table
+
 let table_mem t name k = handle_mem t (handle t name) k
 let table_find t name k = handle_find t (handle t name) k
-let table_size t name = Hashtbl.length (handle t name)
+let table_size t name = Hashtbl.length (handle t name).slots
 
 (* ------------------------------------------------------------------ *)
 (* Writes                                                              *)
@@ -81,7 +140,9 @@ let table_size t name = Hashtbl.length (handle t name)
 
 let set_scalar t name v =
   Hashtbl.replace t.cells name
-    (match v with Value.Dict kvs -> Table (table_of_kvs kvs) | v -> Scalar v)
+    (match v with
+    | Value.Dict kvs -> Table (table_of_kvs ~clock:t.clock kvs)
+    | v -> Scalar v)
 
 (* Least-recently-used key; ties (same clock tick) break on the
    smaller key so eviction order is independent of hash layout. *)
@@ -95,27 +156,36 @@ let evict_lru t h =
             if s.last_used < lu' || (s.last_used = lu' && Value.compare k k' < 0) then
               Some (k, s.last_used)
             else acc)
-      h None
+      h.slots None
   in
   match victim with
   | Some (k, _) ->
-      Hashtbl.remove h k;
+      Hashtbl.remove h.slots k;
+      h.m_valid <- false;
       t.evictions <- t.evictions + 1
   | None -> ()
 
 let table_set t name k v =
   let h = handle t name in
-  match Hashtbl.find_opt h k with
+  match probe h k with
   | Some s ->
       s.v <- v;
       s.last_used <- t.clock
   | None ->
       (match t.cap with
-      | Some cap when Hashtbl.length h >= cap -> evict_lru t h
+      | Some cap when Hashtbl.length h.slots >= cap -> evict_lru t h
       | _ -> ());
-      Hashtbl.replace h k { v; last_used = t.clock }
+      let s = { v; last_used = t.clock } in
+      Hashtbl.replace h.slots k s;
+      (* the memo currently records [k] absent; point it at the new slot *)
+      h.m_key <- k;
+      h.m_slot <- Some s;
+      h.m_valid <- true
 
-let table_remove t name k = Hashtbl.remove (handle t name) k
+let table_remove t name k =
+  let h = handle t name in
+  Hashtbl.remove h.slots k;
+  h.m_valid <- false
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot                                                            *)

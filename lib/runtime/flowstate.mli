@@ -56,6 +56,18 @@ val handle : t -> string -> handle
 val handle_mem : t -> handle -> Value.t -> bool
 val handle_find : t -> handle -> Value.t -> Value.t option
 
+val handle_get : t -> handle -> Value.t -> Value.t
+(** Like {!handle_find} but allocation-free.
+    @raise Stdlib.Not_found when the key is absent. *)
+
+val state_read :
+  t -> string -> Value.t -> [ `Absent | `No_table | `Value of Value.t ]
+(** One probe of per-flow state for the engine's FSM dispatch level:
+    [`Value v] when [name] is a table holding [k] (stamps recency),
+    [`Absent] when the table exists without the key, [`No_table] when
+    [name] is missing or scalar. Never raises — the dispatch maps
+    [`No_table] to the same class as an unresolved read. *)
+
 val table_mem : t -> string -> Value.t -> bool
 val table_find : t -> string -> Value.t -> Value.t option
 val table_size : t -> string -> int
@@ -63,7 +75,9 @@ val table_size : t -> string -> int
 (** {1 Writes} *)
 
 val set_scalar : t -> string -> Value.t -> unit
-(** Assigning a [Value.Dict] (re)creates a table. *)
+(** Assigning a [Value.Dict] (re)creates a table; its slots are
+    stamped with the current clock, so keys written through a
+    whole-dict overwrite are as recent as any other write. *)
 
 val table_set : t -> string -> Value.t -> Value.t -> unit
 (** Insert or update; inserting into a table at capacity evicts the

@@ -18,8 +18,29 @@ if grep -q '"outputs_and_state_equal": false' BENCH_smoke.json; then
   echo "runtime engine diverged from the interpreter" >&2
   exit 1
 fi
+if grep -q '"scan_ok": false' BENCH_smoke.json; then
+  echo "ordered scan resolved packets on a fully-classified NF" >&2
+  exit 1
+fi
 dune exec bin/nfactor_cli.exe -- run -n 5000 --check snort
 dune exec bin/nfactor_cli.exe -- run -n 5000 --json snort | grep -q '"index_hits"'
+dune exec bin/nfactor_cli.exe -- run -n 5000 --json portknock | grep -q '"fsm_hits"'
+
+# Dispatch gate, at full packet budgets (speedups are budget-dependent,
+# so the smoke run cannot judge them): every stateful NF's
+# engine-vs-interpreter speedup, relative to the PR-5 recording, must
+# clear the per-NF floor and the geomean threshold (see bench/main.ml
+# for the thresholds and their noise rationale).
+dune exec bench/main.exe -- --rt --json BENCH_rt.json
+if grep -q '"scan_ok": false' BENCH_rt.json; then
+  echo "ordered scan resolved packets at full budgets" >&2
+  exit 1
+fi
+if grep -q '"ratio_ok": false' BENCH_rt.json || grep -q '"dispatch_ok": false' BENCH_rt.json; then
+  echo "dispatch speedup regressed vs the PR-5 recording" >&2
+  exit 1
+fi
+rm -f BENCH_rt.json
 
 # Pass-pipeline cache gate: synthesize the corpus twice through one
 # on-disk artifact store. The second run must be a pure replay (zero

@@ -108,6 +108,58 @@ let test_update_refreshes_no_eviction () =
   Alcotest.(check (option value)) "updated in place" (Some (Value.Str "uno"))
     (Flowstate.table_find fs "t" (Value.Int 1))
 
+(* Regression for the clock-stamping fix: keys written through a
+   whole-dict overwrite carry the overwrite-time clock (the mli's
+   "as recent as any other write"), so recency from that point on is
+   driven purely by touches — an untouched rebuilt key is evicted
+   before a touched one, never the other way around. *)
+let test_overwrite_stamps_recency () =
+  let fs = Flowstate.create ~capacity:2 (smap_of [ ("t", Value.Dict []) ]) in
+  Flowstate.bump_clock fs;
+  Flowstate.table_set fs "t" (Value.Int 1) (Value.Str "old");
+  Flowstate.bump_clock fs;
+  Flowstate.set_scalar fs "t"
+    (Value.Dict [ (Value.Int 10, Value.Str "a"); (Value.Int 11, Value.Str "b") ]);
+  Alcotest.(check int) "rebuild replaces the table" 2 (Flowstate.table_size fs "t");
+  Flowstate.bump_clock fs;
+  ignore (Flowstate.table_find fs "t" (Value.Int 11));
+  Flowstate.bump_clock fs;
+  Flowstate.table_set fs "t" (Value.Int 12) (Value.Str "c");
+  Alcotest.(check bool) "untouched rebuilt key evicted" false
+    (Flowstate.table_mem fs "t" (Value.Int 10));
+  Alcotest.(check bool) "touched rebuilt key survives" true
+    (Flowstate.table_mem fs "t" (Value.Int 11));
+  (* rebuilt keys within one overwrite share a stamp: eviction among
+     them falls back to the deterministic smaller-key tie-break *)
+  let fs2 = Flowstate.create ~capacity:2 (smap_of [ ("t", Value.Dict []) ]) in
+  Flowstate.bump_clock fs2;
+  Flowstate.set_scalar fs2 "t"
+    (Value.Dict [ (Value.Int 20, Value.Str "a"); (Value.Int 21, Value.Str "b") ]);
+  Flowstate.bump_clock fs2;
+  Flowstate.table_set fs2 "t" (Value.Int 5) (Value.Str "c");
+  Alcotest.(check bool) "tie-break evicts the smaller rebuilt key" false
+    (Flowstate.table_mem fs2 "t" (Value.Int 20))
+
+(* [handle_get] is the allocation-free twin of [handle_find]: same
+   values, [Not_found] exactly where [handle_find] is [None], and the
+   same recency stamping (a got key must not be the LRU victim). *)
+let test_handle_get () =
+  let fs = Flowstate.create ~capacity:2 (smap_of [ ("t", Value.Dict []) ]) in
+  Flowstate.bump_clock fs;
+  Flowstate.table_set fs "t" (Value.Int 1) (Value.Str "one");
+  Flowstate.table_set fs "t" (Value.Int 2) (Value.Str "two");
+  let h = Flowstate.handle fs "t" in
+  Alcotest.check value "get hit" (Value.Str "one") (Flowstate.handle_get fs h (Value.Int 1));
+  Alcotest.check_raises "get miss" Stdlib.Not_found (fun () ->
+      ignore (Flowstate.handle_get fs h (Value.Int 9)));
+  Flowstate.bump_clock fs;
+  ignore (Flowstate.handle_get fs h (Value.Int 1));
+  Flowstate.bump_clock fs;
+  Flowstate.table_set fs "t" (Value.Int 3) (Value.Str "three");
+  Alcotest.(check bool) "got key survives eviction" true
+    (Flowstate.table_mem fs "t" (Value.Int 1));
+  Alcotest.(check bool) "un-got key evicted" false (Flowstate.table_mem fs "t" (Value.Int 2))
+
 let suite =
   [
     Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
@@ -118,4 +170,6 @@ let suite =
     Alcotest.test_case "lru touch" `Quick test_lru_touch;
     Alcotest.test_case "eviction tie-break" `Quick test_eviction_tiebreak;
     Alcotest.test_case "update does not evict" `Quick test_update_refreshes_no_eviction;
+    Alcotest.test_case "dict overwrite stamps recency" `Quick test_overwrite_stamps_recency;
+    Alcotest.test_case "handle_get == handle_find" `Quick test_handle_get;
   ]
