@@ -386,6 +386,205 @@ let runtime_throughput ~smoke () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Sharded dataplane scaling                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Flow-key domain sharding under the churn workload (a constant pool
+   of concurrent conversations with unbounded turnover). Exactness is
+   asserted unconditionally — a 2-shard run must reproduce the single
+   engine packet-for-packet (outputs, merged store, merged counters) —
+   while the timed scaling points only run when the machine actually
+   has the cores: speedups measured by timesharing domains on fewer
+   cores say nothing about the dataplane, so they are recorded as
+   skipped instead. The gate is machine-normalized by construction:
+   the baseline engine and the sharded runs time identical churn
+   streams in the same process, so machine speed cancels out of the
+   speedup ratio. *)
+type scale_point = {
+  sp_shards : int;
+  sp_ms : float;
+  sp_speedup : float;
+  sp_deferred_pct : float;
+  sp_gate : float;
+  sp_gate_ok : bool;
+}
+
+type scale_row = {
+  sc_name : string;
+  sc_exact : bool;
+  sc_base_ms : float;
+  sc_base_mpps : float;
+  sc_points : scale_point list;
+  sc_skipped : string option;
+}
+
+type scale_result = {
+  sr_cores : int;
+  sr_concurrent : int;
+  sr_n : int;
+  sr_rows : scale_row list;
+}
+
+let scale_gates = [ (2, 1.6); (4, 2.5) ]
+
+(* The scaling subjects: the paper's IDS (stateless matching, sharded
+   by the default 4-tuple) and the NAT (per-flow tables plus a global
+   reverse map — the hard case for the serial phase). *)
+let scale_nfs = [ "snort"; "nat" ]
+
+let shard_scaling ~smoke () =
+  section "Sharded dataplane: flow-key domain scaling under churn";
+  let cores = Domain.recommended_domain_count () in
+  let concurrent = if smoke then 20_000 else 1_000_000 in
+  let n = if smoke then 100_000 else 2_000_000 in
+  Fmt.pr "cores %d; %d concurrent flow(s), %d packet(s) per point@.@." cores concurrent n;
+  Fmt.pr "%-12s %7s | %12s %8s | %8s %9s | %s@." "NF" "shards" "time(ms)" "Mpps"
+    "speedup" "deferred" "verdicts";
+  let rows =
+    List.map
+      (fun name ->
+        let ex = extract name in
+        let model = ex.Nfactor.Extract.model in
+        let store = Nfactor.Model_interp.initial_store ex in
+        let plan = Nfactor_runtime.Compile.compile model ~config:store in
+        (* Exactness first, at verification scale (run_batch keeps every
+           outcome, so this stays off the million-flow budget). *)
+        let exact =
+          let ch = Packet.Traffic.churn_gen ~concurrent:5_000 ~seed:11 () in
+          let pkts = Array.init 30_000 (fun _ -> Packet.Traffic.churn_next ch) in
+          let eng = Nfactor_runtime.Engine.create plan ~store in
+          let expected = Nfactor_runtime.Engine.run_batch eng pkts in
+          let sh = Nfactor_runtime.Shard.create ~nshards:2 model ~config:store in
+          Fun.protect
+            ~finally:(fun () -> Nfactor_runtime.Shard.shutdown sh)
+            (fun () ->
+              let got = Nfactor_runtime.Shard.run_batch sh pkts in
+              let ok = ref true in
+              Array.iteri
+                (fun i (e : Nfactor_runtime.Engine.outcome) ->
+                  let g = got.(i) in
+                  if
+                    e.fired <> g.fired
+                    || List.length e.outputs <> List.length g.outputs
+                    || not (List.for_all2 Packet.Pkt.equal e.outputs g.outputs)
+                  then ok := false)
+                expected;
+              !ok
+              && Nfactor.Model_interp.Smap.equal Symexec.Value.equal
+                   (Nfactor_runtime.Engine.snapshot eng)
+                   (Nfactor_runtime.Shard.snapshot sh)
+              && Nfactor_runtime.Engine.stats_json_of ~nf:name ~plan ~evictions:0
+                   (Nfactor_runtime.Shard.merged_stats sh)
+                 = Nfactor_runtime.Engine.stats_json eng)
+        in
+        (* Baseline: the single-threaded engine on the same stream. *)
+        let base_s =
+          let ch = Packet.Traffic.churn_gen ~concurrent ~seed:2016 () in
+          let eng = Nfactor_runtime.Engine.create plan ~store in
+          Nfactor_runtime.Engine.replay_churn eng ~churn:ch ~n
+        in
+        let base_mpps = if base_s > 0. then float_of_int n /. base_s /. 1e6 else 0. in
+        Fmt.pr "%-12s %7d | %12.2f %8.2f | %8s %9s | exact: %s@." name 1 (base_s *. 1e3)
+          base_mpps "1.00x" "-"
+          (if exact then "yes" else "NO — MISMATCH");
+        let points =
+          List.filter_map
+            (fun (k, gate) ->
+              if cores < k then None
+              else
+                let ch = Packet.Traffic.churn_gen ~concurrent ~seed:2016 () in
+                let sh = Nfactor_runtime.Shard.create ~nshards:k model ~config:store in
+                Fun.protect
+                  ~finally:(fun () -> Nfactor_runtime.Shard.shutdown sh)
+                  (fun () ->
+                    let s = Nfactor_runtime.Shard.replay_churn sh ~churn:ch ~n in
+                    let speedup = if s > 0. then base_s /. s else 0. in
+                    let deferred_pct =
+                      100.
+                      *. float_of_int (Nfactor_runtime.Shard.deferred sh)
+                      /. float_of_int n
+                    in
+                    let p =
+                      {
+                        sp_shards = k;
+                        sp_ms = s *. 1e3;
+                        sp_speedup = speedup;
+                        sp_deferred_pct = deferred_pct;
+                        sp_gate = gate;
+                        sp_gate_ok = speedup >= gate;
+                      }
+                    in
+                    Fmt.pr "%-12s %7d | %12.2f %8.2f | %7.2fx %8.1f%% | gate >= %.1fx: %s@."
+                      name k p.sp_ms
+                      (if s > 0. then float_of_int n /. s /. 1e6 else 0.)
+                      speedup deferred_pct gate
+                      (if p.sp_gate_ok then "ok" else "FAIL");
+                    Some p))
+            scale_gates
+        in
+        let skipped =
+          match List.filter (fun (k, _) -> cores < k) scale_gates with
+          | [] -> None
+          | missing ->
+              let s =
+                Printf.sprintf "skipped insufficient cores (have %d, need %s)" cores
+                  (String.concat "/" (List.map (fun (k, _) -> string_of_int k) missing))
+              in
+              Fmt.pr "%-12s %7s | scaling gate %s@." name "-" s;
+              Some s
+        in
+        {
+          sc_name = name;
+          sc_exact = exact;
+          sc_base_ms = base_s *. 1e3;
+          sc_base_mpps = base_mpps;
+          sc_points = points;
+          sc_skipped = skipped;
+        })
+      scale_nfs
+  in
+  Fmt.pr "@.(baseline = single engine on the same churn stream; exactness compares a@.";
+  Fmt.pr " 2-shard run against it packet-for-packet: outputs, merged store, counters.)@.";
+  { sr_cores = cores; sr_concurrent = concurrent; sr_n = n; sr_rows = rows }
+
+let add_scale_sections buf sr =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "  \"scale\": {\n";
+  add "    \"cores\": %d, \"concurrent_flows\": %d, \"packets\": %d,\n" sr.sr_cores
+    sr.sr_concurrent sr.sr_n;
+  add "    \"gates\": { %s },\n"
+    (String.concat ", "
+       (List.map (fun (k, g) -> Printf.sprintf "\"%d\": %.1f" k g) scale_gates));
+  add "    \"nfs\": [\n";
+  List.iteri
+    (fun i r ->
+      add "      { \"name\": %S, \"exact\": %b, \"base_ms\": %.3f, \"base_mpps\": %.3f,\n"
+        r.sc_name r.sc_exact r.sc_base_ms r.sc_base_mpps;
+      (match r.sc_skipped with
+      | Some s -> add "        \"gate_status\": %S,\n" s
+      | None -> add "        \"gate_status\": \"measured\",\n");
+      add "        \"points\": [%s] }%s\n"
+        (String.concat ", "
+           (List.map
+              (fun p ->
+                Printf.sprintf
+                  "{ \"shards\": %d, \"ms\": %.3f, \"speedup\": %.2f, \
+                   \"deferred_pct\": %.1f, \"gate\": %.1f, \"gate_ok\": %b }"
+                  p.sp_shards p.sp_ms p.sp_speedup p.sp_deferred_pct p.sp_gate
+                  p.sp_gate_ok)
+              r.sc_points))
+        (if i = List.length sr.sr_rows - 1 then "" else ","))
+    sr.sr_rows;
+  add "    ],\n";
+  let exact_ok = List.for_all (fun r -> r.sc_exact) sr.sr_rows in
+  let gates_ok =
+    List.for_all (fun r -> List.for_all (fun p -> p.sp_gate_ok) r.sc_points) sr.sr_rows
+  in
+  add "    \"shard_exact_ok\": %b,\n" exact_ok;
+  add "    \"scale_ok\": %b\n" (exact_ok && gates_ok);
+  add "  }"
+
+(* ------------------------------------------------------------------ *)
 (* Pass pipeline: cold synthesis vs warm cache replay                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -540,6 +739,21 @@ let pr5_baseline =
     ("nat", (10_000, 17.437, 547.19));
   ]
 
+(* PR-6 runtime telemetry as recorded when PR 6 landed (BENCH_pr6.json):
+   carried forward for the record — the sharded dataplane reuses the
+   single-threaded engine per shard, so its single-engine numbers are
+   read against this recording (the gate itself stays on the PR-5
+   ratios, whose noise rationale still applies). *)
+let pr6_baseline =
+  [
+    (* name, (packets, engine ms recorded, speedup recorded) *)
+    ("snort", (100_000, 30.250, 19.85));
+    ("balance", (100_000, 51.973, 161.61));
+    ("portknock", (100_000, 23.596, 46.67));
+    ("lb", (20_000, 14.955, 284.60));
+    ("nat", (10_000, 7.922, 990.76));
+  ]
+
 (* NFs whose per-packet work goes through flow state — where the old
    ordered scan actually cost something and the FSM/tree dispatch is
    the fix. [snort]'s matching is stateless, so it is reported but not
@@ -560,6 +774,14 @@ let add_rt_sections buf rt_rows =
         name pkts engine_rec speedup_rec
         (if i = List.length pr5_baseline - 1 then "" else ","))
     pr5_baseline;
+  add "  },\n";
+  add "  \"baseline_pr6_runtime\": {\n";
+  List.iteri
+    (fun i (name, (pkts, engine_rec, speedup_rec)) ->
+      add "    %S: { \"packets\": %d, \"engine_ms_recorded\": %.3f, \"speedup_recorded\": %.2f }%s\n"
+        name pkts engine_rec speedup_rec
+        (if i = List.length pr6_baseline - 1 then "" else ","))
+    pr6_baseline;
   add "  },\n";
   add "  \"runtime\": [\n";
   List.iteri
@@ -621,25 +843,33 @@ let add_rt_sections buf rt_rows =
   add "    \"geomean\": %.2f, \"dispatch_ok\": %b\n" geomean dispatch_ok;
   add "  }"
 
-let emit_rt_json path rt_rows =
+(* The section-only JSON behind [--rt]/[--scale]: either or both
+   sections, same shape as the corresponding pieces of the full-bench
+   JSON (BENCH_pr7.json is the two together at full budgets). *)
+let emit_sections_json path ?rt_rows ?scale () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"pr\": 6,\n";
-  add "  \"subject\": \"match compiler v2: per-state FSM dispatch + field decision trees replace the ordered scan\",\n";
-  add_rt_sections buf rt_rows;
+  add "  \"pr\": 7,\n";
+  add "  \"subject\": \"sharded multicore dataplane: flow-key domain sharding with RCU plan swap\",\n";
+  (match rt_rows with
+  | Some rt ->
+      add_rt_sections buf rt;
+      if scale <> None then add ",\n"
+  | None -> ());
+  (match scale with Some sr -> add_scale_sections buf sr | None -> ());
   add "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Fmt.pr "@.runtime telemetry written to %s@." path
+  Fmt.pr "@.telemetry written to %s@." path
 
-let emit_json path rows rt_rows pc =
+let emit_json path rows rt_rows sr pc =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"pr\": 6,\n";
-  add "  \"subject\": \"match compiler v2: per-state FSM dispatch + field decision trees replace the ordered scan\",\n";
+  add "  \"pr\": 7,\n";
+  add "  \"subject\": \"sharded multicore dataplane: flow-key domain sharding with RCU plan swap\",\n";
   add "  \"budgets\": { \"se_orig_max_paths\": 1000 },\n";
   add "  \"pipeline\": {\n";
   add "    \"nfs\": %d, \"passes\": %d,\n" pc.pc_nfs pc.pc_passes;
@@ -675,6 +905,8 @@ let emit_json path rows rt_rows pc =
     pr3_baseline;
   add "  },\n";
   add_rt_sections buf rt_rows;
+  add ",\n";
+  add_scale_sections buf sr;
   add ",\n";
   add "  \"nfs\": [\n";
   List.iteri
@@ -843,8 +1075,9 @@ let run_micro () =
 
 (* [--smoke] runs the fast sections only (CI gate); [--rt] runs just
    the runtime-dataplane table (fast iteration on engine changes);
-   [--json PATH] writes the machine-readable solver telemetry next to
-   the printed tables. *)
+   [--scale] runs just the sharded-dataplane scaling section (the CI
+   shard gate); [--json PATH] writes the machine-readable telemetry
+   next to the printed tables. *)
 let () =
   (* Same batch-tool GC tuning as the CLI: synthesis and cache replay
      are allocation-rate-bound; the default nursery halves warm-replay
@@ -852,6 +1085,7 @@ let () =
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let smoke = ref false in
   let rt_only = ref false in
+  let scale_only = ref false in
   let json_path = ref None in
   let rec parse = function
     | [] -> ()
@@ -861,18 +1095,22 @@ let () =
     | "--rt" :: rest ->
         rt_only := true;
         parse rest
+    | "--scale" :: rest ->
+        scale_only := true;
+        parse rest
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse rest
     | arg :: _ ->
         prerr_endline
-          ("usage: bench [--smoke] [--rt] [--json PATH]; unknown argument " ^ arg);
+          ("usage: bench [--smoke] [--rt] [--scale] [--json PATH]; unknown argument " ^ arg);
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !rt_only then begin
-    let rt_rows = runtime_throughput ~smoke:!smoke () in
-    Option.iter (fun path -> emit_rt_json path rt_rows) !json_path;
+  if !rt_only || !scale_only then begin
+    let rt_rows = if !rt_only then Some (runtime_throughput ~smoke:!smoke ()) else None in
+    let sr = if !scale_only then Some (shard_scaling ~smoke:!smoke ()) else None in
+    Option.iter (fun path -> emit_sections_json path ?rt_rows ?scale:sr ()) !json_path;
     Fmt.pr "@.done.@.";
     exit 0
   end;
@@ -890,7 +1128,8 @@ let () =
     scaling ()
   end;
   let rt_rows = runtime_throughput ~smoke:!smoke () in
+  let sr = shard_scaling ~smoke:!smoke () in
   let rows = solver_telemetry () in
-  Option.iter (fun path -> emit_json path rows rt_rows pc) !json_path;
+  Option.iter (fun path -> emit_json path rows rt_rows sr pc) !json_path;
   if not !smoke then run_micro ();
   Fmt.pr "@.done.@."

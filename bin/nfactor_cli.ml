@@ -270,62 +270,170 @@ let run_cmd =
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Print engine counters as JSON.") in
   let check =
-    Arg.(value & flag & info [ "check" ] ~doc:"Also run the reference interpreter on the same traffic and compare outputs and final state.")
+    Arg.(value & flag & info [ "check" ] ~doc:"Compare against a reference on the same traffic: the interpreter for a single engine, a single engine for a sharded run (outputs, final state, counters).")
   in
-  let run n seed capacity json check cache_dir arg =
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc:"Drive the sharded multicore dataplane with N shard domains; 1 (default) runs the single-threaded engine.")
+  in
+  let churn =
+    Arg.(value & opt (some int) None & info [ "churn" ] ~docv:"FLOWS" ~doc:"Replace uniform random traffic with the churn workload: a constant pool of FLOWS concurrent conversations with unbounded turnover.")
+  in
+  let run n seed capacity json check shards churn cache_dir arg =
     with_nf
       (fun name _ p ->
+        if shards < 1 then begin
+          Fmt.epr "error: --shards must be >= 1@.";
+          exit 1
+        end;
         let m = manager ?cache_dir () in
         let ex = Pipeline.Manager.extract m ~name p in
         let model = ex.Nfactor.Extract.model in
         let store = Nfactor.Model_interp.initial_store ex in
         let plan = Pipeline.Manager.plan m ex in
-        let eng = Nfactor_runtime.Engine.create ?capacity plan ~store in
-        let secs = Nfactor_runtime.Engine.replay eng ~seed ~n in
-        if json then print_endline (Nfactor_runtime.Engine.stats_json eng)
-        else begin
-          Fmt.pr "plan: %a@." Nfactor_runtime.Compile.pp_plan plan;
-          Fmt.pr "%a@." Nfactor_runtime.Engine.pp_stats eng;
-          Fmt.pr "%d packets in %.3f ms (%.2f Mpps)@." n (secs *. 1e3)
-            (if secs > 0. then float_of_int n /. secs /. 1e6 else 0.)
-        end;
-        if check then begin
-          if capacity <> None then begin
-            Fmt.epr "error: --check requires an unbounded store (LRU eviction diverges from the reference interpreter by design)@.";
-            exit 1
-          end;
-          let pkts = Packet.Traffic.random_stream ~seed ~n () in
-          let ref_store, ref_out = Nfactor.Model_interp.run model ~store ~pkts in
-          let eng2 =
-            Nfactor_runtime.Engine.create plan ~store
+        let mpps secs = if secs > 0. then float_of_int n /. secs /. 1e6 else 0. in
+        (* The same stream for the timed run and for --check: random by
+           default, churn when asked. *)
+        let stream () =
+          match churn with
+          | Some concurrent ->
+              let ch = Packet.Traffic.churn_gen ~concurrent ~seed () in
+              Array.init n (fun _ -> Packet.Traffic.churn_next ch)
+          | None -> Array.of_list (Packet.Traffic.random_stream ~seed ~n ())
+        in
+        if shards = 1 then begin
+          let eng = Nfactor_runtime.Engine.create ?capacity plan ~store in
+          let secs =
+            match churn with
+            | Some concurrent ->
+                let ch = Packet.Traffic.churn_gen ~concurrent ~seed () in
+                Nfactor_runtime.Engine.replay_churn eng ~churn:ch ~n
+            | None -> Nfactor_runtime.Engine.replay eng ~seed ~n
           in
-          let outcomes = Nfactor_runtime.Engine.run_batch eng2 (Array.of_list pkts) in
-          let out_ok =
-            List.for_all2
-              (fun ref_pkts (o : Nfactor_runtime.Engine.outcome) ->
-                List.length ref_pkts = List.length o.Nfactor_runtime.Engine.outputs
-                && List.for_all2 Packet.Pkt.equal ref_pkts o.Nfactor_runtime.Engine.outputs)
-              ref_out (Array.to_list outcomes)
-          in
-          let store_ok =
-            Nfactor.Model_interp.Smap.equal Symexec.Value.equal ref_store
-              (Nfactor_runtime.Engine.snapshot eng2)
-          in
-          if out_ok && store_ok then
-            Fmt.pr "check: engine == interpreter on %d packets (outputs and final state)@." n
+          if json then print_endline (Nfactor_runtime.Engine.stats_json eng)
           else begin
-            Fmt.epr "check FAILED: outputs %s, final state %s@."
-              (if out_ok then "agree" else "DIFFER")
-              (if store_ok then "agrees" else "DIFFERS");
-            exit 1
+            Fmt.pr "plan: %a@." Nfactor_runtime.Compile.pp_plan plan;
+            Fmt.pr "%a@." Nfactor_runtime.Engine.pp_stats eng;
+            Fmt.pr "%d packets in %.3f ms (%.2f Mpps)@." n (secs *. 1e3) (mpps secs)
+          end;
+          if check then begin
+            if capacity <> None then begin
+              Fmt.epr "error: --check requires an unbounded store (LRU eviction diverges from the reference interpreter by design)@.";
+              exit 1
+            end;
+            let pkts = Array.to_list (stream ()) in
+            let ref_store, ref_out = Nfactor.Model_interp.run model ~store ~pkts in
+            let eng2 = Nfactor_runtime.Engine.create plan ~store in
+            let outcomes = Nfactor_runtime.Engine.run_batch eng2 (Array.of_list pkts) in
+            let out_ok =
+              List.for_all2
+                (fun ref_pkts (o : Nfactor_runtime.Engine.outcome) ->
+                  List.length ref_pkts = List.length o.Nfactor_runtime.Engine.outputs
+                  && List.for_all2 Packet.Pkt.equal ref_pkts o.Nfactor_runtime.Engine.outputs)
+                ref_out (Array.to_list outcomes)
+            in
+            let store_ok =
+              Nfactor.Model_interp.Smap.equal Symexec.Value.equal ref_store
+                (Nfactor_runtime.Engine.snapshot eng2)
+            in
+            if out_ok && store_ok then
+              Fmt.pr "check: engine == interpreter on %d packets (outputs and final state)@." n
+            else begin
+              Fmt.epr "check FAILED: outputs %s, final state %s@."
+                (if out_ok then "agree" else "DIFFER")
+                (if store_ok then "agrees" else "DIFFERS");
+              exit 1
+            end
           end
+        end
+        else begin
+          let sh =
+            Nfactor_runtime.Shard.create ?capacity ~nshards:shards model ~config:store
+          in
+          Fun.protect
+            ~finally:(fun () -> Nfactor_runtime.Shard.shutdown sh)
+            (fun () ->
+              let secs =
+                match churn with
+                | Some concurrent ->
+                    let ch = Packet.Traffic.churn_gen ~concurrent ~seed () in
+                    Nfactor_runtime.Shard.replay_churn sh ~churn:ch ~n
+                | None -> Nfactor_runtime.Shard.replay sh ~seed ~n
+              in
+              if json then print_endline (Nfactor_runtime.Shard.stats_json sh ~nf:name)
+              else begin
+                Fmt.pr "sharding: %a@." Nfactor_runtime.Shardplan.pp
+                  (Nfactor_runtime.Shard.spec sh);
+                Fmt.pr "%a@."
+                  (Nfactor_runtime.Engine.pp_stats_of
+                     ~evictions:(Nfactor_runtime.Shard.evictions sh))
+                  (Nfactor_runtime.Shard.merged_stats sh);
+                Fmt.pr "deferred %d packet(s) to the serial phase over %d batch(es)@."
+                  (Nfactor_runtime.Shard.deferred sh)
+                  (Nfactor_runtime.Shard.batches sh);
+                Fmt.pr "%d packets in %.3f ms (%.2f Mpps, %d shards)@." n (secs *. 1e3)
+                  (mpps secs) shards
+              end;
+              if check then begin
+                if capacity <> None then begin
+                  Fmt.epr "error: --check requires an unbounded store (eviction order differs across shard clocks by design)@.";
+                  exit 1
+                end;
+                let pkts = stream () in
+                let eng = Nfactor_runtime.Engine.create plan ~store in
+                let expected = Nfactor_runtime.Engine.run_batch eng pkts in
+                let sh2 =
+                  Nfactor_runtime.Shard.create ~nshards:shards model ~config:store
+                in
+                Fun.protect
+                  ~finally:(fun () -> Nfactor_runtime.Shard.shutdown sh2)
+                  (fun () ->
+                    let got = Nfactor_runtime.Shard.run_batch sh2 pkts in
+                    let out_ok = ref true in
+                    Array.iteri
+                      (fun i (e : Nfactor_runtime.Engine.outcome) ->
+                        let g = got.(i) in
+                        if
+                          e.Nfactor_runtime.Engine.fired
+                            <> g.Nfactor_runtime.Engine.fired
+                          || List.length e.Nfactor_runtime.Engine.outputs
+                             <> List.length g.Nfactor_runtime.Engine.outputs
+                          || not
+                               (List.for_all2 Packet.Pkt.equal
+                                  e.Nfactor_runtime.Engine.outputs
+                                  g.Nfactor_runtime.Engine.outputs)
+                        then out_ok := false)
+                      expected;
+                    let store_ok =
+                      Nfactor.Model_interp.Smap.equal Symexec.Value.equal
+                        (Nfactor_runtime.Engine.snapshot eng)
+                        (Nfactor_runtime.Shard.snapshot sh2)
+                    in
+                    (* Same nf, same plan, unbounded stores: the JSON
+                       rendering compares every counter at once. *)
+                    let stats_ok =
+                      Nfactor_runtime.Engine.stats_json_of ~nf:name ~plan ~evictions:0
+                        (Nfactor_runtime.Shard.merged_stats sh2)
+                      = Nfactor_runtime.Engine.stats_json eng
+                    in
+                    if !out_ok && store_ok && stats_ok then
+                      Fmt.pr
+                        "check: %d shards == single engine on %d packets (outputs, merged state, merged counters)@."
+                        shards n
+                    else begin
+                      Fmt.epr "check FAILED: outputs %s, merged state %s, merged counters %s@."
+                        (if !out_ok then "agree" else "DIFFER")
+                        (if store_ok then "agrees" else "DIFFERS")
+                        (if stats_ok then "agree" else "DIFFER");
+                      exit 1
+                    end)
+              end)
         end)
       arg
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Compile the model into the runtime dataplane and replay seeded traffic through it.")
-    Term.(const run $ n $ seed $ capacity $ json $ check $ cache_dir_arg $ nf_arg)
+       ~doc:"Compile the model into the runtime dataplane and replay seeded traffic through it, optionally sharded across domains.")
+    Term.(const run $ n $ seed $ capacity $ json $ check $ shards $ churn $ cache_dir_arg $ nf_arg)
 
 let fsm_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in

@@ -47,25 +47,37 @@ let random_stream ?(profile = default_profile) ~seed ~n () =
   let rng = Rng.create seed in
   List.init n (fun _ -> random_pkt rng profile)
 
-(** One complete client->server conversation: SYN, SYN/ACK (reverse
-    direction), ACK, then [data_pkts] PSH/ACK data segments, then
-    FIN/ACK exchange. Useful for driving stateful NFs through their
-    "existing connection" entries. *)
-let conversation ~client ~cport ~server ~sport ~data_pkts ~payload =
-  let fwd ?(flags = Headers.ack) ?(pl = "") () =
+(** A conversation addressed by position, so a flow in flight needs
+    only its endpoint tuple and a cursor — no materialized packet
+    list. Script: SYN, SYN/ACK (reverse direction), ACK, [data_pkts]
+    PSH/ACK data segments each answered by an ACK, then the FIN/ACK
+    exchange. *)
+let conv_len ~data_pkts = 6 + (2 * data_pkts)
+
+let conv_pkt ~client ~cport ~server ~sport ~data_pkts ~payload k =
+  let fwd flags pl =
     Pkt.make ~ip_src:client ~ip_dst:server ~sport:cport ~dport:sport ~tcp_flags:flags ~payload:pl ()
   in
-  let rev ?(flags = Headers.ack) ?(pl = "") () =
+  let rev flags pl =
     Pkt.make ~ip_src:server ~ip_dst:client ~sport ~dport:cport ~tcp_flags:flags ~payload:pl ()
   in
-  let handshake = [ fwd ~flags:Headers.syn (); rev ~flags:(Headers.syn lor Headers.ack) (); fwd () ] in
-  let data =
-    List.concat
-      (List.init data_pkts (fun _ ->
-           [ fwd ~flags:(Headers.ack lor Headers.psh) ~pl:payload (); rev () ]))
-  in
-  let teardown = [ fwd ~flags:(Headers.fin lor Headers.ack) (); rev ~flags:(Headers.fin lor Headers.ack) (); fwd () ] in
-  handshake @ data @ teardown
+  let n = conv_len ~data_pkts in
+  if k = 0 then fwd Headers.syn ""
+  else if k = 1 then rev (Headers.syn lor Headers.ack) ""
+  else if k = 2 then fwd Headers.ack ""
+  else if k < n - 3 then
+    if (k - 3) land 1 = 0 then fwd (Headers.ack lor Headers.psh) payload
+    else rev Headers.ack ""
+  else if k = n - 3 then fwd (Headers.fin lor Headers.ack) ""
+  else if k = n - 2 then rev (Headers.fin lor Headers.ack) ""
+  else fwd Headers.ack ""
+
+(** One complete client->server conversation as a packet list — the
+    positional script above, materialized. Useful for driving stateful
+    NFs through their "existing connection" entries. *)
+let conversation ~client ~cport ~server ~sport ~data_pkts ~payload =
+  List.init (conv_len ~data_pkts)
+    (conv_pkt ~client ~cport ~server ~sport ~data_pkts ~payload)
 
 (** Interleaved flow-structured workload: [flows] conversations whose
     packets are emitted round-robin, mimicking concurrent clients. *)
@@ -92,3 +104,79 @@ let flow_stream ?(profile = default_profile) ~seed ~flows ~data_pkts () =
     match heads with [] -> List.rev acc | _ -> interleave (List.rev_append heads acc) tails
   in
   interleave [] convs
+
+(* ------------------------------------------------------------------ *)
+(* Churn workload                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A pool of [concurrent] conversations in flight. Each emitted packet
+   advances a uniformly chosen flow one script position; a finished
+   flow is replaced in place by a fresh client drawn from the whole
+   10.0.0.0/8 space (inside the corpus NAT's inside network), so the
+   live-flow count stays constant while the flow population turns
+   over without bound. Per-flow storage is the endpoint tuple plus a
+   cursor — a few machine words — so pools of millions of concurrent
+   flows are cheap. Deterministic given the seed, and independent of
+   how the consumer batches packets. *)
+type churn = {
+  ch_rng : Rng.t;
+  ch_profile : profile;
+  ch_data_pkts : int;
+  cl_ip : int array;
+  cl_port : int array;
+  sv_ip : int array;
+  sv_port : int array;
+  pay : string array;
+  pos : int array;
+  mutable ch_started : int;
+}
+
+let spawn_flow c i =
+  let rng = c.ch_rng in
+  c.cl_ip.(i) <- Addr.ip 10 (Rng.int rng 256) (Rng.int rng 256) (1 + Rng.int rng 254);
+  c.cl_port.(i) <- 1024 + Rng.int rng 60000;
+  c.sv_ip.(i) <- Rng.pick rng c.ch_profile.server_ips;
+  c.sv_port.(i) <- Rng.pick rng c.ch_profile.server_ports;
+  c.pay.(i) <- Rng.pick rng c.ch_profile.payloads;
+  c.pos.(i) <- 0;
+  c.ch_started <- c.ch_started + 1
+
+let churn_gen ?(profile = default_profile) ?(data_pkts = 4) ~concurrent ~seed () =
+  if concurrent <= 0 then invalid_arg "Traffic.churn_gen: concurrent must be positive";
+  let c =
+    {
+      ch_rng = Rng.create seed;
+      ch_profile = profile;
+      ch_data_pkts = data_pkts;
+      cl_ip = Array.make concurrent 0;
+      cl_port = Array.make concurrent 0;
+      sv_ip = Array.make concurrent 0;
+      sv_port = Array.make concurrent 0;
+      pay = Array.make concurrent "";
+      pos = Array.make concurrent 0;
+      ch_started = 0;
+    }
+  in
+  for i = 0 to concurrent - 1 do
+    spawn_flow c i
+  done;
+  c
+
+let churn_next c =
+  let i = Rng.int c.ch_rng (Array.length c.pos) in
+  let k = c.pos.(i) in
+  let p =
+    conv_pkt ~client:c.cl_ip.(i) ~cport:c.cl_port.(i) ~server:c.sv_ip.(i)
+      ~sport:c.sv_port.(i) ~data_pkts:c.ch_data_pkts ~payload:c.pay.(i) k
+  in
+  if k + 1 >= conv_len ~data_pkts:c.ch_data_pkts then spawn_flow c i
+  else c.pos.(i) <- k + 1;
+  p
+
+let churn_fill c arr =
+  for j = 0 to Array.length arr - 1 do
+    arr.(j) <- churn_next c
+  done
+
+let churn_started c = c.ch_started
+let churn_concurrent c = Array.length c.pos

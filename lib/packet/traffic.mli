@@ -32,3 +32,31 @@ val flow_stream :
   ?profile:profile -> seed:int -> flows:int -> data_pkts:int -> unit -> Pkt.t list
 (** [flows] conversations interleaved round-robin, mimicking
     concurrent clients. *)
+
+(** {1 Churn workload}
+
+    A constant-size pool of conversations in flight with unbounded
+    flow turnover: each packet advances a uniformly chosen live flow
+    one script position; finished flows are replaced in place by a
+    fresh client drawn from the whole 10.0.0.0/8 space (the profile's
+    [client_ips] pool is not used for churn clients). Per-flow storage
+    is a few machine words, so millions of concurrent flows are cheap.
+    Deterministic given the seed and independent of consumer
+    batching. *)
+
+type churn
+
+val churn_gen :
+  ?profile:profile -> ?data_pkts:int -> concurrent:int -> seed:int -> unit -> churn
+(** Pool of [concurrent] flows, all started (and counted). *)
+
+val churn_next : churn -> Pkt.t
+
+val churn_fill : churn -> Pkt.t array -> unit
+(** Fill [arr] in place with the next packets — batch generation
+    without list allocation. *)
+
+val churn_started : churn -> int
+(** Flows spawned so far, including the initial pool. *)
+
+val churn_concurrent : churn -> int

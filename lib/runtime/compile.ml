@@ -60,6 +60,8 @@ type t = {
   lit_fns : matcher array;
   root : dnode;
   live : int;
+  live_idx : bool array;
+  shared : bool;
   indexed : int;
   scanned : int;
   dropped_static : int;
@@ -496,7 +498,7 @@ type pre = {
   p_entry : Nfactor.Model.entry;
 }
 
-let compile (model : Nfactor.Model.t) ~config =
+let compile ?(shared = false) (model : Nfactor.Model.t) ~config =
   let pkt_var = model.Nfactor.Model.pkt_var in
   (* 1. Partial-evaluate config: decide each distinct static config
      literal once; statically-false entries disappear from the plan. *)
@@ -586,13 +588,19 @@ let compile (model : Nfactor.Model.t) ~config =
         p.p_entry.Nfactor.Model.state_update)
     pres;
   let wrapped : (int, valfn) Hashtbl.t = Hashtbl.create 256 in
+  (* In [shared] mode the per-step value memo is omitted: its
+     (store, clock, value) refs are the only mutable state a compiled
+     plan carries, and several domains stepping one plan would race on
+     them. Closure sharing per term id stays — closures themselves are
+     immutable. Everything else in a plan (literal table, dispatch
+     nodes, VHash tables) is built here and only read at run time. *)
   let wrap e thunk =
     let id = Sexpr.id e in
     match Hashtbl.find_opt wrapped id with
     | Some f -> f
     | None ->
         let raw = thunk () in
-        let shared =
+        let multi =
           match Hashtbl.find_opt refs id with Some n -> n >= 2 | None -> false
         in
         let compound =
@@ -600,7 +608,7 @@ let compile (model : Nfactor.Model.t) ~config =
           | Sexpr.Const _ | Sexpr.Sym _ -> false
           | _ -> true
         in
-        let f = if shared && compound then cached raw else raw in
+        let f = if multi && compound && not shared then cached raw else raw in
         Hashtbl.add wrapped id f;
         f
   in
@@ -917,11 +925,15 @@ let compile (model : Nfactor.Model.t) ~config =
   in
   let scanned = List.length (List.filter (fun p -> p.p_scan) pres) in
   let root = build (List.map (fun p -> (p, [])) pres) in
+  let live_idx = Array.make (Nfactor.Model.entry_count model) false in
+  List.iter (fun p -> live_idx.(p.p_eidx) <- true) pres;
   {
     model;
     lit_fns = Array.of_list (List.rev !fns_rev);
     root;
     live = List.length pres;
+    live_idx;
+    shared;
     indexed = (match root with Leaf _ -> 0 | _ -> List.length pres - scanned);
     scanned;
     dropped_static = Nfactor.Model.entry_count model - List.length pres;

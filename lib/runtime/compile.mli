@@ -114,6 +114,12 @@ type t = {
   lit_fns : matcher array;  (** one evaluator per distinct literal slot *)
   root : dnode;  (** decision structure over the live entries *)
   live : int;  (** entries surviving static config evaluation *)
+  live_idx : bool array;
+      (** per source-model entry index: survived static config
+          evaluation (length = [entry_count model]) *)
+  shared : bool;
+      (** compiled for read-only sharing across domains: the per-step
+          value memo is omitted (see {!compile}) *)
   indexed : int;  (** live entries resolved through dispatch nodes *)
   scanned : int;  (** live entries only the ordered scan can resolve *)
   dropped_static : int;  (** entries removed because config is statically false *)
@@ -121,10 +127,21 @@ type t = {
   max_uslots : int;  (** largest [centry.uslots], sizing the engine scratch *)
 }
 
-val compile : Nfactor.Model.t -> config:Nfactor.Model_interp.store -> t
+val compile : ?shared:bool -> Nfactor.Model.t -> config:Nfactor.Model_interp.store -> t
 (** [config] is the concrete store the model runs under (the
     extraction-time initial store); only cfgVar values are consulted
-    statically, oisVars stay dynamic. *)
+    statically, oisVars stay dynamic.
+
+    {b Mutability audit.} A compiled plan is read-only at packet time
+    with one exception: the per-step value memo wrapped around shared
+    compound subterms caches [(store, clock) → value] in closure refs.
+    [shared:true] (default [false]) omits that memo, making the whole
+    plan — literal closures, dispatch nodes, hash tables — immutable
+    after compilation, so one plan can be stepped concurrently by any
+    number of engines on different domains. The per-packet literal
+    verdict cache is unaffected (it lives in each {!Engine.t}). The
+    cost is re-evaluating subterms shared between dispatch keys and
+    literals once per use instead of once per packet. *)
 
 val pp_plan : Format.formatter -> t -> unit
 (** One-line summary: live/dispatched/dropped entries and node shape. *)

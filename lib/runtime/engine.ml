@@ -19,13 +19,13 @@ type stats = {
 }
 
 type t = {
-  plan : Compile.t;
+  mutable plan : Compile.t;
   state : Flowstate.t;
   stats : stats;
-  cache : int array;
+  mutable cache : int array;
   mutable gen : int;
   mutable pmask : int;
-  uscratch : Value.t array;
+  mutable uscratch : Value.t array;
 }
 
 (* [pmask] bits: which dispatch levels the current packet's walk
@@ -34,33 +34,56 @@ let m_fsm = 1
 let m_hash = 2
 let m_tree = 4
 
-let create ?capacity (plan : Compile.t) ~store =
+let mk_stats (plan : Compile.t) =
+  {
+    packets = 0;
+    entry_hits = Array.make (Nfactor.Model.entry_count plan.Compile.model) 0;
+    fsm_hits = 0;
+    index_hits = 0;
+    tree_hits = 0;
+    scan_hits = 0;
+    leaf_tests = 0;
+    scan_tests = 0;
+    miss_no_config = 0;
+    miss_no_match = 0;
+  }
+
+let of_flowstate (plan : Compile.t) state =
   {
     plan;
-    state = Flowstate.create ?capacity store;
-    stats =
-      {
-        packets = 0;
-        entry_hits = Array.make (Nfactor.Model.entry_count plan.Compile.model) 0;
-        fsm_hits = 0;
-        index_hits = 0;
-        tree_hits = 0;
-        scan_hits = 0;
-        leaf_tests = 0;
-        scan_tests = 0;
-        miss_no_config = 0;
-        miss_no_match = 0;
-      };
+    state;
+    stats = mk_stats plan;
     cache = Array.make (max 1 (Array.length plan.Compile.lit_fns)) 0;
     gen = 0;
     pmask = 0;
     uscratch = Array.make (max 1 plan.Compile.max_uslots) (Value.Bool false);
   }
 
+let create ?capacity (plan : Compile.t) ~store =
+  of_flowstate plan (Flowstate.create ?capacity store)
+
 let of_model ?capacity m ~config ~store =
   create ?capacity (Compile.compile m ~config) ~store
 
+(* An RCU-style reconfiguration: the new plan was built off to the
+   side; pointing the engine at it between packets only needs the
+   per-literal verdict cache re-sized (slot numbering is per-plan) and
+   the update scratch grown. Counters survive — entry indices refer to
+   the source model, which must keep its shape. *)
+let swap_plan t (plan : Compile.t) =
+  if
+    Nfactor.Model.entry_count plan.Compile.model
+    <> Array.length t.stats.entry_hits
+  then invalid_arg "Engine.swap_plan: plan compiled from a different model shape";
+  t.plan <- plan;
+  t.cache <- Array.make (max 1 (Array.length plan.Compile.lit_fns)) 0;
+  t.gen <- 0;
+  if plan.Compile.max_uslots > Array.length t.uscratch then
+    t.uscratch <- Array.make plan.Compile.max_uslots (Value.Bool false)
+
 type outcome = { outputs : Packet.Pkt.t list; fired : int option }
+
+let miss_outcome = { outputs = []; fired = None }
 
 (* Cached literal test: slot [s] holds a generation-stamped verdict
    [(gen lsl 1) lor bool], so each distinct literal evaluates at most
@@ -147,6 +170,19 @@ let fire t pkt (ce : Compile.centry) =
   t.stats.entry_hits.(ce.Compile.eidx) <- t.stats.entry_hits.(ce.Compile.eidx) + 1;
   { outputs; fired = Some ce.Compile.eidx }
 
+(* Counted fire: identical state effect and counters, no output packet
+   construction. Emit value expressions still evaluate in order (same
+   reads, same exceptions); only the field {e setters} are skipped —
+   a setter's coercion error would escape [fire] but not here, which
+   no corpus model exhibits (documented in the interface). *)
+let fire_count t pkt (ce : Compile.centry) =
+  Array.iter
+    (fun snap -> List.iter (fun (_, f) -> ignore (f t.state pkt)) snap)
+    ce.Compile.emit;
+  resolve_updates t pkt ce;
+  commit_updates t ce;
+  t.stats.entry_hits.(ce.Compile.eidx) <- t.stats.entry_hits.(ce.Compile.eidx) + 1
+
 (* Map a discriminator value to its class index. *)
 let seg_index cuts n =
   (* 2 * (#cuts < n), plus 1 when n is itself a cut *)
@@ -222,37 +258,130 @@ let rec descend t pkt (node : Compile.dnode) =
       t.pmask <- t.pmask lor m_tree;
       descend t pkt children.(idx)
 
-let step t pkt =
+(* Attribution: state node on the walk -> FSM hit; else hash node ->
+   index hit; else range/truthiness node -> tree hit; nothing (root
+   leaf) or a residual entry -> scan. *)
+let attribute t (ce : Compile.centry) =
+  if ce.Compile.scan then t.stats.scan_hits <- t.stats.scan_hits + 1
+  else if t.pmask land m_fsm <> 0 then t.stats.fsm_hits <- t.stats.fsm_hits + 1
+  else if t.pmask land m_hash <> 0 then
+    t.stats.index_hits <- t.stats.index_hits + 1
+  else if t.pmask land m_tree <> 0 then
+    t.stats.tree_hits <- t.stats.tree_hits + 1
+  else t.stats.scan_hits <- t.stats.scan_hits + 1
+
+let count_miss t =
+  let entries = Nfactor.Model.entry_count t.plan.Compile.model in
+  if t.plan.Compile.live = 0 && entries > 0 then
+    t.stats.miss_no_config <- t.stats.miss_no_config + 1
+  else t.stats.miss_no_match <- t.stats.miss_no_match + 1
+
+let begin_walk t =
   Flowstate.bump_clock t.state;
   t.gen <- t.gen + 1;
   t.stats.packets <- t.stats.packets + 1;
-  (* Attribution: state node on the walk -> FSM hit; else hash node ->
-     index hit; else range/truthiness node -> tree hit; nothing (root
-     leaf) or a residual entry -> scan. *)
-  t.pmask <- 0;
+  t.pmask <- 0
+
+let step t pkt =
+  begin_walk t;
   match descend t pkt t.plan.Compile.root with
   | Some ce ->
-      if ce.Compile.scan then t.stats.scan_hits <- t.stats.scan_hits + 1
-      else if t.pmask land m_fsm <> 0 then t.stats.fsm_hits <- t.stats.fsm_hits + 1
-      else if t.pmask land m_hash <> 0 then
-        t.stats.index_hits <- t.stats.index_hits + 1
-      else if t.pmask land m_tree <> 0 then
-        t.stats.tree_hits <- t.stats.tree_hits + 1
-      else t.stats.scan_hits <- t.stats.scan_hits + 1;
+      attribute t ce;
       fire t pkt ce
   | None ->
-      let entries = Nfactor.Model.entry_count t.plan.Compile.model in
-      if t.plan.Compile.live = 0 && entries > 0 then
-        t.stats.miss_no_config <- t.stats.miss_no_config + 1
-      else t.stats.miss_no_match <- t.stats.miss_no_match + 1;
-      { outputs = []; fired = None }
+      count_miss t;
+      miss_outcome
+
+(* Allocation-free step for timed loops: same walk, same counters,
+   same state effect; no outcome record, no output packets. *)
+let step_count t pkt =
+  begin_walk t;
+  match descend t pkt t.plan.Compile.root with
+  | Some ce ->
+      attribute t ce;
+      fire_count t pkt ce
+  | None -> count_miss t
+
+(* ------------------------------------------------------------------ *)
+(* Deferred execution (the sharded dataplane's phase protocol)         *)
+(* ------------------------------------------------------------------ *)
+
+type pending = { pce : Compile.centry; ppmask : int }
+
+(* One parallel-phase step. The walk runs normally; three exits:
+
+   - [`Rewalk]: the walk read through a frozen store (shared mutable
+     state), so its verdict may be stale. Every counter the walk
+     touched is rolled back and the caller re-runs the packet
+     serially — the discarded walk is invisible in the merged stats.
+   - [`Defer p]: the walk is provably exact (no frozen reads) but the
+     matched entry is serial (its fire touches shared state). The
+     match and its counters stand; the fire is carried in [p] for the
+     serial phase — the packet is never walked twice.
+   - [`Out] / [`Counted]: fully handled here.
+
+   The rolled-back walk still advanced the store clock and stamped
+   recency on shard-local reads; both are invisible to unbounded
+   stores and documented noise under a capacity bound. *)
+let step_or_defer t ~serial ~count pkt =
+  let s = t.stats in
+  let sv_packets = s.packets
+  and sv_fsm = s.fsm_hits
+  and sv_index = s.index_hits
+  and sv_tree = s.tree_hits
+  and sv_scan = s.scan_hits
+  and sv_leaf = s.leaf_tests
+  and sv_stests = s.scan_tests
+  and sv_mnc = s.miss_no_config
+  and sv_mnm = s.miss_no_match in
+  let fh0 = Flowstate.frozen_hits t.state in
+  begin_walk t;
+  let matched = descend t pkt t.plan.Compile.root in
+  if Flowstate.frozen_hits t.state <> fh0 then begin
+    s.packets <- sv_packets;
+    s.fsm_hits <- sv_fsm;
+    s.index_hits <- sv_index;
+    s.tree_hits <- sv_tree;
+    s.scan_hits <- sv_scan;
+    s.leaf_tests <- sv_leaf;
+    s.scan_tests <- sv_stests;
+    s.miss_no_config <- sv_mnc;
+    s.miss_no_match <- sv_mnm;
+    `Rewalk
+  end
+  else
+    match matched with
+    | Some ce when serial ce.Compile.eidx -> `Defer { pce = ce; ppmask = t.pmask }
+    | Some ce ->
+        attribute t ce;
+        if count then begin
+          fire_count t pkt ce;
+          `Counted
+        end
+        else `Out (fire t pkt ce)
+    | None ->
+        count_miss t;
+        if count then `Counted else `Out miss_outcome
+
+(* Serial-phase completion of a [`Defer]: re-uses the parallel-phase
+   match (no second walk, no second packet count); emits and updates
+   evaluate fresh against the now-current state. *)
+let fire_pending t ~count pkt (p : pending) =
+  t.pmask <- p.ppmask;
+  attribute t p.pce;
+  if count then begin
+    fire_count t pkt p.pce;
+    miss_outcome
+  end
+  else fire t pkt p.pce
 
 let run_batch t pkts = Array.map (step t) pkts
 
 (* Packet generation happens outside the timed sections, in chunks so
-   memory stays bounded: [engine_ms] charges [step] and nothing else.
-   The explicit fill loop keeps the RNG consumption order identical to
-   [Packet.Traffic.random_stream]. *)
+   memory stays bounded: [engine_ms] charges the stepping and nothing
+   else. The explicit fill loop keeps the RNG consumption order
+   identical to [Packet.Traffic.random_stream]. The timed loop uses
+   the counted step — no outcome or output allocation. *)
 let replay ?(profile = Packet.Traffic.default_profile) t ~seed ~n =
   let rng = Packet.Rng.create seed in
   let elapsed = ref 0.0 in
@@ -266,7 +395,26 @@ let replay ?(profile = Packet.Traffic.default_profile) t ~seed ~n =
     let pkts = Array.of_list (List.rev !buf) in
     let t0 = Unix.gettimeofday () in
     for i = 0 to m - 1 do
-      ignore (step t pkts.(i))
+      step_count t pkts.(i)
+    done;
+    elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
+    remaining := !remaining - m
+  done;
+  !elapsed
+
+(* Same timed-loop discipline as {!replay}, over a churn generator
+   (constant live-flow pool with unbounded turnover). The generator is
+   consumed outside the timed sections, so elapsed time is stepping
+   only — comparable 1:1 with {!Shard.replay_churn}. *)
+let replay_churn ?(batch = 4096) t ~churn ~n =
+  let elapsed = ref 0.0 in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let m = min !remaining batch in
+    let pkts = Array.init m (fun _ -> Packet.Traffic.churn_next churn) in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to m - 1 do
+      step_count t pkts.(i)
     done;
     elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
     remaining := !remaining - m
@@ -274,21 +422,55 @@ let replay ?(profile = Packet.Traffic.default_profile) t ~seed ~n =
   !elapsed
 
 let snapshot t = Flowstate.snapshot t.state
+let evictions t = Flowstate.evictions t.state
 
-let pp_stats ppf t =
-  let s = t.stats in
+let pp_stats_of ~evictions ppf (s : stats) =
   Fmt.pf ppf
     "packets %d | hits: fsm %d, index %d, tree %d, scan %d (%d leaf tests, %d scan tests) | \
      miss: no-config %d, no-match %d | evictions %d"
     s.packets s.fsm_hits s.index_hits s.tree_hits s.scan_hits s.leaf_tests
-    s.scan_tests s.miss_no_config s.miss_no_match
-    (Flowstate.evictions t.state)
+    s.scan_tests s.miss_no_config s.miss_no_match evictions
 
-let stats_json t =
-  let s = t.stats in
-  let b = Buffer.create 256 in
-  Buffer.add_string b "{";
-  Printf.bprintf b "\"nf\": %S, " t.plan.Compile.model.Nfactor.Model.nf_name;
+let pp_stats ppf t =
+  pp_stats_of ~evictions:(Flowstate.evictions t.state) ppf t.stats
+
+(* Deterministic field order shared by the single-engine view, the
+   sharded per-shard views and the merged view: CI greps depend on
+   it. *)
+let merge_stats (parts : stats array) =
+  if Array.length parts = 0 then invalid_arg "Engine.merge_stats: empty";
+  let acc =
+    {
+      packets = 0;
+      entry_hits = Array.make (Array.length parts.(0).entry_hits) 0;
+      fsm_hits = 0;
+      index_hits = 0;
+      tree_hits = 0;
+      scan_hits = 0;
+      leaf_tests = 0;
+      scan_tests = 0;
+      miss_no_config = 0;
+      miss_no_match = 0;
+    }
+  in
+  Array.iter
+    (fun s ->
+      acc.packets <- acc.packets + s.packets;
+      Array.iteri
+        (fun i n -> acc.entry_hits.(i) <- acc.entry_hits.(i) + n)
+        s.entry_hits;
+      acc.fsm_hits <- acc.fsm_hits + s.fsm_hits;
+      acc.index_hits <- acc.index_hits + s.index_hits;
+      acc.tree_hits <- acc.tree_hits + s.tree_hits;
+      acc.scan_hits <- acc.scan_hits + s.scan_hits;
+      acc.leaf_tests <- acc.leaf_tests + s.leaf_tests;
+      acc.scan_tests <- acc.scan_tests + s.scan_tests;
+      acc.miss_no_config <- acc.miss_no_config + s.miss_no_config;
+      acc.miss_no_match <- acc.miss_no_match + s.miss_no_match)
+    parts;
+  acc
+
+let bprint_stats b (s : stats) ~evictions =
   Printf.bprintf b "\"packets\": %d, " s.packets;
   Printf.bprintf b "\"fsm_hits\": %d, " s.fsm_hits;
   Printf.bprintf b "\"index_hits\": %d, " s.index_hits;
@@ -298,12 +480,22 @@ let stats_json t =
   Printf.bprintf b "\"scan_tests\": %d, " s.scan_tests;
   Printf.bprintf b "\"miss_no_config\": %d, " s.miss_no_config;
   Printf.bprintf b "\"miss_no_match\": %d, " s.miss_no_match;
-  Printf.bprintf b "\"evictions\": %d, " (Flowstate.evictions t.state);
-  Printf.bprintf b "\"live_entries\": %d, " t.plan.Compile.live;
-  Printf.bprintf b "\"indexed_entries\": %d, " t.plan.Compile.indexed;
-  Printf.bprintf b "\"scanned_entries\": %d, " t.plan.Compile.scanned;
-  Printf.bprintf b "\"dropped_static\": %d, " t.plan.Compile.dropped_static;
+  Printf.bprintf b "\"evictions\": %d, " evictions;
   Printf.bprintf b "\"entry_hits\": [%s]"
-    (String.concat ", " (Array.to_list (Array.map string_of_int s.entry_hits)));
+    (String.concat ", " (Array.to_list (Array.map string_of_int s.entry_hits)))
+
+let stats_json_of ~nf ~(plan : Compile.t) ~evictions (s : stats) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{";
+  Printf.bprintf b "\"nf\": %S, " nf;
+  bprint_stats b s ~evictions;
+  Printf.bprintf b ", \"live_entries\": %d, " plan.Compile.live;
+  Printf.bprintf b "\"indexed_entries\": %d, " plan.Compile.indexed;
+  Printf.bprintf b "\"scanned_entries\": %d, " plan.Compile.scanned;
+  Printf.bprintf b "\"dropped_static\": %d" plan.Compile.dropped_static;
   Buffer.add_string b "}";
   Buffer.contents b
+
+let stats_json t =
+  stats_json_of ~nf:t.plan.Compile.model.Nfactor.Model.nf_name ~plan:t.plan
+    ~evictions:(Flowstate.evictions t.state) t.stats

@@ -36,15 +36,15 @@ type stats = {
 }
 
 type t = {
-  plan : Compile.t;
+  mutable plan : Compile.t;  (** swappable between packets, see {!swap_plan} *)
   state : Flowstate.t;
   stats : stats;
-  cache : int array;  (** per-literal [(gen lsl 1) lor verdict] stamps *)
+  mutable cache : int array;  (** per-literal [(gen lsl 1) lor verdict] stamps *)
   mutable gen : int;
   mutable pmask : int;
       (** dispatch levels crossed by the current packet's walk
           (1 = state, 2 = hash, 4 = tree), for hit attribution *)
-  uscratch : Symexec.Value.t array;
+  mutable uscratch : Symexec.Value.t array;
       (** reusable buffer for resolved update values, sized by the
           plan's [max_uslots] — updates resolve against the pre-state
           into this scratch, then commit, with no per-fire allocation *)
@@ -55,6 +55,10 @@ val create : ?capacity:int -> Compile.t -> store:Nfactor.Model_interp.store -> t
     {!Flowstate.create}); [capacity] bounds each flow table with LRU
     eviction — leave it unset for exact interpreter equivalence. *)
 
+val of_flowstate : Compile.t -> Flowstate.t -> t
+(** Engine over an existing store — the sharded dataplane creates one
+    engine per shard-local store (chained over the shared store). *)
+
 val of_model :
   ?capacity:int ->
   Nfactor.Model.t ->
@@ -63,6 +67,16 @@ val of_model :
   t
 (** Compile against [config] and create in one step. [config] and
     [store] are usually the same extraction-time initial store. *)
+
+val swap_plan : t -> Compile.t -> unit
+(** Point the engine at a replacement plan between packets — the
+    engine half of RCU reconfiguration: the new plan is built off to
+    the side (see {!Compile.compile}), then adopted here by swapping
+    one pointer, re-sizing the per-literal verdict cache (slot
+    numbering is per-plan) and growing the update scratch. Counters
+    survive: entry indices refer to the source model.
+    @raise Invalid_argument when the new plan's model has a different
+    entry count. *)
 
 type outcome = {
   outputs : Packet.Pkt.t list;
@@ -74,22 +88,85 @@ val step : t -> Packet.Pkt.t -> outcome
     (evaluated against the pre-state), then commit state updates —
     same observable order as the reference interpreter. *)
 
+val step_count : t -> Packet.Pkt.t -> unit
+(** Allocation-free {!step} for timed loops: same walk, same counters,
+    same state effect; no [outcome] record and no output packets are
+    built. Caveat: emit value expressions still evaluate (same reads,
+    same exceptions), but the packet-field {e setters} are skipped, so
+    a setter's coercion error would escape {!step} and not
+    [step_count] — no corpus model emits a value its field rejects. *)
+
 val run_batch : t -> Packet.Pkt.t array -> outcome array
+
+(** {1 Deferred execution — the sharded dataplane's phase protocol} *)
+
+type pending
+(** A parallel-phase match whose fire was deferred to the serial
+    phase: carries the matched entry and the walk's attribution mask,
+    so the packet is never walked twice and every counter is recorded
+    exactly once. *)
+
+val step_or_defer :
+  t ->
+  serial:(int -> bool) ->
+  count:bool ->
+  Packet.Pkt.t ->
+  [ `Out of outcome | `Counted | `Defer of pending | `Rewalk ]
+(** One parallel-phase step. [`Rewalk]: the walk read through a frozen
+    store ({!Flowstate.frozen_hits} advanced), so its verdict may be
+    stale — all counters it touched are rolled back and the caller
+    must re-run the packet serially with {!step}. [`Defer p]: the walk
+    is exact but [serial eidx] holds for the matched entry (its fire
+    touches shared state) — the match stands, complete it with
+    {!fire_pending} in the serial phase. Otherwise the packet is fully
+    handled: [`Out] an outcome, or [`Counted] when [count] (see
+    {!step_count}). *)
+
+val fire_pending : t -> count:bool -> Packet.Pkt.t -> pending -> outcome
+(** Serial-phase completion of a [`Defer]: attribution and fire only —
+    emits and updates evaluate fresh against the now-current state; no
+    second walk, no second packet count. Returns a placeholder miss
+    outcome when [count]. *)
 
 val replay :
   ?profile:Packet.Traffic.profile -> t -> seed:int -> n:int -> float
 (** Drive [n] packets of the seeded {!Packet.Traffic} generator through
     the engine in bounded chunks; returns elapsed wall-clock seconds
-    spent in {!step} only — packet generation happens outside the
-    timed sections. The stream equals
-    [Packet.Traffic.random_stream ~seed ~n profile]. *)
+    spent stepping only — packet generation happens outside the timed
+    sections, and the timed loop uses {!step_count} (allocation-free).
+    The stream equals [Packet.Traffic.random_stream ~seed ~n profile]. *)
+
+val replay_churn : ?batch:int -> t -> churn:Packet.Traffic.churn -> n:int -> float
+(** {!replay} over a churn generator (constant live-flow pool with
+    unbounded turnover, see {!Packet.Traffic.churn_gen}); the
+    generator advances, so successive calls continue the stream. *)
 
 val snapshot : t -> Nfactor.Model_interp.store
 (** Final state as an interpreter store, comparable against
     {!Nfactor.Model_interp.run}. *)
 
+(** {1 Telemetry} *)
+
+val evictions : t -> int
+(** LRU evictions from this engine's own store (its local cells only,
+    not stores it chains over). *)
+
+val merge_stats : stats array -> stats
+(** Field-wise sum — the merged view of per-shard counters. The packet
+    walk happens on exactly one shard (parallel or serial phase), so
+    summed counters are comparable 1:1 against a single engine's.
+    @raise Invalid_argument on an empty array. *)
+
 val pp_stats : Format.formatter -> t -> unit
+
+val pp_stats_of : evictions:int -> Format.formatter -> stats -> unit
+(** {!pp_stats} over explicit counters — for merged multi-shard views. *)
 
 val stats_json : t -> string
 (** Counters as a one-line JSON object (packets, per-level hits,
     misses, evictions) — consumed by the CLI and CI smoke checks. *)
+
+val stats_json_of :
+  nf:string -> plan:Compile.t -> evictions:int -> stats -> string
+(** {!stats_json} over explicit parts — used for per-shard and merged
+    views with deterministic field ordering. *)

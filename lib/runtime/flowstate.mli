@@ -8,6 +8,23 @@
     expression's concrete value, with an optional capacity bound and
     LRU eviction driven by a logical packet clock.
 
+    {b Fallback chaining.} A store may delegate to a [fallback]: a
+    name missing from its own cells resolves in the fallback,
+    recursively. The sharded dataplane ({!Shard}) partitions one
+    interpreter store into per-shard flow-table stores chained over a
+    shared store of scalars and cross-flow tables; writes route to the
+    store owning the name (new names are created at the chain root).
+    A store with no fallback behaves exactly as before.
+
+    {b Freezing.} {!freeze} marks a store as shared read-only for a
+    parallel phase: probes of a frozen store skip the table memo and
+    the recency stamp — the two read-path mutations — so concurrent
+    readers from several domains are race-free. Every read that
+    resolves in (or misses through) a frozen store increments the
+    {e querying} store's {!frozen_hits} counter; the sharded engine
+    snapshots it around each packet to detect walks whose verdict
+    depends on shared mutable state and must re-run serially.
+
     Missing names and non-dictionary bases raise
     {!Nfactor.Model_interp.Unresolved}, exactly like the reference
     evaluator, so compiled literal evaluation keeps its
@@ -17,15 +34,21 @@ open Symexec
 
 type t
 
-val create : ?capacity:int -> Nfactor.Model_interp.store -> t
+val create : ?capacity:int -> ?fallback:t -> Nfactor.Model_interp.store -> t
 (** Load an interpreter store: [Value.Dict] values become hash tables,
     everything else a scalar cell. [capacity] bounds {e each} per-flow
     table; inserting into a full table evicts the least-recently-used
     key first (ties broken on the smaller key, so eviction is
     deterministic). Omitted = unbounded, which is required for exact
-    equivalence with the reference interpreter (it never evicts). *)
+    equivalence with the reference interpreter (it never evicts).
+    [fallback] chains name resolution (see module doc). *)
 
 val capacity : t -> int option
+
+val define : t -> string -> Value.t -> unit
+(** Install a binding directly into {e this} store's cells, bypassing
+    the fallback routing of {!set_scalar} — used when partitioning a
+    store to seed shard-local tables. *)
 
 (** {1 Logical packet clock} *)
 
@@ -36,18 +59,36 @@ val bump_clock : t -> unit
     and writes stamp the touched table key with the current clock,
     which is the recency order eviction uses. *)
 
+(** {1 Freezing (parallel read phases)} *)
+
+val freeze : t -> unit
+val thaw : t -> unit
+
+val pin : t -> unit
+(** Mark this store immutable for the rest of the run (the config
+    partition): reads of it skip the memo and recency stamp — the same
+    race-freedom as {!freeze} — but are {e not} charged to
+    {!frozen_hits}, because a never-written store cannot make a
+    parallel-phase verdict stale. Irreversible by design. *)
+
+val frozen_hits : t -> int
+(** Monotonic count of reads {e issued through this store} that
+    resolved in (or missed through) a frozen store on its fallback
+    chain. Delta ≠ 0 across a packet ⟹ the packet consulted shared
+    mutable state. *)
+
 (** {1 Reads} *)
 
 val read : t -> string -> Value.t
 (** Scalar read; a table materializes back into a (sorted)
-    [Value.Dict].
+    [Value.Dict]. Resolves through the fallback chain.
     @raise Nfactor.Model_interp.Unresolved on missing names. *)
 
 type handle
-(** A resolved per-flow table. Resolving ({!handle}) and querying are
-    split so compiled dictionary atoms can mirror the reference
-    evaluator's order: base resolution fails before any key is
-    evaluated. *)
+(** A resolved per-flow table (and its owning store). Resolving
+    ({!handle}) and querying are split so compiled dictionary atoms
+    can mirror the reference evaluator's order: base resolution fails
+    before any key is evaluated. *)
 
 val handle : t -> string -> handle
 (** @raise Nfactor.Model_interp.Unresolved when [name] is absent or
@@ -77,20 +118,25 @@ val table_size : t -> string -> int
 val set_scalar : t -> string -> Value.t -> unit
 (** Assigning a [Value.Dict] (re)creates a table; its slots are
     stamped with the current clock, so keys written through a
-    whole-dict overwrite are as recent as any other write. *)
+    whole-dict overwrite are as recent as any other write. Routes to
+    the store owning the name; unowned names are created at the chain
+    root. *)
 
 val table_set : t -> string -> Value.t -> Value.t -> unit
 (** Insert or update; inserting into a table at capacity evicts the
-    LRU key first. *)
+    LRU key first. Capacity and eviction accounting are the {e owning}
+    store's; the recency stamp is the querying store's clock. *)
 
 val table_remove : t -> string -> Value.t -> unit
 
 (** {1 Telemetry and snapshots} *)
 
 val evictions : t -> int
-(** Total keys evicted by the capacity bound since {!create}. *)
+(** Total keys evicted from tables {e owned by this store} since
+    {!create}. *)
 
 val snapshot : t -> Nfactor.Model_interp.store
-(** Materialize back into an interpreter store (tables become sorted
-    [Value.Dict]s) — byte-comparable against
-    {!Nfactor.Model_interp.run}'s final store. *)
+(** Materialize {e this store's own cells} back into an interpreter
+    store (tables become sorted [Value.Dict]s) — byte-comparable
+    against {!Nfactor.Model_interp.run}'s final store for unchained
+    stores; a partitioned store merges shard snapshots explicitly. *)

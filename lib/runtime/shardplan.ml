@@ -1,0 +1,433 @@
+(** Model analysis for flow-key domain sharding.
+
+    Decides, from the extracted model alone, how its state partitions
+    across shards and which entries must serialize:
+
+    - A per-flow table is {e sharded} when every key expression that
+      ever touches it (match literals, emit reads, update operations)
+      is the same signature of packet fields (plus identical static
+      components). Equal key values then imply equal field values, so
+      hashing those fields routes every access to one shard.
+    - The {e flow key} is the intersection of all sharded signatures'
+      field sets: two packets interacting through any sharded table
+      agree on every intersection field, so they hash to the same
+      shard. An empty intersection demotes everything to global.
+    - A table whose keys mention scalars (NAT's reverse map: the key
+      contains the port counter) or whose accesses disagree is
+      {e global}: it lives in the shared store, where phase-A reads of
+      it are detected by the frozen-hits counter and re-run serially.
+    - An entry is {e serial} when firing it touches shared mutable
+      state: a scalar write, a whole-table overwrite, an operation on
+      a global table, or an emit/update expression reading a scalar
+      or global table. Serial entries defer to the sequential phase;
+      everything else runs fully parallel.
+
+    Config dictionaries are read-only at run time (no entry updates a
+    cfgVar), so they replicate by reference in the shared store and
+    never serialize anything. The analysis is conservative: anything
+    it cannot prove shard-local is global/serial, which affects only
+    the parallel fraction, never correctness. *)
+
+open Symexec
+
+type slot = Sfield of string | Sstatic of Sexpr.t
+
+type signature = { slots : slot list; tup : bool }
+
+type table_class = Sharded of signature | Global | Replicated
+
+type spec = {
+  pkt_var : string;
+  key_fields : string list;  (** sorted; [] = no sharded tables *)
+  tables : (string * table_class) list;  (** first-appearance order *)
+  serial : bool array;  (** per source-model entry index *)
+  hashfn : Packet.Pkt.t -> int;
+}
+
+(* Default flow key for models with no sharded state (stateless NFs,
+   or fully-global ones): any deterministic packet hash balances load
+   without affecting correctness. *)
+let default_fields = [ "ip_src"; "sport"; "ip_dst"; "dport" ]
+
+let mix h v =
+  let x = (h lxor v) * 0x9E3779B1 in
+  (x lxor (x lsr 16)) land max_int
+
+let seed_hash = 0x2545F491
+
+let field_hash_readers fields =
+  List.map
+    (fun f ->
+      if Packet.Headers.is_int_field f then fun p -> Packet.Pkt.get_int p f
+      else fun p -> Hashtbl.hash (Packet.Pkt.get_str p f))
+    fields
+
+let mk_hashfn fields =
+  let readers = field_hash_readers fields in
+  fun p -> List.fold_left (fun h r -> mix h (r p)) seed_hash readers
+
+(* The value-side hash of one key component must agree with the
+   packet-side hash for every key a runtime access can probe: int
+   fields evaluate to [Value.Int], string fields to [Value.Str]. Seed
+   keys of other shapes can never collide with a runtime-probed key,
+   so any consistent routing works for them. *)
+let component_hash f v =
+  if Packet.Headers.is_int_field f then
+    match v with Value.Int n -> n | v -> Hashtbl.hash v
+  else match v with Value.Str s -> Hashtbl.hash s | v -> Hashtbl.hash v
+
+(* ------------------------------------------------------------------ *)
+(* Access collection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  mutable syms : string list;  (** non-packet bare symbol reads *)
+  mutable accesses : (string * Sexpr.t) list;  (** (table base, key expr) *)
+  mutable cset : bool;  (** whole-variable overwrite present *)
+}
+
+let mk_acc () = { syms = []; accesses = []; cset = false }
+
+let rec walk ~is_field (a : acc) e =
+  match Sexpr.view e with
+  | Sexpr.Const _ -> ()
+  | Sexpr.Sym s -> if not (is_field s) then a.syms <- s :: a.syms
+  | Sexpr.Bin (_, x, y) | Sexpr.Get (x, y) ->
+      walk ~is_field a x;
+      walk ~is_field a y
+  | Sexpr.Not x | Sexpr.Neg x -> walk ~is_field a x
+  | Sexpr.Tup es | Sexpr.Lst es | Sexpr.Ufun (_, es) ->
+      List.iter (walk ~is_field a) es
+  | Sexpr.Mem (d, k) | Sexpr.Dget (d, k) ->
+      let live_base = d.Sexpr.base <> Sexpr.empty_base in
+      if live_base then a.accesses <- (d.Sexpr.base, k) :: a.accesses;
+      List.iter
+        (fun (wk, u) ->
+          if live_base then a.accesses <- (d.Sexpr.base, wk) :: a.accesses;
+          walk ~is_field a wk;
+          Option.iter (walk ~is_field a) u)
+        d.Sexpr.writes;
+      walk ~is_field a k
+
+(* ------------------------------------------------------------------ *)
+(* Key signatures                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A static component mentions no packet field, no oisVar and no
+   dictionary state — its value is fixed for the whole run. *)
+let is_static_expr ~is_field ~is_cfg e =
+  let rec go e =
+    match Sexpr.view e with
+    | Sexpr.Const _ -> true
+    | Sexpr.Sym s -> (not (is_field s)) && is_cfg s
+    | Sexpr.Bin (_, a, b) | Sexpr.Get (a, b) -> go a && go b
+    | Sexpr.Not a | Sexpr.Neg a -> go a
+    | Sexpr.Tup es | Sexpr.Lst es | Sexpr.Ufun (_, es) -> List.for_all go es
+    | Sexpr.Mem _ | Sexpr.Dget _ -> false
+  in
+  go e
+
+let slot_of ~prefix ~is_field ~is_cfg e =
+  match Sexpr.view e with
+  | Sexpr.Sym s when is_field s ->
+      Some (Sfield (String.sub s (String.length prefix) (String.length s - String.length prefix)))
+  | _ -> if is_static_expr ~is_field ~is_cfg e then Some (Sstatic e) else None
+
+let signature_of ~prefix ~is_field ~is_cfg k =
+  let slot = slot_of ~prefix ~is_field ~is_cfg in
+  let opt_all es = List.map slot es in
+  let slots, tup =
+    match Sexpr.view k with
+    | Sexpr.Tup es -> (opt_all es, true)
+    | _ -> ([ slot k ], false)
+  in
+  if List.for_all Option.is_some slots then
+    Some { slots = List.map Option.get slots; tup }
+  else None
+
+let slot_equal a b =
+  match (a, b) with
+  | Sfield f, Sfield g -> String.equal f g
+  | Sstatic e1, Sstatic e2 -> Sexpr.equal e1 e2
+  | _ -> false
+
+let signature_equal s1 s2 =
+  s1.tup = s2.tup
+  && List.length s1.slots = List.length s2.slots
+  && List.for_all2 slot_equal s1.slots s2.slots
+
+let sig_fields s =
+  List.filter_map (function Sfield f -> Some f | Sstatic _ -> None) s.slots
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Smap = Nfactor.Model_interp.Smap
+
+let analyze (model : Nfactor.Model.t) ~(config : Nfactor.Model_interp.store)
+    ~(live : bool array) =
+  let pkt_var = model.Nfactor.Model.pkt_var in
+  let prefix = pkt_var ^ "." in
+  let plen = String.length prefix in
+  let is_field s =
+    String.length s > plen
+    && String.sub s 0 plen = prefix
+    && Packet.Headers.is_field (String.sub s plen (String.length s - plen))
+  in
+  let ois = model.Nfactor.Model.ois_vars in
+  let cfg = model.Nfactor.Model.cfg_vars in
+  let is_ois s = List.mem s ois in
+  let is_cfg s = List.mem s cfg && not (is_ois s) in
+  let is_dict name =
+    match Smap.find_opt name config with
+    | Some (Value.Dict _) -> true
+    | _ -> false
+  in
+  (* Collect, per live entry, what the match tests and what the fire
+     touches. residual_match literals are informational — the runtime
+     never evaluates them — so they do not constrain the analysis. *)
+  let entries = Array.of_list model.Nfactor.Model.entries in
+  let n = Array.length entries in
+  let matches = Array.init n (fun _ -> mk_acc ()) in
+  let fires = Array.init n (fun _ -> mk_acc ()) in
+  for i = 0 to n - 1 do
+    if i < Array.length live && live.(i) then begin
+      let e = entries.(i) in
+      let m = matches.(i) and f = fires.(i) in
+      List.iter
+        (fun (l : Solver.literal) -> walk ~is_field m l.Solver.atom)
+        (e.Nfactor.Model.config @ e.Nfactor.Model.flow_match
+       @ e.Nfactor.Model.state_match);
+      (match e.Nfactor.Model.pkt_action with
+      | Nfactor.Model.Drop -> ()
+      | Nfactor.Model.Forward snaps ->
+          List.iter (List.iter (fun (_, x) -> walk ~is_field f x)) snaps);
+      List.iter
+        (fun (v, u) ->
+          match u with
+          | Nfactor.Model.Set_scalar x ->
+              f.cset <- true;
+              f.syms <- v :: f.syms;  (* the overwrite names the variable *)
+              walk ~is_field f x
+          | Nfactor.Model.Dict_ops ops ->
+              List.iter
+                (fun (k, op) ->
+                  f.accesses <- (v, k) :: f.accesses;
+                  walk ~is_field f k;
+                  Option.iter (walk ~is_field f) op)
+                ops)
+        e.Nfactor.Model.state_update
+    end
+  done;
+  (* Classify every oisVar dictionary by unifying its key accesses. *)
+  let order = ref [] in
+  let sigs : (string, signature option) Hashtbl.t = Hashtbl.create 8 in
+  let note_table name =
+    if not (Hashtbl.mem sigs name) then begin
+      Hashtbl.add sigs name None;
+      order := name :: !order
+    end
+  in
+  (* [sigs] entry meanings: [Some s] = consistent signature so far;
+     [None] = demoted for good (tracked in [demoted] so a later
+     consistent access cannot resurrect it). *)
+  let demoted : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let unify name k =
+    note_table name;
+    if not (Hashtbl.mem demoted name) then
+      match signature_of ~prefix ~is_field ~is_cfg k with
+      | None ->
+          Hashtbl.add demoted name ();
+          Hashtbl.replace sigs name None
+      | Some s -> (
+          match Hashtbl.find_opt sigs name with
+          | Some (Some s0) when signature_equal s0 s -> ()
+          | Some (Some _) ->
+              Hashtbl.add demoted name ();
+              Hashtbl.replace sigs name None
+          | _ -> Hashtbl.replace sigs name (Some s))
+  in
+  let consider (a : acc) =
+    List.iter
+      (fun (base, k) -> if is_ois base && is_dict base then unify base k)
+      a.accesses;
+    (* a bare read of a whole table (rare) pins it global *)
+    List.iter
+      (fun s ->
+        if is_ois s && is_dict s then begin
+          note_table s;
+          Hashtbl.add demoted s ();
+          Hashtbl.replace sigs s None
+        end)
+      a.syms
+  in
+  Array.iter consider matches;
+  Array.iter consider fires;
+  (* A sharded signature must contain at least one field. *)
+  Hashtbl.iter
+    (fun name s ->
+      match s with
+      | Some s when sig_fields s = [] ->
+          Hashtbl.replace sigs name None;
+          Hashtbl.add demoted name ()
+      | _ -> ())
+    (Hashtbl.copy sigs);
+  (* Flow key = intersection of sharded field sets; empty ⇒ demote
+     everything (two tables with disjoint keys cannot co-shard). *)
+  let sharded_sigs =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt sigs name with
+        | Some (Some s) -> Some (name, s)
+        | _ -> None)
+      (List.rev !order)
+  in
+  let key_fields =
+    match sharded_sigs with
+    | [] -> []
+    | (_, s0) :: rest ->
+        List.fold_left
+          (fun acc (_, s) -> List.filter (fun f -> List.mem f (sig_fields s)) acc)
+          (sig_fields s0) rest
+  in
+  let key_fields = List.sort_uniq compare key_fields in
+  if key_fields = [] then
+    List.iter
+      (fun (name, _) ->
+        Hashtbl.replace sigs name None;
+        Hashtbl.add demoted name ())
+      sharded_sigs;
+  let tables =
+    List.rev_map
+      (fun name ->
+        ( name,
+          match Hashtbl.find_opt sigs name with
+          | Some (Some s) -> Sharded s
+          | _ -> Global ))
+      !order
+    |> List.rev
+  in
+  (* Config dictionaries referenced anywhere: replicated read-only. *)
+  let tables =
+    tables
+    @ List.filter_map
+        (fun name ->
+          if is_cfg name && is_dict name then Some (name, Replicated) else None)
+        cfg
+  in
+  let class_of name =
+    match List.assoc_opt name tables with
+    | Some c -> c
+    | None -> Global  (* unknown base: be conservative *)
+  in
+  (* Serial entries: fire (or match) touches shared mutable state. *)
+  let impure (a : acc) =
+    a.cset
+    || List.exists (fun s -> is_ois s || not (is_cfg s || is_field s)) a.syms
+    || List.exists
+         (fun (base, _) ->
+           match class_of base with
+           | Sharded _ | Replicated -> false
+           | Global -> not (is_cfg base && is_dict base))
+         a.accesses
+  in
+  let serial = Array.make n false in
+  for i = 0 to n - 1 do
+    if i < Array.length live && live.(i) then
+      serial.(i) <- impure fires.(i) || impure matches.(i)
+  done;
+  let hash_fields = if key_fields = [] then default_fields else key_fields in
+  {
+    pkt_var;
+    key_fields;
+    tables;
+    serial;
+    hashfn = mk_hashfn hash_fields;
+  }
+
+let hash spec p = spec.hashfn p
+
+let sharded_names spec =
+  List.filter_map
+    (fun (n, c) -> match c with Sharded _ -> Some n | _ -> None)
+    spec.tables
+
+let global_names spec =
+  List.filter_map
+    (fun (n, c) -> match c with Global -> Some n | _ -> None)
+    spec.tables
+
+(* Route a stored key value the way the packet hash would route the
+   packet that probes it: hash the components at this signature's
+   flow-key field positions, in sorted field order — identical mixing
+   to [mk_hashfn]. *)
+let router spec name =
+  match List.assoc_opt name spec.tables with
+  | Some (Sharded s) ->
+      let arity = List.length s.slots in
+      let fields = if spec.key_fields = [] then default_fields else spec.key_fields in
+      let positions =
+        List.filter_map
+          (fun f ->
+            let rec find i = function
+              | [] -> None
+              | Sfield g :: _ when String.equal f g -> Some (i, f)
+              | _ :: rest -> find (i + 1) rest
+            in
+            find 0 s.slots)
+          fields
+      in
+      Some
+        (fun (k : Value.t) ->
+          let comp i =
+            if s.tup then
+              match k with
+              | Value.Tuple vs when List.length vs = arity -> List.nth vs i
+              | v -> v
+            else k
+          in
+          List.fold_left
+            (fun h (i, f) -> mix h (component_hash f (comp i)))
+            seed_hash positions)
+  | _ -> None
+
+let n_serial spec = Array.fold_left (fun a b -> if b then a + 1 else a) 0 spec.serial
+
+let pp ppf spec =
+  let cls = function
+    | Sharded s ->
+        Printf.sprintf "sharded(%s)"
+          (String.concat ","
+             (List.map
+                (function Sfield f -> f | Sstatic _ -> "<static>")
+                s.slots))
+    | Global -> "global"
+    | Replicated -> "replicated"
+  in
+  Fmt.pf ppf "flow key [%s]; tables: %s; %d/%d serial entries"
+    (String.concat "," spec.key_fields)
+    (String.concat ", "
+       (List.map (fun (n, c) -> n ^ ":" ^ cls c) spec.tables))
+    (n_serial spec) (Array.length spec.serial)
+
+(* Plan-swap compatibility: the physical layout (which tables are
+   split across shard-local stores, and how keys route) is fixed at
+   partition time, so a replacement plan is safe iff every table that
+   was split is still accessed with the same key signature — or not
+   accessed at all. Tables the new analysis shards that the layout
+   keeps global merely lose parallelism (their reads trip the frozen
+   detector); the reverse direction would probe a split table
+   unroutably, so it is rejected. *)
+let compatible ~existing spec' =
+  List.for_all
+    (fun (name, c) ->
+      match c with
+      | Sharded s -> (
+          match List.assoc_opt name spec'.tables with
+          | None -> true
+          | Some (Sharded s') -> signature_equal s s'
+          | Some (Global | Replicated) -> false)
+      | Global | Replicated -> true)
+    existing.tables

@@ -1,0 +1,79 @@
+(** Model analysis for flow-key domain sharding: decides how a model's
+    state partitions across shards and which entries must serialize.
+
+    A per-flow table is {e sharded} when every key expression that
+    touches it — match literals, emit reads, update operations — is one
+    consistent signature of packet fields plus identical static
+    components; equal keys then imply equal field values, so hashing
+    those fields routes every access to one shard. The {e flow key} is
+    the intersection of all sharded signatures' field sets (empty
+    intersection demotes everything). A table whose keys mention
+    run-time state, or whose accesses disagree, is {e global}: it stays
+    in the shared store, where any parallel-phase read of it trips the
+    frozen-store detector and the packet re-runs serially. Config
+    dictionaries are {e replicated} (read-only, shared by reference).
+
+    An entry is {e serial} when firing it touches shared mutable state
+    (scalar write, whole-table overwrite, global-table operation, or an
+    expression reading a scalar / global table). The analysis is
+    conservative: anything not provably shard-local is global/serial,
+    which only shrinks the parallel fraction — never correctness. *)
+
+open Symexec
+
+type slot = Sfield of string | Sstatic of Sexpr.t
+(** One component of a table's key: a packet field (after stripping
+    the packet-variable prefix) or a run-constant expression. *)
+
+type signature = { slots : slot list; tup : bool }
+(** The unified shape of every key expression probing one table;
+    [tup] distinguishes a 1-tuple key from a bare value. *)
+
+type table_class =
+  | Sharded of signature  (** partitioned per shard by flow-key hash *)
+  | Global  (** shared store; parallel-phase reads defer the packet *)
+  | Replicated  (** read-only config dictionary, shared by reference *)
+
+type spec = {
+  pkt_var : string;
+  key_fields : string list;
+      (** sorted flow-key fields; [[]] when nothing is sharded (the
+          hash then falls back to the 4-tuple for load balance) *)
+  tables : (string * table_class) list;
+  serial : bool array;  (** per source-model entry index *)
+  hashfn : Packet.Pkt.t -> int;
+}
+
+val analyze :
+  Nfactor.Model.t ->
+  config:Nfactor.Model_interp.store ->
+  live:bool array ->
+  spec
+(** [config] is the extraction-time initial store (table seeds tell
+    dictionaries from scalars); [live] masks entries dropped by static
+    config evaluation (see {!Compile.t}[.live_idx]) — dead entries
+    constrain neither classification nor flow key. *)
+
+val hash : spec -> Packet.Pkt.t -> int
+(** Non-negative, deterministic flow-key hash of a packet; the caller
+    reduces it [mod nshards]. Total: never raises on a well-formed
+    packet (key fields are header fields, always present). *)
+
+val router : spec -> string -> (Value.t -> int) option
+(** [router spec table] hashes a {e stored key value} of a sharded
+    table exactly as {!hash} routes the packets that probe it — used to
+    split the table's initial seed across shards and to place merged
+    entries. [None] for non-sharded tables. *)
+
+val sharded_names : spec -> string list
+val global_names : spec -> string list
+
+val n_serial : spec -> int
+val pp : Format.formatter -> spec -> unit
+
+val compatible : existing:spec -> spec -> bool
+(** Whether a store partitioned under [existing] can safely run a plan
+    analyzed as the second spec: every table [existing] shards must
+    keep an equal key signature (or go unaccessed). Demotions of
+    still-split tables are rejected; promotions only cost
+    parallelism. *)

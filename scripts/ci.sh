@@ -26,6 +26,14 @@ dune exec bin/nfactor_cli.exe -- run -n 5000 --check snort
 dune exec bin/nfactor_cli.exe -- run -n 5000 --json snort | grep -q '"index_hits"'
 dune exec bin/nfactor_cli.exe -- run -n 5000 --json portknock | grep -q '"fsm_hits"'
 
+# Sharded dataplane smoke gate: a 2-domain run must reproduce the
+# single engine exactly (outputs, merged store, merged counters) on
+# both random and churn traffic, and must stay fully dispatched
+# (scan_hits 0 on classified NFs).
+dune exec bin/nfactor_cli.exe -- run -n 5000 --shards 2 --check nat
+dune exec bin/nfactor_cli.exe -- run -n 5000 --shards 2 --churn 500 --check portknock
+dune exec bin/nfactor_cli.exe -- run -n 5000 --shards 2 --json nat | grep -q '"scan_hits": 0'
+
 # Dispatch gate, at full packet budgets (speedups are budget-dependent,
 # so the smoke run cannot judge them): every stateful NF's
 # engine-vs-interpreter speedup, relative to the PR-5 recording, must
@@ -41,6 +49,22 @@ if grep -q '"ratio_ok": false' BENCH_rt.json || grep -q '"dispatch_ok": false' B
   exit 1
 fi
 rm -f BENCH_rt.json
+
+# Shard scaling gate (machine-normalized, core-conditional — see
+# bench/main.ml): 2-shard exactness is asserted unconditionally; the
+# >= 1.6x @ 2 shards / >= 2.5x @ 4 shards speedup gates only judge
+# machines with the cores to run them, and are recorded as skipped
+# otherwise.
+dune exec bench/main.exe -- --scale --smoke --json BENCH_scale.json
+if grep -q '"exact": false' BENCH_scale.json; then
+  echo "sharded dataplane diverged from the single engine" >&2
+  exit 1
+fi
+if grep -q '"scale_ok": false' BENCH_scale.json; then
+  echo "shard scaling below the speedup gate" >&2
+  exit 1
+fi
+rm -f BENCH_scale.json
 
 # Pass-pipeline cache gate: synthesize the corpus twice through one
 # on-disk artifact store. The second run must be a pure replay (zero
