@@ -585,6 +585,222 @@ let add_scale_sections buf sr =
   add "  }"
 
 (* ------------------------------------------------------------------ *)
+(* Compiled service chains                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The linked chain dataplane (Chainplan/Chainengine) vs the reference
+   interpreter chain (Verify.Network.run) on identical seeded traffic.
+   The compiled side takes the best of three runs; the interpreter side
+   runs ONCE and that same run doubles as the exactness reference —
+   per-hop assoc-list stores make it quadratic in flow count (minutes
+   at 100k packets), which is precisely the gap this subsystem closes.
+   The ≥5x gate is machine-normalized by construction: both sides time
+   the same pre-materialized stream on this machine. *)
+type chain_row = {
+  ch_chain : string;
+  ch_n : int;
+  ch_interp_ms : float;
+  ch_fused_ms : float;
+  ch_speedup : float;
+  ch_exact : bool;
+  ch_fused_entries : int;
+  ch_fused_walks : int;
+  ch_handoffs : int;
+}
+
+type chain_inv_row = {
+  ci_chain : string;
+  ci_invariant : string;
+  ci_status : string;
+  ci_reproduces : bool option;
+      (* counterexample replayed through the compiled chain *)
+}
+
+let chain_gate = 5.0
+
+let chain_nodes names =
+  List.map
+    (fun name ->
+      let ex = extract name in
+      (name, ex.Nfactor.Extract.model, Nfactor.Model_interp.initial_store ex))
+    names
+
+let chain_bench ~smoke () =
+  section "Compiled service chains: linked dataplane vs interpreter chain";
+  Fmt.pr "%-22s %8s | %12s %12s %9s | %7s %11s %9s | %s@." "chain" "pkts" "interp(ms)"
+    "fused(ms)" "speedup" "fusedE" "fused-walks" "handoffs" "exact";
+  let budget =
+    [
+      (* acceptance chain: full 100k unless smoke *)
+      ([ "firewall"; "nat"; "snort" ], 100_000);
+      (* fusion showcase: nat's static ip_src rewrite pre-decides the
+         firewall dispatch. nat in front sees the whole stream, so the
+         interpreter side gets the quadratic-budget treatment. *)
+      ([ "nat"; "firewall" ], 20_000);
+      ([ "mirror"; "lb" ], 20_000);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (names, n_full) ->
+        let n = if smoke then min 20_000 (n_full / 5) else n_full in
+        let nodes = chain_nodes names in
+        let cp = Nfactor_runtime.Chainplan.link nodes in
+        let pkts = Packet.Traffic.random_stream ~seed:2016 ~n () in
+        let arr = Array.of_list pkts in
+        let fused_s =
+          best_of_3 (fun () ->
+              let eng = Nfactor_runtime.Chainengine.create cp in
+              ignore (Nfactor_runtime.Chainengine.run_batch eng arr))
+        in
+        (* One interpreter pass: the timing sample and the exactness
+           reference are the same run. *)
+        let ref_chain =
+          Verify.Network.chain
+            (List.map (fun (id, m, s) -> Verify.Network.node id m s) nodes)
+        in
+        let t0 = Unix.gettimeofday () in
+        let ref_results = Verify.Network.run ref_chain pkts in
+        let interp_s = Unix.gettimeofday () -. t0 in
+        let eng = Nfactor_runtime.Chainengine.create cp in
+        let outs = Nfactor_runtime.Chainengine.run_batch eng arr in
+        let exact =
+          List.for_all2
+            (fun (ref_pkts, _) got ->
+              List.length ref_pkts = List.length got
+              && List.for_all2 Packet.Pkt.equal ref_pkts got)
+            ref_results (Array.to_list outs)
+          && List.for_all2
+               (fun (node : Verify.Network.node) (_, got) ->
+                 Nfactor.Model_interp.Smap.equal Symexec.Value.equal
+                   node.Verify.Network.store got)
+               ref_chain.Verify.Network.nodes
+               (Nfactor_runtime.Chainengine.snapshot_hops eng)
+        in
+        let row =
+          {
+            ch_chain = String.concat "," names;
+            ch_n = n;
+            ch_interp_ms = interp_s *. 1e3;
+            ch_fused_ms = fused_s *. 1e3;
+            ch_speedup = (if fused_s > 0. then interp_s /. fused_s else 0.);
+            ch_exact = exact;
+            ch_fused_entries = cp.Nfactor_runtime.Chainplan.fused_entries;
+            ch_fused_walks = eng.Nfactor_runtime.Chainengine.fused_walks;
+            ch_handoffs = eng.Nfactor_runtime.Chainengine.handoffs;
+          }
+        in
+        Fmt.pr "%-22s %8d | %12.1f %12.1f %8.1fx | %7d %11d %9d | %s@." row.ch_chain n
+          row.ch_interp_ms row.ch_fused_ms row.ch_speedup row.ch_fused_entries
+          row.ch_fused_walks row.ch_handoffs
+          (if exact then "yes" else "NO — MISMATCH");
+        row)
+      budget
+  in
+  (* Invariant smoke: one proven, one violated whose counterexample
+     must reproduce through the compiled chain. *)
+  let invariants =
+    [
+      ([ "snort"; "firewall" ], "never-reaches:ip_ttl<=0", "proven");
+      ([ "snort"; "firewall" ], "never-reaches:dport=80", "violated");
+    ]
+  in
+  let inv_rows =
+    List.map
+      (fun (names, spec, _expected) ->
+        let nodes = chain_nodes names in
+        let prop =
+          match String.index_opt spec ':' with
+          | Some i ->
+              Result.get_ok
+                (Verify.Invariant.parse_prop
+                   (String.sub spec (i + 1) (String.length spec - i - 1)))
+          | None -> assert false
+        in
+        let o = Verify.Invariant.never_reaches nodes prop in
+        let reproduces =
+          match o.Verify.Invariant.counterexample with
+          | None -> None
+          | Some cex ->
+              let eng =
+                Nfactor_runtime.Chainengine.create (Nfactor_runtime.Chainplan.link nodes)
+              in
+              Some
+                (List.exists (Verify.Invariant.holds_on prop)
+                   (Nfactor_runtime.Chainengine.step eng cex))
+        in
+        let row =
+          {
+            ci_chain = String.concat "," names;
+            ci_invariant = spec;
+            ci_status = Verify.Invariant.status_string o.Verify.Invariant.status;
+            ci_reproduces = reproduces;
+          }
+        in
+        Fmt.pr "@.invariant %-28s on %-16s: %s%s@." spec row.ci_chain row.ci_status
+          (match reproduces with
+          | Some true -> " (counterexample reproduces through the compiled chain)"
+          | Some false -> " (counterexample does NOT reproduce — BUG)"
+          | None -> "");
+        row)
+      invariants
+  in
+  Fmt.pr "@.(speedup = Network.run / Chainengine.run_batch on the same stream; gate: the@.";
+  Fmt.pr " 3-NF chain must be exact and >=%.0fx; exactness covers outputs + per-hop stores.)@."
+    chain_gate;
+  (rows, inv_rows)
+
+let add_chain_sections buf (rows, inv_rows) =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "  \"chain\": {\n";
+  add "    \"gate\": %.1f,\n" chain_gate;
+  add "    \"chains\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      { \"chain\": %S, \"packets\": %d, \"interp_ms\": %.3f, \"fused_ms\": \
+         %.3f, \"speedup\": %.2f, \"exact\": %b, \"fused_entries\": %d, \
+         \"fused_walks\": %d, \"handoffs\": %d }%s\n"
+        r.ch_chain r.ch_n r.ch_interp_ms r.ch_fused_ms r.ch_speedup r.ch_exact
+        r.ch_fused_entries r.ch_fused_walks r.ch_handoffs
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "    ],\n";
+  add "    \"invariants\": [\n";
+  List.iteri
+    (fun i r ->
+      add "      { \"chain\": %S, \"invariant\": %S, \"status\": %S, \"reproduces\": %s }%s\n"
+        r.ci_chain r.ci_invariant r.ci_status
+        (match r.ci_reproduces with
+        | Some b -> string_of_bool b
+        | None -> "null")
+        (if i = List.length inv_rows - 1 then "" else ","))
+    inv_rows;
+  add "    ],\n";
+  let acceptance =
+    List.exists
+      (fun r -> r.ch_chain = "firewall,nat,snort" && r.ch_exact && r.ch_speedup >= chain_gate)
+      rows
+  in
+  let fusion_live = List.exists (fun r -> r.ch_fused_walks > 0) rows in
+  let invariants_ok =
+    List.for_all
+      (fun r ->
+        match r.ci_status with
+        | "proven" -> r.ci_reproduces = None
+        | "violated" -> r.ci_reproduces = Some true
+        | _ -> false)
+      inv_rows
+  in
+  add "    \"exact_ok\": %b,\n" (List.for_all (fun r -> r.ch_exact) rows);
+  add "    \"fusion_live\": %b,\n" fusion_live;
+  add "    \"invariants_ok\": %b,\n" invariants_ok;
+  add "    \"chain_ok\": %b\n"
+    (acceptance && fusion_live && invariants_ok
+    && List.for_all (fun r -> r.ch_exact) rows);
+  add "  }"
+
+(* ------------------------------------------------------------------ *)
 (* Pass pipeline: cold synthesis vs warm cache replay                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -843,21 +1059,33 @@ let add_rt_sections buf rt_rows =
   add "    \"geomean\": %.2f, \"dispatch_ok\": %b\n" geomean dispatch_ok;
   add "  }"
 
-(* The section-only JSON behind [--rt]/[--scale]: either or both
-   sections, same shape as the corresponding pieces of the full-bench
-   JSON (BENCH_pr7.json is the two together at full budgets). *)
-let emit_sections_json path ?rt_rows ?scale () =
+(* The section-only JSON behind [--rt]/[--scale]/[--chain]: any
+   subset of the three sections, same shape as the corresponding
+   pieces of the full-bench JSON (BENCH_pr7.json is rt+scale at full
+   budgets; BENCH_pr8.json is the chain section at full budgets). *)
+let emit_sections_json path ?rt_rows ?scale ?chain () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"pr\": 7,\n";
-  add "  \"subject\": \"sharded multicore dataplane: flow-key domain sharding with RCU plan swap\",\n";
+  if chain <> None then begin
+    add "  \"pr\": 8,\n";
+    add "  \"subject\": \"compiled service-chain dataplane: static linking, hop fusion, chain invariants\",\n"
+  end
+  else begin
+    add "  \"pr\": 7,\n";
+    add "  \"subject\": \"sharded multicore dataplane: flow-key domain sharding with RCU plan swap\",\n"
+  end;
   (match rt_rows with
   | Some rt ->
       add_rt_sections buf rt;
-      if scale <> None then add ",\n"
+      if scale <> None || chain <> None then add ",\n"
   | None -> ());
-  (match scale with Some sr -> add_scale_sections buf sr | None -> ());
+  (match scale with
+  | Some sr ->
+      add_scale_sections buf sr;
+      if chain <> None then add ",\n"
+  | None -> ());
+  (match chain with Some c -> add_chain_sections buf c | None -> ());
   add "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1086,6 +1314,7 @@ let () =
   let smoke = ref false in
   let rt_only = ref false in
   let scale_only = ref false in
+  let chain_only = ref false in
   let json_path = ref None in
   let rec parse = function
     | [] -> ()
@@ -1098,19 +1327,24 @@ let () =
     | "--scale" :: rest ->
         scale_only := true;
         parse rest
+    | "--chain" :: rest ->
+        chain_only := true;
+        parse rest
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse rest
     | arg :: _ ->
         prerr_endline
-          ("usage: bench [--smoke] [--rt] [--scale] [--json PATH]; unknown argument " ^ arg);
+          ("usage: bench [--smoke] [--rt] [--scale] [--chain] [--json PATH]; unknown argument "
+         ^ arg);
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !rt_only || !scale_only then begin
+  if !rt_only || !scale_only || !chain_only then begin
     let rt_rows = if !rt_only then Some (runtime_throughput ~smoke:!smoke ()) else None in
     let sr = if !scale_only then Some (shard_scaling ~smoke:!smoke ()) else None in
-    Option.iter (fun path -> emit_sections_json path ?rt_rows ?scale:sr ()) !json_path;
+    let ch = if !chain_only then Some (chain_bench ~smoke:!smoke ()) else None in
+    Option.iter (fun path -> emit_sections_json path ?rt_rows ?scale:sr ?chain:ch ()) !json_path;
     Fmt.pr "@.done.@.";
     exit 0
   end;

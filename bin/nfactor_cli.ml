@@ -551,6 +551,316 @@ let compose_cmd =
     (Cmd.info "compose" ~doc:"Rank service-chain orders by interference (PGA-style).")
     Term.(const run $ cache_dir_arg $ nfs)
 
+(* ------------------------------------------------------------------ *)
+(* chain — compiled service-chain dataplane + invariant verifier      *)
+(* ------------------------------------------------------------------ *)
+
+let chain_nodes ?cache_dir spec =
+  let names =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if names = [] then begin
+    Fmt.epr "error: empty chain (expected NF,NF,...)@.";
+    exit 1
+  end;
+  let m = manager ?cache_dir () in
+  List.map
+    (fun n ->
+      match load_nf n with
+      | Ok (name, _, p) ->
+          let ex = Pipeline.Manager.extract m ~name p in
+          (name, ex.Nfactor.Extract.model, Nfactor.Model_interp.initial_store ex)
+      | Error msg ->
+          Fmt.epr "error: %s@." msg;
+          exit 1)
+    names
+
+let chain_arg =
+  let doc = "Service chain as comma-separated NFs in traversal order, e.g. firewall,nat,snort." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CHAIN" ~doc)
+
+(* Differential check of a chain engine against the reference
+   interpreter chain on a concrete stream: per-packet outputs and
+   per-hop final stores. *)
+let chain_check_interp nodes (eng : Nfactor_runtime.Chainengine.t) pkts =
+  let ref_chain =
+    Verify.Network.chain
+      (List.map (fun (id, m, s) -> Verify.Network.node id m s) nodes)
+  in
+  let ref_results = Verify.Network.run ref_chain (Array.to_list pkts) in
+  let outs = Nfactor_runtime.Chainengine.run_batch eng pkts in
+  let out_ok =
+    List.for_all2
+      (fun (ref_pkts, _) got ->
+        List.length ref_pkts = List.length got
+        && List.for_all2 Packet.Pkt.equal ref_pkts got)
+      ref_results (Array.to_list outs)
+  in
+  let store_ok =
+    List.for_all2
+      (fun (n : Verify.Network.node) (_, got) ->
+        Nfactor.Model_interp.Smap.equal Symexec.Value.equal n.Verify.Network.store got)
+      ref_chain.Verify.Network.nodes
+      (Nfactor_runtime.Chainengine.snapshot_hops eng)
+  in
+  (out_ok, store_ok)
+
+let chain_run_cmd =
+  let n = Arg.(value & opt int 100_000 & info [ "n" ] ~doc:"Packets to replay.") in
+  let seed = Arg.(value & opt int 2016 & info [ "seed" ] ~doc:"Traffic seed.") in
+  let capacity =
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~doc:"Per-flow-table capacity bound (LRU eviction). Unbounded by default.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print chain counters as JSON.") in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Differential check on the same traffic: the interpreter chain (Verify.Network.run) for a single engine, a single chain engine for a sharded run (outputs and per-hop final stores).")
+  in
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc:"Run the chain across N shard domains, when the fused plan's shard spec allows it; 1 (default) runs the single-threaded chain engine.")
+  in
+  let churn =
+    Arg.(value & opt (some int) None & info [ "churn" ] ~docv:"FLOWS" ~doc:"Replace uniform random traffic with the churn workload: FLOWS concurrent conversations with unbounded turnover.")
+  in
+  let run n seed capacity json check shards churn cache_dir spec =
+    if shards < 1 then begin
+      Fmt.epr "error: --shards must be >= 1@.";
+      exit 1
+    end;
+    if check && capacity <> None then begin
+      Fmt.epr "error: --check requires an unbounded store (LRU eviction diverges from the reference interpreter by design)@.";
+      exit 1
+    end;
+    let nodes = chain_nodes ?cache_dir spec in
+    let cp = Nfactor_runtime.Chainplan.link nodes in
+    let mpps secs = if secs > 0. then float_of_int n /. secs /. 1e6 else 0. in
+    let stream () =
+      match churn with
+      | Some concurrent ->
+          let ch = Packet.Traffic.churn_gen ~concurrent ~seed () in
+          Array.init n (fun _ -> Packet.Traffic.churn_next ch)
+      | None -> Array.of_list (Packet.Traffic.random_stream ~seed ~n ())
+    in
+    if shards = 1 then begin
+      let eng = Nfactor_runtime.Chainengine.create ?capacity cp in
+      let secs =
+        match churn with
+        | Some concurrent ->
+            let ch = Packet.Traffic.churn_gen ~concurrent ~seed () in
+            Nfactor_runtime.Chainengine.replay_churn eng ~churn:ch ~n
+        | None -> Nfactor_runtime.Chainengine.replay eng ~seed ~n
+      in
+      if json then print_endline (Nfactor_runtime.Chainengine.stats_json eng)
+      else begin
+        Fmt.pr "%a@." Nfactor_runtime.Chainplan.pp cp;
+        Fmt.pr "%a@." Nfactor_runtime.Chainengine.pp_stats eng;
+        Fmt.pr "%d packets in %.3f ms (%.2f Mpps)@." n (secs *. 1e3) (mpps secs)
+      end;
+      if check then begin
+        let eng2 = Nfactor_runtime.Chainengine.create cp in
+        let out_ok, store_ok = chain_check_interp nodes eng2 (stream ()) in
+        if out_ok && store_ok then
+          Fmt.pr "check: fused chain == interpreter chain on %d packets (outputs and per-hop final stores)@." n
+        else begin
+          Fmt.epr "check FAILED: outputs %s, stores %s@."
+            (if out_ok then "ok" else "DIFFER")
+            (if store_ok then "ok" else "DIFFER");
+          exit 1
+        end
+      end
+    end
+    else begin
+      match Nfactor_runtime.Chainengine.shard ?capacity cp ~nshards:shards with
+      | Error e ->
+          Fmt.epr "error: chain does not shard: %s@." e;
+          exit 1
+      | Ok sh ->
+          let secs = Nfactor_runtime.Chainengine.shard_replay sh ~pkts:(stream ()) in
+          if json then
+            Printf.printf
+              "{\"chain\": %S, \"nshards\": %d, \"injected\": %d, \"fused_walks\": %d, \"wall_ms\": %.3f}\n"
+              spec shards
+              (Nfactor_runtime.Chainengine.shard_injected sh)
+              (Nfactor_runtime.Chainengine.shard_fused_walks sh)
+              (secs *. 1e3)
+          else
+            Fmt.pr "%d packets in %.3f ms (%.2f Mpps, %d shards)@." n (secs *. 1e3)
+              (mpps secs) shards;
+          if check then begin
+            match Nfactor_runtime.Chainengine.shard cp ~nshards:shards with
+            | Error e ->
+                Fmt.epr "error: %s@." e;
+                exit 1
+            | Ok sh2 ->
+                let pkts = stream () in
+                let eng = Nfactor_runtime.Chainengine.create cp in
+                let single = Nfactor_runtime.Chainengine.run_batch eng pkts in
+                let shard_outs = Nfactor_runtime.Chainengine.shard_run_batch sh2 pkts in
+                let out_ok =
+                  Array.for_all2
+                    (fun a b ->
+                      List.length a = List.length b
+                      && List.for_all2 Packet.Pkt.equal a b)
+                    single shard_outs
+                in
+                let store_ok =
+                  List.for_all2
+                    (fun (_, a) (_, b) ->
+                      Nfactor.Model_interp.Smap.equal Symexec.Value.equal a b)
+                    (Nfactor_runtime.Chainengine.snapshot_hops eng)
+                    (Nfactor_runtime.Chainengine.shard_snapshot_hops sh2)
+                in
+                if out_ok && store_ok then
+                  Fmt.pr "check: %d shards == single chain engine on %d packets (outputs and per-hop stores)@."
+                    shards n
+                else begin
+                  Fmt.epr "check FAILED: outputs %s, stores %s@."
+                    (if out_ok then "ok" else "DIFFER")
+                    (if store_ok then "ok" else "DIFFER");
+                  exit 1
+                end
+          end
+    end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Link the chain's compiled plans into one dataplane and replay seeded traffic through it.")
+    Term.(const run $ n $ seed $ capacity $ json $ check $ shards $ churn $ cache_dir_arg $ chain_arg)
+
+type chain_invariant =
+  | Inv_never of Verify.Invariant.prop
+  | Inv_drop of Verify.Invariant.prop * string * string
+  | Inv_order of string
+
+let parse_invariant s =
+  let strip prefix =
+    if String.starts_with ~prefix s then
+      Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+    else None
+  in
+  match strip "never-reaches:" with
+  | Some body -> (
+      match Verify.Invariant.parse_prop body with
+      | Ok p -> Ok (Inv_never p)
+      | Error e -> Error e)
+  | None -> (
+      match strip "state-implies-drop:" with
+      | Some body -> (
+          match String.index_opt body '@' with
+          | None -> Error "state-implies-drop needs PROP@FROM..TO"
+          | Some i -> (
+              let prop = String.sub body 0 i in
+              let range = String.sub body (i + 1) (String.length body - i - 1) in
+              match
+                ( Verify.Invariant.parse_prop prop,
+                  String.split_on_char '.' range |> List.filter (fun s -> s <> "") )
+              with
+              | Ok p, [ from_; to_ ] -> Ok (Inv_drop (p, from_, to_))
+              | Error e, _ -> Error e
+              | _, _ -> Error "state-implies-drop needs PROP@FROM..TO"))
+      | None -> (
+          match strip "order-equiv:" with
+          | Some other -> Ok (Inv_order other)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown invariant %S (expected never-reaches:..., state-implies-drop:..., order-equiv:...)"
+                   s)))
+
+(* Does the counterexample reproduce through the *compiled* chain?
+   [other] is the alternate order's nodes, for order-equiv. *)
+let compiled_reproduces ?(other = []) inv nodes (o : Verify.Invariant.outcome) =
+  match o.Verify.Invariant.counterexample with
+  | None -> None
+  | Some p ->
+      let run ns pkt =
+        Nfactor_runtime.Chainengine.step
+          (Nfactor_runtime.Chainengine.create (Nfactor_runtime.Chainplan.link ns))
+          pkt
+      in
+      Some
+        (match inv with
+        | Inv_never prop -> List.exists (Verify.Invariant.holds_on prop) (run nodes p)
+        | Inv_drop (prop, from_, to_) ->
+            let ids = List.map (fun (id, _, _) -> id) nodes in
+            let pos name =
+              match List.find_index (String.equal name) ids with
+              | Some i -> i
+              | None -> -1
+            in
+            let i = pos from_ and j = pos to_ in
+            let sub = List.filteri (fun k _ -> k >= i && k <= j) nodes in
+            Verify.Invariant.holds_on prop p && run sub p <> []
+        | Inv_order _ ->
+            let sort = List.sort Packet.Pkt.compare in
+            not (List.equal Packet.Pkt.equal (sort (run nodes p)) (sort (run other p))))
+
+let chain_verify_cmd =
+  let invariant =
+    Arg.(required & opt (some string) None
+         & info [ "invariant" ] ~docv:"SPEC"
+             ~doc:"Invariant to check: never-reaches:PROP, state-implies-drop:PROP@FROM..TO, or order-equiv:NF,NF,... (the alternate order). PROP is a conjunction field OP value [& ...] with OP one of = != < <= > >=.")
+  in
+  let expect =
+    Arg.(value & opt (some (enum [ ("proven", `Proven); ("violated", `Violated) ])) None
+         & info [ "expect" ] ~docv:"VERDICT"
+             ~doc:"Exit non-zero unless the verdict is VERDICT (proven|violated); violated also requires the counterexample to reproduce through the compiled chain.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the outcome as JSON.") in
+  let run invariant expect json cache_dir spec =
+    let nodes = chain_nodes ?cache_dir spec in
+    match parse_invariant invariant with
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        exit 1
+    | Ok inv ->
+        let other =
+          match inv with
+          | Inv_order other -> chain_nodes ?cache_dir other
+          | _ -> []
+        in
+        let o =
+          match inv with
+          | Inv_never prop -> Verify.Invariant.never_reaches nodes prop
+          | Inv_drop (prop, from_, to_) ->
+              Verify.Invariant.state_implies_drop nodes ~from_ ~to_ ~cls:prop
+          | Inv_order _ -> Verify.Invariant.order_equiv nodes other
+        in
+        let repro = compiled_reproduces ~other inv nodes o in
+        if json then
+          Printf.printf "{\"chain\": %S, \"invariant\": %S, \"compiled_reproduces\": %s, \"outcome\": %s}\n"
+            spec invariant
+            (match repro with
+            | Some true -> "true"
+            | Some false -> "false"
+            | None -> "null")
+            (Verify.Invariant.json_of_outcome o)
+        else begin
+          Fmt.pr "%s | %s@." spec invariant;
+          Fmt.pr "%a@." Verify.Invariant.pp_outcome o;
+          match repro with
+          | Some r -> Fmt.pr "compiled chain reproduces: %s@." (if r then "yes" else "NO")
+          | None -> ()
+        end;
+        let status = o.Verify.Invariant.status in
+        (match expect with
+        | Some `Proven when status <> Verify.Invariant.Proven -> exit 1
+        | Some `Violated
+          when status <> Verify.Invariant.Violated || repro <> Some true ->
+            exit 1
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check a named chain invariant symbolically; violations ship a concrete counterexample packet validated through the reference interpreter and replayed through the compiled chain.")
+    Term.(const run $ invariant $ expect $ json $ cache_dir_arg $ chain_arg)
+
+let chain_cmd =
+  Cmd.group
+    (Cmd.info "chain"
+       ~doc:"Compiled service-chain dataplane (statically linked plans, hop fusion) and network-wide invariant verifier.")
+    [ chain_run_cmd; chain_verify_cmd ]
+
 let synth_all_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the run as JSON (for CI gates).") in
   let run json cache_dir =
@@ -626,7 +936,7 @@ let main =
     [
       list_cmd; show_cmd; classify_cmd; slice_cmd; extract_cmd; paths_cmd; report_cmd;
       accuracy_cmd; run_cmd; gen_trace_cmd; testgen_cmd; fsm_cmd; export_cmd; import_cmd;
-      classes_cmd; compose_cmd; synth_all_cmd;
+      classes_cmd; compose_cmd; chain_cmd; synth_all_cmd;
     ]
 
 (* Batch-tool GC tuning: synthesis (solver terms, path envs) and cache

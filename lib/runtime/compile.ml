@@ -32,14 +32,22 @@ type dnode =
   | Dstate of {
       base : string;
       key : valfn;
+      key_src : Sexpr.t;
       vdis : vdispatch;
       absent : int;
       unres : int;
       children : dnode array;
     }
-  | Dexpr of { expr : valfn; vdis : vdispatch; unres : int; children : dnode array }
+  | Dexpr of {
+      expr : valfn;
+      src : Sexpr.t;
+      vdis : vdispatch;
+      unres : int;
+      children : dnode array;
+    }
   | Dbool of {
       expr : valfn;
+      src : Sexpr.t;
       truthy : int;
       falsy : int;
       nonbool : int;
@@ -891,6 +899,7 @@ let compile ?(shared = false) (model : Nfactor.Model.t) ~config =
             Dbool
               {
                 expr = cexpr e;
+                src = e;
                 truthy;
                 falsy;
                 nonbool;
@@ -906,6 +915,7 @@ let compile ?(shared = false) (model : Nfactor.Model.t) ~config =
               {
                 base;
                 key = cexpr key;
+                key_src = key;
                 vdis;
                 absent;
                 unres;
@@ -918,6 +928,7 @@ let compile ?(shared = false) (model : Nfactor.Model.t) ~config =
             Dexpr
               {
                 expr = cexpr e;
+                src = e;
                 vdis;
                 unres;
                 children = mk_children ();

@@ -86,14 +86,23 @@ type dnode =
   | Dstate of {
       base : string;  (** per-flow table name *)
       key : valfn;  (** flow key expression *)
+      key_src : Sexpr.t;  (** the key's source term, for link-time analysis *)
       vdis : vdispatch;  (** on the stored value *)
       absent : int;  (** table exists, key absent *)
       unres : int;  (** table missing / key evaluation raised *)
       children : dnode array;
     }
-  | Dexpr of { expr : valfn; vdis : vdispatch; unres : int; children : dnode array }
+  | Dexpr of {
+      expr : valfn;
+      src : Sexpr.t;  (** the dispatched term — lets {!Chainplan} partially
+          evaluate this node when an upstream hop pins its packet reads *)
+      vdis : vdispatch;
+      unres : int;
+      children : dnode array;
+    }
   | Dbool of {
       expr : valfn;
+      src : Sexpr.t;
       truthy : int;  (** [Bool true] or nonzero [Int] *)
       falsy : int;  (** [Bool false] or [Int 0] *)
       nonbool : int;

@@ -221,7 +221,7 @@ let find_candidate t pkt (ces : Compile.centry array) =
 let rec descend t pkt (node : Compile.dnode) =
   match node with
   | Compile.Leaf ces -> find_candidate t pkt ces
-  | Compile.Dstate { base; key; vdis; absent; unres; children } ->
+  | Compile.Dstate { base; key; vdis; absent; unres; children; _ } ->
       let idx =
         match key t.state pkt with
         | exception (Value.Type_error _ | Nfactor.Model_interp.Unresolved _) ->
@@ -234,7 +234,7 @@ let rec descend t pkt (node : Compile.dnode) =
       in
       t.pmask <- t.pmask lor m_fsm;
       descend t pkt children.(idx)
-  | Compile.Dexpr { expr; vdis; unres; children } ->
+  | Compile.Dexpr { expr; vdis; unres; children; _ } ->
       let idx =
         match expr t.state pkt with
         | exception (Value.Type_error _ | Nfactor.Model_interp.Unresolved _) ->
@@ -245,7 +245,7 @@ let rec descend t pkt (node : Compile.dnode) =
         t.pmask
         lor (match vdis with Compile.VHash _ -> m_hash | Compile.VRange _ -> m_tree);
       descend t pkt children.(idx)
-  | Compile.Dbool { expr; truthy; falsy; nonbool; unres; children } ->
+  | Compile.Dbool { expr; truthy; falsy; nonbool; unres; children; _ } ->
       let idx =
         match expr t.state pkt with
         | exception (Value.Type_error _ | Nfactor.Model_interp.Unresolved _) ->
@@ -282,9 +282,13 @@ let begin_walk t =
   t.stats.packets <- t.stats.packets + 1;
   t.pmask <- 0
 
-let step t pkt =
+(* Step from an arbitrary dispatch node of the current plan — the
+   chain linker hands fused packets a start node below the root (the
+   upstream hop already decided the skipped prefix). Semantics are
+   otherwise [step]'s. *)
+let step_at t ~root pkt =
   begin_walk t;
-  match descend t pkt t.plan.Compile.root with
+  match descend t pkt root with
   | Some ce ->
       attribute t ce;
       fire t pkt ce
@@ -292,15 +296,19 @@ let step t pkt =
       count_miss t;
       miss_outcome
 
-(* Allocation-free step for timed loops: same walk, same counters,
-   same state effect; no outcome record, no output packets. *)
-let step_count t pkt =
+let step t pkt = step_at t ~root:t.plan.Compile.root pkt
+
+let step_count_at t ~root pkt =
   begin_walk t;
-  match descend t pkt t.plan.Compile.root with
+  match descend t pkt root with
   | Some ce ->
       attribute t ce;
       fire_count t pkt ce
   | None -> count_miss t
+
+(* Allocation-free step for timed loops: same walk, same counters,
+   same state effect; no outcome record, no output packets. *)
+let step_count t pkt = step_count_at t ~root:t.plan.Compile.root pkt
 
 (* ------------------------------------------------------------------ *)
 (* Deferred execution (the sharded dataplane's phase protocol)         *)

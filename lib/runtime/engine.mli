@@ -88,6 +88,17 @@ val step : t -> Packet.Pkt.t -> outcome
     (evaluated against the pre-state), then commit state updates —
     same observable order as the reference interpreter. *)
 
+val step_at : t -> root:Compile.dnode -> Packet.Pkt.t -> outcome
+(** {!step}, but walking from [root] instead of the plan's root —
+    [root] must be a node of the engine's current plan. The chain
+    linker uses this to enter a hop's tree below dispatch nodes it
+    already decided at link time (see {!Chainplan}); counters
+    attribute exactly as if the walk had crossed the skipped prefix
+    minus the skipped nodes' own levels. *)
+
+val step_count_at : t -> root:Compile.dnode -> Packet.Pkt.t -> unit
+(** Allocation-free {!step_at} (see {!step_count}). *)
+
 val step_count : t -> Packet.Pkt.t -> unit
 (** Allocation-free {!step} for timed loops: same walk, same counters,
     same state effect; no [outcome] record and no output packets are
@@ -170,3 +181,8 @@ val stats_json_of :
   nf:string -> plan:Compile.t -> evictions:int -> stats -> string
 (** {!stats_json} over explicit parts — used for per-shard and merged
     views with deterministic field ordering. *)
+
+val class_index : Compile.vdispatch -> Symexec.Value.t -> int
+(** Child index a dispatch value routes to — the engine's own routing,
+    exposed so the chain linker resolves statically-known dispatch
+    values to the same child the runtime walk would take. *)

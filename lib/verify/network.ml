@@ -17,23 +17,62 @@ type node = {
   id : string;
   model : Model.t;
   mutable store : Model_interp.store;
+  mutable actives : Model_interp.active list option;
+      (** config-entry prefilter, computed once per store generation —
+          config literals only read cfgVars, so the verdict list stays
+          valid until a step rewrites a config binding *)
 }
 
 (** A unidirectional service chain of NF instances. *)
 type chain = { nodes : node list }
 
+let node id model store = { id; model; store; actives = None }
+
 let node_of_extraction id (ex : Extract.result) =
-  { id; model = ex.Extract.model; store = Model_interp.initial_store ex }
+  node id ex.Extract.model (Model_interp.initial_store ex)
 
 let chain nodes = { nodes }
 
 let reset_chain c ~stores =
-  List.iter2 (fun n s -> n.store <- s) c.nodes stores
+  let n_nodes = List.length c.nodes and n_stores = List.length stores in
+  if n_nodes <> n_stores then
+    invalid_arg
+      (Printf.sprintf
+         "Network.reset_chain: chain [%s] has %d node(s) but %d store(s) were supplied"
+         (String.concat " -> " (List.map (fun n -> n.id) c.nodes))
+         n_nodes n_stores);
+  List.iter2
+    (fun n s ->
+      n.store <- s;
+      n.actives <- None)
+    c.nodes stores
 
 (** One packet through the chain: each NF transforms (possibly into
     several packets, or none = dropped); state updates stick. Returns
     the packets emerging from the last NF and the per-hop trace. *)
 type hop = { node_id : string; entered : Packet.Pkt.t list; left : Packet.Pkt.t list }
+
+(* State transitions normally write oisVars only, so a node's actives
+   list survives across steps; a step that does rewrite a config
+   binding (nothing in the corpus does, but models are data) drops the
+   cached list and the next packet recomputes it. *)
+let config_changed (m : Model.t) before after =
+  before != after
+  && List.exists
+       (fun v ->
+         match (Model_interp.Smap.find_opt v before, Model_interp.Smap.find_opt v after) with
+         | Some a, Some b -> not (Symexec.Value.equal a b)
+         | None, None -> false
+         | _ -> true)
+       m.Model.cfg_vars
+
+let node_actives n =
+  match n.actives with
+  | Some a -> a
+  | None ->
+      let a = Model_interp.actives n.model n.store in
+      n.actives <- Some a;
+      a
 
 let push c pkt =
   let rec go pkts nodes trace =
@@ -43,8 +82,11 @@ let push c pkt =
         let outs =
           List.concat_map
             (fun p ->
-              let r = Model_interp.step n.model n.store p in
+              let before = n.store in
+              let r = Model_interp.step ~actives:(node_actives n) n.model before p in
               n.store <- r.Model_interp.store;
+              if config_changed n.model before r.Model_interp.store then
+                n.actives <- None;
               r.Model_interp.outputs)
             pkts
         in

@@ -10,15 +10,23 @@ type node = {
   id : string;
   model : Model.t;
   mutable store : Model_interp.store;  (** evolves as packets flow *)
+  mutable actives : Model_interp.active list option;
+      (** cached {!Model_interp.actives} of [(model, store)]; [None] =
+          recompute on next use. Managed by {!push}/{!reset_chain} —
+          callers who assign [store] directly must also clear it. *)
 }
 
 type chain = { nodes : node list }
 
+val node : string -> Model.t -> Model_interp.store -> node
 val node_of_extraction : string -> Extract.result -> node
 val chain : node list -> chain
 
 val reset_chain : chain -> stores:Model_interp.store list -> unit
-(** Restore per-node state (e.g. between experiments). *)
+(** Restore per-node state (e.g. between experiments) and invalidate
+    the cached config prefilters.
+    @raise Invalid_argument (naming the chain's nodes and both counts)
+    when [stores] does not match the chain length. *)
 
 type hop = { node_id : string; entered : Packet.Pkt.t list; left : Packet.Pkt.t list }
 

@@ -29,6 +29,7 @@ type cls = {
   constraints : Solver.literal list;  (** over the input-header symbols *)
   pkt : sym_pkt;  (** symbolic output header *)
   fired : (string * int) list;  (** (node id, entry index) along the chain *)
+  alive : bool;  (** [false]: the class died in a dropping entry *)
 }
 
 (* Rewrite an entry literal into the input-symbol vocabulary: packet
@@ -101,9 +102,13 @@ let apply_snapshot ?pkt_var store pkt snapshot : sym_pkt =
   List.map (fun (f, e) -> (f, instantiate_expr ?pkt_var store pkt e)) snapshot
 
 (** Push a symbolic packet through one model under a concrete state
-    snapshot: all feasible (entry, refined class) pairs. Dropping
-    entries and the table-miss default yield no output classes. *)
-let through_model ~node_id (m : Model.t) (store : Model_interp.store) (c : cls) : cls list =
+    snapshot: all feasible (entry, refined class) pairs. By default
+    dropping entries and the table-miss default yield no output
+    classes; [drops] keeps dropping-entry classes as dead ([alive =
+    false]) classes, so the result partitions the model's entry table
+    (entries are mutually exclusive path conditions covering every
+    program execution). *)
+let through_model ?(drops = false) ~node_id (m : Model.t) (store : Model_interp.store) (c : cls) : cls list =
   (* Entries are mutually exclusive path conditions, so each feasible
      one refines the class independently. *)
   List.concat
@@ -125,7 +130,17 @@ let through_model ~node_id (m : Model.t) (store : Model_interp.store) (c : cls) 
          if Solver.check combined = Solver.Unsat then []
          else
            match e.Model.pkt_action with
-           | Model.Drop -> []
+           | Model.Drop ->
+               if drops then
+                 [
+                   {
+                     constraints = combined;
+                     pkt = c.pkt;
+                     fired = c.fired @ [ (node_id, idx) ];
+                     alive = false;
+                   };
+                 ]
+               else []
            | Model.Forward snaps ->
                List.map
                  (fun snap ->
@@ -133,19 +148,27 @@ let through_model ~node_id (m : Model.t) (store : Model_interp.store) (c : cls) 
                      constraints = combined;
                      pkt = apply_snapshot ~pkt_var:m.Model.pkt_var store c.pkt snap;
                      fired = c.fired @ [ (node_id, idx) ];
+                     alive = c.alive;
                    })
                  snaps)
        m.Model.entries)
 
-(** Push through a chain of (id, model, state snapshot). *)
-let through_chain nodes (c : cls) =
+(** Push through a chain of (id, model, state snapshot). Dead classes
+    (kept by [drops]) exit the pipeline where they died and ride to
+    the result untouched. *)
+let through_chain ?drops nodes (c : cls) =
   List.fold_left
     (fun classes (node_id, m, store) ->
-      List.concat_map (fun c -> through_model ~node_id m store c) classes)
+      List.concat_map
+        (fun c ->
+          if c.alive then through_model ?drops ~node_id m store c else [ c ])
+        classes)
     [ c ] nodes
 
+let unconstrained = { constraints = []; pkt = fresh_pkt; fired = []; alive = true }
+
 (** All end-to-end classes for unconstrained input headers. *)
-let classes nodes = through_chain nodes { constraints = []; pkt = fresh_pkt; fired = [] }
+let classes ?drops nodes = through_chain ?drops nodes unconstrained
 
 (** Can any input reach the end of the chain with [property] holding
     on the output header? Returns the witnessing classes. *)
@@ -156,10 +179,22 @@ let reachable nodes ~property =
       Solver.check (c.constraints @ prop_lits) <> Solver.Unsat)
     (classes nodes)
 
+(** Concrete evaluation of instantiated literals (vocabulary
+    ["in.<field>"]) on a probe packet. Leftover opaque atoms (state
+    reads the expansion could not discharge) evaluate to [false] like
+    the reference interpreter's unresolved reads. *)
+let concrete_holds lits pkt =
+  List.for_all
+    (fun l -> Model_interp.literal_holds ~pkt_var:"in" Model_interp.Smap.empty pkt l)
+    lits
+
+let satisfies (c : cls) pkt = concrete_holds c.constraints pkt
+
 let pp_cls ppf c =
-  Fmt.pf ppf "fired: %a@."
+  Fmt.pf ppf "fired: %a%s@."
     Fmt.(list ~sep:(any " -> ") (fun ppf (n, i) -> Fmt.pf ppf "%s#%d" n i))
-    c.fired;
+    c.fired
+    (if c.alive then "" else " (dropped)");
   Fmt.pf ppf "when : %a@." Model.pp_literals c.constraints;
   let rewrites =
     List.filter (fun (f, e) -> not (Sexpr.equal e (Sexpr.sym ("in." ^ f)))) c.pkt

@@ -20,16 +20,34 @@ type cls = {
   constraints : Solver.literal list;  (** over the input-header symbols *)
   pkt : sym_pkt;  (** symbolic output header *)
   fired : (string * int) list;  (** (node id, entry index) per hop *)
+  alive : bool;  (** [false]: the class died in a dropping entry *)
 }
 
+val unconstrained : cls
+(** The unconstrained, alive input class. *)
+
 val through_model :
-  node_id:string -> Model.t -> Model_interp.store -> cls -> cls list
-(** All feasible refinements of a class through one model; dropping
-    entries and table misses produce no classes. *)
+  ?drops:bool ->
+  node_id:string ->
+  Model.t ->
+  Model_interp.store ->
+  cls ->
+  cls list
+(** All feasible refinements of a class through one model. By default
+    dropping entries and table misses produce no classes; with
+    [~drops:true] dropping entries yield dead ([alive = false])
+    classes, so the feasible classes partition the model's covered
+    input space. *)
 
-val through_chain : (string * Model.t * Model_interp.store) list -> cls -> cls list
+val through_chain :
+  ?drops:bool ->
+  (string * Model.t * Model_interp.store) list ->
+  cls ->
+  cls list
+(** Dead classes exit the pipeline where they died and ride to the
+    result untouched. *)
 
-val classes : (string * Model.t * Model_interp.store) list -> cls list
+val classes : ?drops:bool -> (string * Model.t * Model_interp.store) list -> cls list
 (** End-to-end classes for unconstrained input headers. *)
 
 val reachable :
@@ -38,5 +56,14 @@ val reachable :
   cls list
 (** Classes whose output can satisfy [property]; empty means the
     property is unreachable under these state snapshots. *)
+
+val concrete_holds : Solver.literal list -> Packet.Pkt.t -> bool
+(** Concrete evaluation of instantiated literals (vocabulary
+    ["in.<field>"]) on a probe packet; leftover opaque atoms evaluate
+    to [false]. *)
+
+val satisfies : cls -> Packet.Pkt.t -> bool
+(** Does the probe packet lie in the class ([concrete_holds] on its
+    constraints)? *)
 
 val pp_cls : Format.formatter -> cls -> unit

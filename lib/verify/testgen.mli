@@ -16,6 +16,10 @@ type coverage = {
                              or state deeper than the round budget) *)
 }
 
+val base_palette : Packet.Pkt.t list
+(** Diverse base packets the generator overlays solver assignments on;
+    useful as candidate seeds for other concretization loops. *)
+
 val packet_of_assignment :
   ?pkt_var:string -> ?defaults:Packet.Pkt.t -> Value.t Solver.Smap.t -> Packet.Pkt.t
 (** Build a packet from a solver assignment over

@@ -80,3 +80,21 @@ grep '"model_md5"' synth_cold.json > cold_models.txt
 grep '"model_md5"' synth_warm.json > warm_models.txt
 cmp cold_models.txt warm_models.txt
 rm -f synth_cold.json synth_warm.json cold_models.txt warm_models.txt
+
+# Compiled service-chain gates: the linked 3-NF chain must reproduce
+# the interpreter chain exactly (outputs, per-hop final stores) on
+# random and churn traffic, a sharded chain must reproduce the single
+# linked engine, and the invariant verifier must prove a true
+# invariant and refute a false one with a counterexample that replays
+# through the compiled chain.
+dune exec bin/nfactor_cli.exe -- chain run firewall,nat,snort -n 20000 --check
+dune exec bin/nfactor_cli.exe -- chain run firewall,nat,snort -n 20000 --churn 2000 --check
+dune exec bin/nfactor_cli.exe -- chain run snort,synguard,ips -n 20000 --shards 2 --check
+dune exec bin/nfactor_cli.exe -- chain verify snort,firewall --invariant "never-reaches:ip_ttl<=0" --expect proven
+dune exec bin/nfactor_cli.exe -- chain verify snort,firewall --invariant "never-reaches:dport=80" --expect violated
+dune exec bench/main.exe -- --chain --smoke --json BENCH_chain.json
+if grep -q '"chain_ok": false' BENCH_chain.json; then
+  echo "chain dataplane gate failed (exactness, fusion, speedup, or invariants)" >&2
+  exit 1
+fi
+rm -f BENCH_chain.json

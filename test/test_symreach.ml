@@ -116,6 +116,60 @@ let test_classes_are_feasible_and_disjointish () =
       Alcotest.(check bool) "feasible" true (Solver.check c.Symreach.constraints = Solver.Sat))
     (Symreach.classes [ node "nat" ])
 
+(* Property (paper Section 4): with drop classes tracked, the
+   end-to-end classes of a chain partition the unconstrained input
+   header space — every concrete probe lands in exactly one class
+   (grouping by fired path: multi-packet emits produce one class per
+   snapshot over the same constraints). *)
+let prop_classes_partition =
+  let chains =
+    [
+      [ "snort"; "firewall" ];
+      [ "nat"; "snort" ];
+      [ "firewall"; "nat"; "snort" ];
+    ]
+  in
+  let partitions =
+    List.map (fun names -> (names, Symreach.classes ~drops:true (List.map node names))) chains
+  in
+  QCheck.Test.make ~name:"property: chain classes partition the input space" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Packet.Rng.create seed in
+      let pkt = Packet.Traffic.random_pkt rng Packet.Traffic.default_profile in
+      List.for_all
+        (fun (names, classes) ->
+          let matching =
+            List.filter (fun c -> Symreach.satisfies c pkt) classes
+            |> List.map (fun (c : Symreach.cls) -> c.Symreach.fired)
+            |> List.sort_uniq compare
+          in
+          if List.length matching <> 1 then
+            QCheck.Test.fail_reportf "packet %s lands in %d classes of [%s]"
+              (Packet.Pkt.to_string pkt) (List.length matching)
+              (String.concat "," names)
+          else true)
+        partitions)
+
+let test_drop_classes_partition () =
+  (* The drops-tracked classes include the dead ones, and the alive
+     subset is exactly what the default (drops:false) view reports. *)
+  let nodes = [ node "snort"; node "firewall" ] in
+  let all = Symreach.classes ~drops:true nodes in
+  let alive = List.filter (fun (c : Symreach.cls) -> c.Symreach.alive) all in
+  let default = Symreach.classes nodes in
+  Alcotest.(check int) "alive subset = default classes" (List.length default)
+    (List.length alive);
+  Alcotest.(check bool) "dead classes exist" true
+    (List.exists (fun (c : Symreach.cls) -> not c.Symreach.alive) all);
+  (* Dead classes keep the fired prefix up to the dropping entry. *)
+  List.iter
+    (fun (c : Symreach.cls) ->
+      if not c.Symreach.alive then
+        Alcotest.(check bool) "died somewhere in the chain" true
+          (List.length c.Symreach.fired >= 1 && List.length c.Symreach.fired <= 2))
+    all
+
 let suite =
   [
     Alcotest.test_case "snort classes" `Quick test_snort_classes;
@@ -124,4 +178,6 @@ let suite =
     Alcotest.test_case "LB rewrites visible" `Quick test_lb_rewrites_visible;
     Alcotest.test_case "chain composition classes" `Quick test_chain_composition_classes;
     Alcotest.test_case "class feasibility" `Quick test_classes_are_feasible_and_disjointish;
+    Alcotest.test_case "drop classes complete the partition" `Quick test_drop_classes_partition;
+    QCheck_alcotest.to_alcotest prop_classes_partition;
   ]

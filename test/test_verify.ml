@@ -192,6 +192,48 @@ let test_compliance_replay () =
       Alcotest.(check bool) (name ^ ": replay matches program") true (Equiv.ok v))
     [ "firewall"; "nat"; "lb"; "ratelimiter" ]
 
+let test_reset_chain_mismatch () =
+  let fw = Network.node_of_extraction "fw" (extract_nf "firewall") in
+  let nat = Network.node_of_extraction "nat" (extract_nf "nat") in
+  let c = Network.chain [ fw; nat ] in
+  match Network.reset_chain c ~stores:[ fw.Network.store ] with
+  | exception Invalid_argument msg ->
+      let contains needle =
+        let nl = String.length needle and hl = String.length msg in
+        let rec at i = i + nl <= hl && (String.sub msg i nl = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "names the chain" true (contains "fw" && contains "nat");
+      Alcotest.(check bool) "names both counts" true
+        (contains "2 node(s)" && contains "1 store(s)")
+  | () -> Alcotest.fail "length mismatch must raise"
+
+let test_push_actives_cache () =
+  (* The per-node actives cache must not change behavior, even when
+     packets flip config bindings mid-stream (ips blocklists a source,
+     which later entries read as config). Reference: the same chain
+     with the cache forcibly cleared before every packet. *)
+  let names = [ "ips"; "ratelimiter" ] in
+  let mk () =
+    Network.chain
+      (List.map (fun n -> Network.node_of_extraction n (extract_nf n)) names)
+  in
+  let pkts = Packet.Traffic.random_stream ~seed:13 ~n:1500 () in
+  let cached = mk () and uncached = mk () in
+  List.iter
+    (fun p ->
+      let o1, _ = Network.push cached p in
+      List.iter (fun (n : Network.node) -> n.Network.actives <- None) uncached.Network.nodes;
+      let o2, _ = Network.push uncached p in
+      Alcotest.(check bool) "outputs agree" true
+        (List.length o1 = List.length o2 && List.for_all2 Packet.Pkt.equal o1 o2))
+    pkts;
+  List.iter2
+    (fun (a : Network.node) (b : Network.node) ->
+      Alcotest.(check bool) (a.Network.id ^ " store agrees") true
+        (Model_interp.Smap.equal Value.equal a.Network.store b.Network.store))
+    cached.Network.nodes uncached.Network.nodes
+
 let suite =
   [
     Alcotest.test_case "single-node chain" `Quick test_single_node_chain;
@@ -204,4 +246,6 @@ let suite =
     Alcotest.test_case "testgen covers firewall" `Quick test_cover_firewall;
     Alcotest.test_case "testgen covers LB" `Quick test_cover_lb;
     Alcotest.test_case "compliance replay" `Quick test_compliance_replay;
+    Alcotest.test_case "reset_chain length mismatch diagnostics" `Quick test_reset_chain_mismatch;
+    Alcotest.test_case "push actives cache is transparent" `Quick test_push_actives_cache;
   ]
