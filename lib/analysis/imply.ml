@@ -1,0 +1,246 @@
+open Symexec
+
+let negate (l : Solver.literal) = { l with Solver.positive = not l.Solver.positive }
+
+(* ------------------------------------------------------------------ *)
+(* Literal normalization                                              *)
+(* ------------------------------------------------------------------ *)
+
+type rel = Req | Rne | Rlt | Rle | Rgt | Rge
+
+let rel_of_binop = function
+  | Nfl.Ast.Eq -> Req
+  | Nfl.Ast.Ne -> Rne
+  | Nfl.Ast.Lt -> Rlt
+  | Nfl.Ast.Le -> Rle
+  | Nfl.Ast.Gt -> Rgt
+  | Nfl.Ast.Ge -> Rge
+  | _ -> invalid_arg "rel_of_binop"
+
+let negate_rel = function
+  | Req -> Rne
+  | Rne -> Req
+  | Rlt -> Rge
+  | Rge -> Rlt
+  | Rle -> Rgt
+  | Rgt -> Rle
+
+(* [c REL t]  ≡  [t (mirror REL) c] *)
+let mirror_rel = function
+  | Req -> Req
+  | Rne -> Rne
+  | Rlt -> Rgt
+  | Rgt -> Rlt
+  | Rle -> Rge
+  | Rge -> Rle
+
+(* One conjunct of a normalized literal. *)
+type clit =
+  | Ccmp of Sexpr.t * rel * int  (** term REL integer constant *)
+  | Cbool of int * bool  (** opaque atom id, forced truth value *)
+  | Cdisj of Solver.literal list  (** at least one branch must hold *)
+  | Cfalse
+  | Ctrue
+
+let const_int (e : Sexpr.t) =
+  match Sexpr.view e with Sexpr.Const (Value.Int n) -> Some n | _ -> None
+
+let rec flatten_or (e : Sexpr.t) acc =
+  match Sexpr.view e with
+  | Sexpr.Bin (Nfl.Ast.Or, a, b) -> flatten_or a (flatten_or b acc)
+  | Sexpr.Const (Value.Bool false) | Sexpr.Const (Value.Int 0) -> acc
+  | _ -> e :: acc
+
+let rec flatten_and (e : Sexpr.t) acc =
+  match Sexpr.view e with
+  | Sexpr.Bin (Nfl.Ast.And, a, b) -> flatten_and a (flatten_and b acc)
+  | Sexpr.Const (Value.Bool true) -> acc
+  | _ -> e :: acc
+
+let rec norm (l : Solver.literal) : clit list =
+  let atom = l.Solver.atom and pos = l.Solver.positive in
+  match Sexpr.view atom with
+  | Sexpr.Const v -> (
+      match v with
+      | Value.Bool b -> if b = pos then [ Ctrue ] else [ Cfalse ]
+      | Value.Int n -> if (n <> 0) = pos then [ Ctrue ] else [ Cfalse ]
+      | _ -> [ Cbool (Sexpr.id atom, pos) ])
+  | Sexpr.Not t -> norm (Solver.lit t (not pos))
+  | Sexpr.Bin (((Nfl.Ast.Eq | Nfl.Ast.Ne | Nfl.Ast.Lt | Nfl.Ast.Le | Nfl.Ast.Gt | Nfl.Ast.Ge) as op), a, b)
+    -> (
+      let r = rel_of_binop op in
+      let r = if pos then r else negate_rel r in
+      match (const_int b, const_int a) with
+      | Some c, None -> [ Ccmp (a, r, c) ]
+      | None, Some c -> [ Ccmp (b, mirror_rel r, c) ]
+      | Some ca, Some cb ->
+          (* Fully concrete comparisons normally constant-fold away at
+             interning; decide them here anyway. *)
+          let holds =
+            match r with
+            | Req -> cb = ca
+            | Rne -> cb <> ca
+            | Rlt -> cb < ca
+            | Rle -> cb <= ca
+            | Rgt -> cb > ca
+            | Rge -> cb >= ca
+          in
+          if holds then [ Ctrue ] else [ Cfalse ]
+      | None, None ->
+          if Sexpr.equal a b then
+            match r with
+            | Req | Rle | Rge -> [ Ctrue ]
+            | Rne | Rlt | Rgt -> [ Cfalse ]
+          else [ Cbool (Sexpr.id atom, pos) ])
+  | Sexpr.Bin (Nfl.Ast.Or, _, _) ->
+      let ds = flatten_or atom [] in
+      if ds = [] then if pos then [ Cfalse ] else [ Ctrue ]
+      else if pos then [ Cdisj (List.map (fun d -> Solver.lit d true) ds) ]
+      else List.concat_map (fun d -> norm (Solver.lit d false)) ds
+  | Sexpr.Bin (Nfl.Ast.And, _, _) ->
+      let cs = flatten_and atom [] in
+      if cs = [] then if pos then [ Ctrue ] else [ Cfalse ]
+      else if pos then List.concat_map (fun c -> norm (Solver.lit c true)) cs
+      else [ Cdisj (List.map (fun c -> Solver.lit c false) cs) ]
+  | _ -> [ Cbool (Sexpr.id atom, pos) ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-term interval state                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [x & m] for constant [m >= 0]: bits of the result are a subset of
+   [m]'s whatever the sign of [x], so the value lies in [0, m]. *)
+let band_of (t : Sexpr.t) =
+  match Sexpr.view t with
+  | Sexpr.Bin (Nfl.Ast.Band, a, b) -> (
+      match (const_int a, const_int b) with
+      | None, Some m when m >= 0 -> Some (Sexpr.id a, m)
+      | Some m, None when m >= 0 -> Some (Sexpr.id b, m)
+      | _ -> None)
+  | _ -> None
+
+type tinfo = {
+  mutable lo : int option;
+  mutable hi : int option;
+  mutable ne : int list;
+  band : (int * int) option;  (** masked base term id, constant mask *)
+}
+
+exception Conflict
+
+let tighten_lo info c =
+  match info.lo with Some l when l >= c -> () | _ -> info.lo <- Some c
+
+let tighten_hi info c =
+  match info.hi with Some h when h <= c -> () | _ -> info.hi <- Some c
+
+let assert_cmp info r c =
+  match r with
+  | Req ->
+      tighten_lo info c;
+      tighten_hi info c
+  | Rne -> if not (List.mem c info.ne) then info.ne <- c :: info.ne
+  | Rlt -> tighten_hi info (c - 1)
+  | Rle -> tighten_hi info c
+  | Rgt -> tighten_lo info (c + 1)
+  | Rge -> tighten_lo info c
+
+let fixed info =
+  match (info.lo, info.hi) with Some l, Some h when l = h -> Some l | _ -> None
+
+(* Disequalities refute an interval they fully cover (small ones only;
+   the bound keeps this linear in practice). *)
+let interval_dead info =
+  match (info.lo, info.hi) with
+  | Some l, Some h ->
+      if l > h then true
+      else if h - l <= 64 then (
+        let all = ref true in
+        for v = l to h do
+          if not (List.mem v info.ne) then all := false
+        done;
+        !all)
+      else false
+  | _ -> false
+
+let check_info info =
+  if interval_dead info then raise Conflict;
+  match (fixed info, info.band) with
+  | Some r, Some (_, m) -> if r land m <> r then raise Conflict
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec unsat_clits ~depth (lits : Solver.literal list) : bool =
+  let clits = List.concat_map norm lits in
+  if List.mem Cfalse clits then true
+  else
+    let terms : (int, tinfo) Hashtbl.t = Hashtbl.create 16 in
+    let bools : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+    let info_of (t : Sexpr.t) =
+      match Hashtbl.find_opt terms (Sexpr.id t) with
+      | Some i -> i
+      | None ->
+          let band = band_of t in
+          let i =
+            match band with
+            | Some (_, m) -> { lo = Some 0; hi = Some m; ne = []; band }
+            | None -> { lo = None; hi = None; ne = []; band }
+          in
+          Hashtbl.add terms (Sexpr.id t) i;
+          i
+    in
+    try
+      let disjs = ref [] in
+      List.iter
+        (function
+          | Ctrue | Cfalse -> ()
+          | Ccmp (t, r, c) -> assert_cmp (info_of t) r c
+          | Cbool (id, b) -> (
+              match Hashtbl.find_opt bools id with
+              | Some b' -> if b <> b' then raise Conflict
+              | None -> Hashtbl.add bools id b)
+          | Cdisj ds -> disjs := ds :: !disjs)
+        clits;
+      (* Bit-mask subset propagation to fixpoint: a fixed [x & m1 = r]
+         pins every coarser mask of the same base. *)
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds < 8 do
+        changed := false;
+        incr rounds;
+        Hashtbl.iter
+          (fun _ (i1 : tinfo) ->
+            match (fixed i1, i1.band) with
+            | Some r1, Some (x1, m1) ->
+                Hashtbl.iter
+                  (fun _ (i2 : tinfo) ->
+                    match i2.band with
+                    | Some (x2, m2) when x2 = x1 && m2 land m1 = m2 && i1 != i2 ->
+                        let forced = r1 land m2 in
+                        if fixed i2 <> Some forced then begin
+                          assert_cmp i2 Req forced;
+                          changed := true
+                        end
+                    | _ -> ())
+                  terms
+            | _ -> ())
+          terms
+      done;
+      Hashtbl.iter (fun _ i -> check_info i) terms;
+      (* Bounded case split: a disjunction whose every branch is
+         refuted under the remaining conjunction refutes the whole. *)
+      depth > 0
+      && List.exists
+           (fun ds ->
+             List.length ds <= 8
+             && List.for_all (fun d -> unsat_clits ~depth:(depth - 1) (d :: lits)) ds)
+           !disjs
+    with Conflict -> true
+
+let unsat ?(depth = 2) lits = unsat_clits ~depth lits
+let implies ?depth a l = unsat ?depth (a @ [ negate l ])
+let subsumes a b = List.for_all (fun l -> implies a l) b
+let proven_unsat lits = unsat lits || Solver.check lits = Solver.Unsat

@@ -1,0 +1,49 @@
+(** The static implication lattice: a solver-free, sound entailment
+    check over the classified literals model entries are made of.
+
+    The solver ({!Symexec.Solver}) decides linear-arithmetic shapes but
+    treats bit-masks, list membership and dictionary atoms as opaque
+    free booleans, so exploration keeps paths whose conditions relate
+    only through those shapes — exactly the entries a table-minimizer
+    cares about. This module closes that gap with a small fixed rule
+    set, every rule a valid implication, so [Unsat]-style answers here
+    are {e proofs}:
+
+    - per-term intervals and disequality sets for comparisons of a
+      (hash-consed) term against integer constants, with small
+      intervals refuted when their disequalities cover them;
+    - intrinsic ranges and subset propagation for bit-mask terms:
+      [x & m] lies in [[0, m]] for constant [m >= 0] (sound for every
+      OCaml int, negatives included), a fixed [x & m1 = r] forces
+      [x & m2 = r land m2] whenever [m2]'s bits are a subset of
+      [m1]'s, and a fixed value with bits outside its own mask is
+      absurd;
+    - opaque atoms as free booleans with per-conjunction consistency
+      (the solver's own discipline);
+    - bounded case-splitting over [Or]/[And] shapes (list-membership
+      literals are [Or]-trees of equalities).
+
+    Anything not covered stays opaque: the lattice can fail to prove,
+    never prove wrongly. *)
+
+open Symexec
+
+val negate : Solver.literal -> Solver.literal
+(** Same atom, flipped polarity. *)
+
+val unsat : ?depth:int -> Solver.literal list -> bool
+(** [true] only when the conjunction is {e proven} unsatisfiable by
+    the rules above. [depth] (default 2) bounds disjunction splitting. *)
+
+val implies : ?depth:int -> Solver.literal list -> Solver.literal -> bool
+(** [implies a l]: every assignment satisfying the conjunction [a]
+    satisfies [l] — decided as [unsat (a @ [negate l])]. *)
+
+val subsumes : Solver.literal list -> Solver.literal list -> bool
+(** [subsumes a b]: conjunction [a] implies conjunction [b], i.e. the
+    match set of [a] is contained in the match set of [b]. *)
+
+val proven_unsat : Solver.literal list -> bool
+(** The lattice, then the solver: [unsat lits] or
+    [Solver.check lits = Unsat]. Both sides trust only refutations, so
+    this is still a proof. *)

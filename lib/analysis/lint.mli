@@ -1,0 +1,95 @@
+(** Layer-1 static analysis of synthesized models: reachability,
+    shadowing, overlap, state-machine and dead-store lints.
+
+    Findings follow a strict evidence discipline: a [Dead] or
+    [Shadowed] finding is emitted only when the static implication
+    lattice ({!Imply}) {e proves} it, and where a concrete witness
+    packet can be built (via the {!Verify.Testgen} palette) it is
+    attached and pre-validated against {!Nfactor.Model_interp} —
+    a witness that does not replay is discarded, never shipped.
+    Anything the lattice cannot decide — in particular entries whose
+    [residual_match] carries solver-opaque atoms — degrades to [Info],
+    not to a false [Warning]. *)
+
+open Nfactor
+
+type severity = Info | Warning | Error
+
+type kind =
+  | Dead  (** the entry's own match is statically unsatisfiable *)
+  | Shadowed of int  (** fully covered by the given earlier entry *)
+  | Config_dead  (** config condition false under the extraction-time store *)
+  | Overlap of int
+      (** can match the same packet as the given earlier entry while
+          disagreeing on the action *)
+  | Unreachable_state of int  (** {!Fsm} state id no flow can reach *)
+  | Unwritable_state of string
+      (** a state guard requires a value no transition ever stores *)
+  | Dead_write of string  (** state written but never read back *)
+  | Chain_dead_write of string * string
+      (** (downstream hop, field): a field rewrite the next hop
+          provably masks *)
+
+type finding = {
+  f_entry : int option;  (** index into the model's entry list *)
+  f_kind : kind;
+  f_severity : severity;
+  f_proven : bool;  (** established by static implication *)
+  f_witness : Packet.Pkt.t option;  (** validated demonstrating packet *)
+  f_message : string;
+}
+
+type report = { r_nf : string; r_findings : finding list }
+
+val model_lint : ?ordered:bool -> ?store:Model_interp.store -> Model.t -> report
+(** Table-level lints (dead, shadowed, overlap, config, unwritable
+    state, dead writes). [store] enables config resolution, witness
+    construction and initial-value reasoning; without it only the
+    purely symbolic lints run.
+
+    [ordered] (default [false]) declares the table intentionally
+    priority-resolved. Synthesized tables are disjoint by
+    construction, so a witness packet matching two entries with
+    different actions is a genuine anomaly there ([Warning]); a
+    minimized table deliberately relies on first-match order (widening
+    drops literals whose excluded packets fire earlier), so the same
+    finding degrades to advisory [Info]. *)
+
+val run : Extract.result -> report
+(** {!model_lint} under the extraction-time store, plus FSM
+    reachability ({!Fsm.reachable_states}) and dead-write severity
+    refinement through {!Dataflow.Liveness} over the canonical loop
+    body. *)
+
+val chain_dead_writes : (string * Model.t) list -> finding list
+(** Cross-hop dead stores in a service chain: hop [i] rewrites a
+    header field the immediate next hop neither reads nor lets
+    through (every entry drops or re-binds the field). *)
+
+val counts : report -> int * int * int
+(** (errors, warnings, infos). *)
+
+val is_clean : report -> bool
+(** No [Error] or [Warning] findings ([Info] is advisory). *)
+
+val severity_to_string : severity -> string
+val kind_label : kind -> string
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> string
+val finding_to_json : finding -> string
+
+val report_to_string : report -> string
+(** Cache-stable serialization (s-expression), for the pipeline's
+    artifact store. *)
+
+val report_of_string : string -> report
+(** @raise Model_io.Parse_error on malformed input. *)
+
+val witness_replays : Model.t -> Model_interp.store -> finding -> bool
+(** Re-validate a finding's witness: the packet must demonstrate the
+    claimed defect when stepped through the model (e.g. for
+    [Shadowed j], it matches entry [j] yet an earlier entry fires).
+    Findings without witnesses are vacuously [true] only when
+    [f_proven]. *)

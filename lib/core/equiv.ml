@@ -97,6 +97,26 @@ let differential (ex : Extract.result) ~pkts =
     pkts;
   { trials = List.length pkts; mismatches = List.rev !mismatches }
 
+(** Lock-step model-vs-model run from a shared initial store: per
+    packet both tables step once, outputs compared; the boolean
+    reports whether the final stores agree too. *)
+let model_differential ~store ~pkts (a : Model.t) (b : Model.t) =
+  let store_a = ref store and store_b = ref store in
+  let mismatches = ref [] in
+  List.iteri
+    (fun index input ->
+      let sa = Model_interp.step a !store_a input in
+      let sb = Model_interp.step b !store_b input in
+      store_a := sa.Model_interp.store;
+      store_b := sb.Model_interp.store;
+      let oa = sa.Model_interp.outputs and ob = sb.Model_interp.outputs in
+      if not (List.length oa = List.length ob && List.for_all2 Packet.Pkt.equal oa ob)
+      then
+        mismatches := { index; input; program_out = oa; model_out = ob } :: !mismatches)
+    pkts;
+  ( { trials = List.length pkts; mismatches = List.rev !mismatches },
+    Model_interp.Smap.equal Value.equal !store_a !store_b )
+
 (** The paper's experiment: [trials] random packets (plus, more
     demanding than the paper, flow-structured traffic exercising the
     stateful entries). *)

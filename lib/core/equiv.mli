@@ -28,6 +28,17 @@ val differential : Extract.result -> pkts:Packet.Pkt.t list -> verdict
 (** Lock-step run: per input packet, one program-loop iteration vs one
     model step, outputs compared; both sides carry state. *)
 
+val model_differential :
+  store:Model_interp.store ->
+  pkts:Packet.Pkt.t list ->
+  Model.t ->
+  Model.t ->
+  verdict * bool
+(** Lock-step run of two models from the same initial store: per input
+    packet both tables step once, outputs compared. The boolean is
+    whether the {e final} stores also agree — together with an empty
+    mismatch list this is observational equivalence on the sequence. *)
+
 val random_testing : ?seed:int -> ?trials:int -> Extract.result -> verdict
 (** The paper's experiment: [trials] random packets (default 1000). *)
 

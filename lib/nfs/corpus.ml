@@ -57,6 +57,16 @@ let all =
       program = Firewall.program;
     };
     {
+      name = Firewall_redundant.name;
+      description =
+        "deliberately-redundant firewall variant (dead, widenable and \
+         mergeable rules) — the analyzer's minimization target";
+      structure = "callback";
+      in_paper = false;
+      source = (fun () -> Firewall_redundant.source);
+      program = Firewall_redundant.program;
+    };
+    {
       name = Ratelimiter.name;
       description = "per-source packet-count rate limiter";
       structure = "consumer-producer";

@@ -1,0 +1,70 @@
+(** Deliberately-redundant stateful firewall variant — the analyzer's
+    non-trivial minimization target.
+
+    A vendor-patched cousin of {!Firewall} that accumulated cruft: an
+    even/odd port split whose branches act identically (mergeable), a
+    DMZ port test duplicated at two bit-mask widths (widenable into
+    one union match), and a leftover audit branch under a mask test
+    that contradicts the path that reaches it (statically dead — but
+    only visible to bit-level reasoning, since the solver treats [&]
+    atoms as opaque booleans). Synthesizes to 8 entries; the analyzer
+    proves 2 dead and shrinks the rest to 4. *)
+
+let name = "firewall_redundant"
+
+let source =
+  {|# Redundant stateful firewall (callback structure).
+# Configuration
+inside_net = 192.168.0.0;
+inside_mask = 255.255.0.0;
+# Output-impacting state
+conn_table = {};
+
+def fwr_callback(pkt) {
+  si = pkt.ip_src;
+  di = pkt.ip_dst;
+  sp = pkt.sport;
+  dp = pkt.dport;
+  low = dp & 7;
+  if ((si & inside_mask) == inside_net) {
+    # Outbound: open the pinhole and pass.
+    conn_table[(si, sp, di, dp)] = 1;
+    # Leftover even/odd split from a withdrawn rate-limit patch:
+    # both arms forward identically.
+    if ((dp & 1) == 0) {
+      send(pkt);
+    } else {
+      send(pkt);
+    }
+  } else {
+    rkey = (di, dp, si, sp);
+    if (rkey in conn_table) {
+      send(pkt);
+    } else {
+      # DMZ service test, duplicated at two mask widths by a merge
+      # gone wrong: low == 2 and (dp & 3) == 2 overlap heavily.
+      if (low == 2) {
+        send(pkt);
+      } else {
+        if ((dp & 3) == 2) {
+          send(pkt);
+        } else {
+          # Dead audit branch: (dp & 15) == 2 forces (dp & 7) == 2,
+          # which the path already ruled out.
+          if ((dp & 15) == 2) {
+            if ((si, sp) in conn_table) {
+              send(pkt);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+main {
+  sniff(fwr_callback);
+}
+|}
+
+let program () = Nfl.Parser.program source

@@ -400,3 +400,63 @@ let paths_of_string input =
       let dec = term_dec defs in
       (List.map (path_of_sexp dec) paths, stats_of_sexp stats)
   | s -> err "not an nfactor-paths document" s
+
+(* ------------------------------------------------------------------ *)
+(* Analyzer results (lint reports + minimization outcome)             *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_version = 1
+
+let analysis_to_string
+    ((pre, outcome, post) :
+      Analysis.Lint.report * Analysis.Minimize.outcome * Analysis.Lint.report) =
+  let o = outcome in
+  sexp_to_string
+    (List
+       [
+         Atom "nfactor-analysis";
+         Atom (string_of_int analysis_version);
+         List [ Atom "pre"; Atom (Analysis.Lint.report_to_string pre) ];
+         List [ Atom "original"; Atom (Nfactor.Model_io.to_string o.Analysis.Minimize.original) ];
+         List [ Atom "minimized"; Atom (Nfactor.Model_io.to_string o.Analysis.Minimize.minimized) ];
+         List
+           [
+             Atom "stats";
+             Atom (string_of_int o.Analysis.Minimize.deleted_dead);
+             Atom (string_of_int o.Analysis.Minimize.deleted_shadowed);
+             Atom (string_of_int o.Analysis.Minimize.merged);
+             Atom (string_of_int o.Analysis.Minimize.widened_literals);
+             Atom (string_of_int o.Analysis.Minimize.iterations);
+             Atom (string_of_bool o.Analysis.Minimize.verified);
+             Atom (string_of_int o.Analysis.Minimize.trials);
+           ];
+         List [ Atom "post"; Atom (Analysis.Lint.report_to_string post) ];
+       ])
+
+let analysis_of_string input =
+  match parse_sexp input with
+  | List
+      [
+        Atom "nfactor-analysis";
+        v;
+        List [ Atom "pre"; Atom pre ];
+        List [ Atom "original"; Atom original ];
+        List [ Atom "minimized"; Atom minimized ];
+        List [ Atom "stats"; dead; shadowed; merged; widened; iters; verified; trials ];
+        List [ Atom "post"; Atom post ];
+      ]
+    when int_atom v = analysis_version ->
+      ( Analysis.Lint.report_of_string pre,
+        {
+          Analysis.Minimize.original = Nfactor.Model_io.of_string original;
+          minimized = Nfactor.Model_io.of_string minimized;
+          deleted_dead = int_atom dead;
+          deleted_shadowed = int_atom shadowed;
+          merged = int_atom merged;
+          widened_literals = int_atom widened;
+          iterations = int_atom iters;
+          verified = bool_atom verified;
+          trials = int_atom trials;
+        },
+        Analysis.Lint.report_of_string post )
+  | s -> err "not an nfactor-analysis document" s

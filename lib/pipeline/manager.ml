@@ -1,6 +1,7 @@
 open Symexec
 
-let passes = [ "canonicalize"; "classify"; "slice"; "explore"; "refine"; "compile" ]
+let passes =
+  [ "canonicalize"; "classify"; "slice"; "explore"; "refine"; "compile"; "analyze" ]
 
 (* Implementation version folded into every pass fingerprint: bump when
    any stage's semantics or artifact encoding changes, so persisted
@@ -16,6 +17,7 @@ type artifact =
   | A_paths of (Explore.path list * Explore.stats)
   | A_model of Nfactor.Model.t
   | A_plan of Nfactor_runtime.Compile.t
+  | A_analysis of (Analysis.Lint.report * Analysis.Minimize.outcome * Analysis.Lint.report)
 
 type t = {
   dir : string option;
@@ -187,3 +189,23 @@ let plan t (ex : Nfactor.Extract.result) =
     (fun () ->
       let store = Nfactor.Model_interp.initial_store ex in
       Nfactor_runtime.Compile.compile model ~config:store)
+
+let analyze t (ex : Nfactor.Extract.result) =
+  let model = ex.Nfactor.Extract.model in
+  let model_fp = Fingerprint.of_text (Nfactor.Model_io.to_string model) in
+  let prog_fp = Fingerprint.of_text (Nfl.Pretty.program ex.Nfactor.Extract.program) in
+  let fp =
+    Fingerprint.combine ~pass:"analyze" ~version:stage_version [ model_fp; prog_fp ]
+  in
+  run_pass t ~nf:model.Nfactor.Model.nf_name ~pass:"analyze" ~fp
+    ~persist:(Artifact.analysis_to_string, Artifact.analysis_of_string)
+    ~wrap:(fun a -> A_analysis a)
+    ~unwrap:(function A_analysis a -> Some a | _ -> None)
+    (fun () ->
+      let store = Nfactor.Model_interp.initial_store ex in
+      let pre = Analysis.Lint.run ex in
+      let outcome = Analysis.Minimize.run ~store model in
+      let post =
+        Analysis.Lint.model_lint ~ordered:true ~store outcome.Analysis.Minimize.minimized
+      in
+      (pre, outcome, post))

@@ -56,3 +56,13 @@ val plan : t -> Nfactor.Extract.result -> Nfactor_runtime.Compile.t
     the canonical program (which determines the store), so it accepts
     any extraction result, including one assembled by {!extract} from
     cached artifacts. *)
+
+val analyze :
+  t ->
+  Nfactor.Extract.result ->
+  Analysis.Lint.report * Analysis.Minimize.outcome * Analysis.Lint.report
+(** The seventh pass: lint the synthesized model, minimize its entry
+    table ({!Analysis.Minimize}), and lint the minimized table again.
+    Keyed like [plan] on the model + canonical-program fingerprints;
+    the whole triple (reports, original and minimized models, rewrite
+    counters) persists through {!Store} like any other artifact. *)

@@ -98,3 +98,20 @@ if grep -q '"chain_ok": false' BENCH_chain.json; then
   exit 1
 fi
 rm -f BENCH_chain.json
+
+# Static analyzer gates. Pre-minimization, the deliberately-redundant
+# firewall must lint dirty (its dead audit branch is only visible to
+# the bit-level implication lattice) and the minimizer must verify and
+# shrink it; post-minimization, every corpus NF must lint clean (no
+# errors or warnings) and the whole analysis section's gates —
+# >= 20% reduction on the redundant NF, every rewrite Equiv-verified,
+# compiled original-vs-minimized replays exact, no throughput
+# regression — must hold at full budgets.
+dune exec bin/nfactor_cli.exe -- lint firewall_redundant --expect dirty
+dune exec bin/nfactor_cli.exe -- minimize firewall_redundant --check --json | grep -q '"verified": true'
+for nf in $(dune exec bin/nfactor_cli.exe -- list | awk 'NR>1 {print $1}'); do
+  dune exec bin/nfactor_cli.exe -- lint "$nf" --fix --expect clean > /dev/null
+done
+dune exec bench/main.exe -- --analysis --json BENCH_pr9.json
+grep -q '"analysis_ok": true' BENCH_pr9.json
+grep -q '"redundant_reduction_ok": true' BENCH_pr9.json
