@@ -1237,16 +1237,199 @@ let add_analysis_sections buf (rows : an_row list) =
     (red_pct >= 20. && all_verified && all_equal && all_post_clean && throughput_ok);
   add "  }"
 
-(* The section-only JSON behind [--rt]/[--scale]/[--chain]/[--analysis]:
-   any subset of the sections, same shape as the corresponding
-   pieces of the full-bench JSON (BENCH_pr7.json is rt+scale at full
-   budgets; BENCH_pr8.json is the chain section at full budgets;
-   BENCH_pr9.json is the analysis section at full budgets). *)
-let emit_sections_json path ?rt_rows ?scale ?chain ?analysis () =
+(* ------------------------------------------------------------------ *)
+(* Worklist explorer: join-point merging vs naive enumeration (PR 10)  *)
+(* ------------------------------------------------------------------ *)
+
+type ex_row = {
+  ex_name : string;
+  ex_paths : int;  (** merged exploration: completed paths *)
+  ex_merges : int;
+  ex_prunes : int;
+  ex_calls : int;  (** merged exploration: solver calls *)
+  ex_decides : int;
+  ex_merged_ms : float;  (** merged explore-stage wall clock *)
+  ex_naive_paths : int;  (** unmerged enumeration (raised budget for dpi) *)
+  ex_naive_calls : int;
+  ex_naive_ms : float;
+  ex_model_equal : bool;  (** merged model == unmerged model *)
+  ex_byte_identical : bool;  (** equality shown byte-for-byte (vs differentially) *)
+}
+
+(* PR-9 recordings of the recursive forker on the pre-merge corpus:
+   (paths, solver calls) per NF. Counters are machine-independent, so
+   the worklist engine is gated on reproducing them exactly — same
+   path census, no extra solver traffic — with no normalization
+   needed; wall-clock is gated separately on the same-process
+   merged/naive ratio. *)
+let pr9_explore_recorded =
+  [
+    ("lb", (5, 8));
+    ("balance", (11, 20));
+    ("snort", (6, 10));
+    ("nat", (5, 8));
+    ("firewall", (6, 10));
+    ("firewall_redundant", (8, 14));
+    ("ratelimiter", (5, 8));
+    ("ips", (10, 18));
+    ("synguard", (10, 18));
+    ("acl", (5, 8));
+    ("mirror", (3, 4));
+    ("portknock", (11, 20));
+  ]
+
+let explore_bench ~smoke () =
+  section "Worklist explorer: join-point path merging + eager UNSAT pruning";
+  Fmt.pr "%-18s %6s %6s %6s %6s %8s | %6s %6s %8s | %s@." "NF" "paths" "merges" "prunes"
+    "calls" "expl(ms)" "naive" "calls" "naive(ms)" "model";
+  let explore_ms (ex : Nfactor.Extract.result) =
+    try List.assoc "explore" ex.Nfactor.Extract.stage_times *. 1e3 with Not_found -> 0.
+  in
+  let rows =
+    List.map
+      (fun (e : Nfs.Corpus.entry) ->
+        let name = e.Nfs.Corpus.name in
+        let p () = e.Nfs.Corpus.program () in
+        let merged = Nfactor.Extract.run ~merge:true ~name (p ()) in
+        (* The naive enumeration needs room for dpi's 2^13 paths. *)
+        let naive_config =
+          if name = Nfs.Dpi.name then
+            { Symexec.Explore.default_config with Symexec.Explore.max_paths = 20_000 }
+          else Symexec.Explore.default_config
+        in
+        let naive = Nfactor.Extract.run ~config:naive_config ~merge:false ~name (p ()) in
+        let ms = merged.Nfactor.Extract.stats and ns = naive.Nfactor.Extract.stats in
+        (* Below the profitability threshold the engines must agree
+           byte-for-byte; where merging fired, observational equality
+           is checked differentially (palette-free: seeded random +
+           flow churn). *)
+        let byte_identical = ms.Symexec.Explore.merges = 0 in
+        let model_equal =
+          if byte_identical then
+            String.equal
+              (Nfactor.Model_io.to_string naive.Nfactor.Extract.model)
+              (Nfactor.Model_io.to_string merged.Nfactor.Extract.model)
+          else begin
+            let n = if smoke then 100 else 300 in
+            let ch = Packet.Traffic.churn_gen ~concurrent:24 ~seed:1010 () in
+            let pkts =
+              Packet.Traffic.random_stream ~seed:1011 ~n ()
+              @ List.init (n / 3) (fun _ -> Packet.Traffic.churn_next ch)
+            in
+            let store = Nfactor.Model_interp.initial_store merged in
+            let v, stores_equal =
+              Nfactor.Equiv.model_differential ~store ~pkts naive.Nfactor.Extract.model
+                merged.Nfactor.Extract.model
+            in
+            v.Nfactor.Equiv.mismatches = [] && stores_equal
+          end
+        in
+        let row =
+          {
+            ex_name = name;
+            ex_paths = ms.Symexec.Explore.paths;
+            ex_merges = ms.Symexec.Explore.merges;
+            ex_prunes = ms.Symexec.Explore.prunes;
+            ex_calls = ms.Symexec.Explore.solver_calls;
+            ex_decides = ms.Symexec.Explore.decides;
+            ex_merged_ms = explore_ms merged;
+            ex_naive_paths = ns.Symexec.Explore.paths;
+            ex_naive_calls = ns.Symexec.Explore.solver_calls;
+            ex_naive_ms = explore_ms naive;
+            ex_model_equal = model_equal;
+            ex_byte_identical = byte_identical;
+          }
+        in
+        Fmt.pr "%-18s %6d %6d %6d %6d %8.2f | %6d %6d %8.2f | %s@." name row.ex_paths
+          row.ex_merges row.ex_prunes row.ex_calls row.ex_merged_ms row.ex_naive_paths
+          row.ex_naive_calls row.ex_naive_ms
+          (if not model_equal then "NO — MISMATCH"
+           else if byte_identical then "identical"
+           else "diff-equal");
+        row)
+      Nfs.Corpus.all
+  in
+  Fmt.pr "@.(naive = the unmerged enumeration in the same process; dpi's naive run uses a@.";
+  Fmt.pr " raised 20k-path budget — under the default 4096 budget it overflows, so join-@.";
+  Fmt.pr " point merging is what makes that NF synthesizable at all.)@.";
+  rows
+
+(* Explorer telemetry and the PR-10 gates: every NF the PR-9 forker
+   explored must reproduce its recorded path census and solver-call
+   count exactly (counters, so machine-independent); the exponential
+   NF must collapse from >= 2^12 naive paths to at most 4x its branch
+   count; merged and naive models must agree corpus-wide; and the
+   merged exploration must not cost wall-clock vs the naive one in the
+   same process (the only timing gate, normalized by construction). *)
+let add_explore_sections buf (rows : ex_row list) =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "  \"explore\": {\n";
+  List.iter
+    (fun r ->
+      let recorded = List.assoc_opt r.ex_name pr9_explore_recorded in
+      let rec_json =
+        match recorded with
+        | Some (p, c) ->
+            Printf.sprintf "\"pr9_paths\": %d, \"pr9_solver_calls\": %d, " p c
+        | None -> ""
+      in
+      add
+        "    %S: { \"paths\": %d, \"merges\": %d, \"prunes\": %d, \"solver_calls\": %d, \
+         \"decides\": %d, \"explore_ms\": %.3f, \"naive_paths\": %d, \
+         \"naive_solver_calls\": %d, \"naive_explore_ms\": %.3f, %s\"model_equal\": %b, \
+         \"byte_identical\": %b },\n"
+        r.ex_name r.ex_paths r.ex_merges r.ex_prunes r.ex_calls r.ex_decides
+        r.ex_merged_ms r.ex_naive_paths r.ex_naive_calls r.ex_naive_ms rec_json
+        r.ex_model_equal r.ex_byte_identical)
+    rows;
+  let recorded_ok =
+    List.for_all
+      (fun (name, (paths, calls)) ->
+        match List.find_opt (fun r -> r.ex_name = name) rows with
+        | Some r ->
+            r.ex_paths = paths && r.ex_calls <= calls && r.ex_merges = 0
+            && r.ex_byte_identical && r.ex_model_equal
+        | None -> false)
+      pr9_explore_recorded
+  in
+  let all_equal = List.for_all (fun r -> r.ex_model_equal) rows in
+  let dpi = List.find_opt (fun r -> r.ex_name = Nfs.Dpi.name) rows in
+  let exponential_ok =
+    match dpi with
+    | Some r ->
+        r.ex_naive_paths >= 4096
+        && r.ex_paths <= 4 * r.ex_decides
+        && r.ex_merges > 0
+    | None -> false
+  in
+  let merged_total = List.fold_left (fun a r -> a +. r.ex_merged_ms) 0. rows in
+  let naive_total = List.fold_left (fun a r -> a +. r.ex_naive_ms) 0. rows in
+  (* Same-process ratio: merging must not cost wall-clock corpus-wide
+     (1.10 absorbs timer noise on the sub-millisecond legacy runs). *)
+  let wall_ok = merged_total <= (naive_total *. 1.10) +. 1. in
+  add
+    "    \"gates\": { \"pr9_counters_reproduced\": %b, \"all_models_equal\": %b, \
+     \"exponential_nf_ok\": %b, \"merged_explore_ms\": %.3f, \"naive_explore_ms\": %.3f, \
+     \"wall_ok\": %b, \"explore_ok\": %b }\n"
+    recorded_ok all_equal exponential_ok merged_total naive_total wall_ok
+    (recorded_ok && all_equal && exponential_ok && wall_ok);
+  add "  }"
+
+(* The section-only JSON behind [--rt]/[--scale]/[--chain]/[--analysis]/
+   [--explore]: any subset of the sections, same shape as the
+   corresponding pieces of the full-bench JSON (BENCH_pr7.json is
+   rt+scale at full budgets; BENCH_pr8.json is the chain section at
+   full budgets; BENCH_pr9.json is the analysis section at full
+   budgets; BENCH_pr10.json is the explore section). *)
+let emit_sections_json path ?rt_rows ?scale ?chain ?analysis ?explore () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  if analysis <> None then begin
+  if explore <> None then begin
+    add "  \"pr\": 10,\n";
+    add "  \"subject\": \"worklist symbolic explorer: join-point path merging + eager UNSAT pruning\",\n"
+  end
+  else if analysis <> None then begin
     add "  \"pr\": 9,\n";
     add "  \"subject\": \"static model analyzer: shadowing/reachability lints + Equiv-gated table minimization\",\n"
   end
@@ -1261,19 +1444,25 @@ let emit_sections_json path ?rt_rows ?scale ?chain ?analysis () =
   (match rt_rows with
   | Some rt ->
       add_rt_sections buf rt;
-      if scale <> None || chain <> None || analysis <> None then add ",\n"
+      if scale <> None || chain <> None || analysis <> None || explore <> None then
+        add ",\n"
   | None -> ());
   (match scale with
   | Some sr ->
       add_scale_sections buf sr;
-      if chain <> None || analysis <> None then add ",\n"
+      if chain <> None || analysis <> None || explore <> None then add ",\n"
   | None -> ());
   (match chain with
   | Some c ->
       add_chain_sections buf c;
-      if analysis <> None then add ",\n"
+      if analysis <> None || explore <> None then add ",\n"
   | None -> ());
-  (match analysis with Some rows -> add_analysis_sections buf rows | None -> ());
+  (match analysis with
+  | Some rows ->
+      add_analysis_sections buf rows;
+      if explore <> None then add ",\n"
+  | None -> ());
+  (match explore with Some rows -> add_explore_sections buf rows | None -> ());
   add "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1504,6 +1693,7 @@ let () =
   let scale_only = ref false in
   let chain_only = ref false in
   let analysis_only = ref false in
+  let explore_only = ref false in
   let json_path = ref None in
   let rec parse = function
     | [] -> ()
@@ -1522,23 +1712,29 @@ let () =
     | "--analysis" :: rest ->
         analysis_only := true;
         parse rest
+    | "--explore" :: rest ->
+        explore_only := true;
+        parse rest
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse rest
     | arg :: _ ->
         prerr_endline
-          ("usage: bench [--smoke] [--rt] [--scale] [--chain] [--analysis] [--json PATH]; unknown argument "
+          ("usage: bench [--smoke] [--rt] [--scale] [--chain] [--analysis] [--explore] \
+            [--json PATH]; unknown argument "
          ^ arg);
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !rt_only || !scale_only || !chain_only || !analysis_only then begin
+  if !rt_only || !scale_only || !chain_only || !analysis_only || !explore_only then begin
     let rt_rows = if !rt_only then Some (runtime_throughput ~smoke:!smoke ()) else None in
     let sr = if !scale_only then Some (shard_scaling ~smoke:!smoke ()) else None in
     let ch = if !chain_only then Some (chain_bench ~smoke:!smoke ()) else None in
     let an = if !analysis_only then Some (analysis_bench ~smoke:!smoke ()) else None in
+    let ex = if !explore_only then Some (explore_bench ~smoke:!smoke ()) else None in
     Option.iter
-      (fun path -> emit_sections_json path ?rt_rows ?scale:sr ?chain:ch ?analysis:an ())
+      (fun path ->
+        emit_sections_json path ?rt_rows ?scale:sr ?chain:ch ?analysis:an ?explore:ex ())
       !json_path;
     Fmt.pr "@.done.@.";
     exit 0

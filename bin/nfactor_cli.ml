@@ -116,6 +116,8 @@ let pp_telemetry ?m name (ex : Nfactor.Extract.result) =
   Fmt.pr "@.solver telemetry for %s:@." name;
   Fmt.pr "  branch decisions    %d (%d fork(s), max pc depth %d)@." s.decides s.forks
     s.max_fork_depth;
+  Fmt.pr "  merges/prunes       %d state(s) folded at join points, %d side(s) pruned UNSAT@."
+    s.merges s.prunes;
   Fmt.pr "  solver calls        %d (baseline 2 per branch: %d)@." s.solver_calls
     (2 * s.decides);
   Fmt.pr "  cache hits/misses   %d/%d@." s.solver_cache_hits s.solver_cache_misses;

@@ -1,0 +1,36 @@
+(** Join-point identification on a (sliced) block: where may the
+    worklist explorer merge the two arms of a branch back into one
+    state? *)
+
+type t
+
+val of_block : Nfl.Ast.block -> t
+(** Analyze a block (typically the sliced packet-loop body). *)
+
+val join_of : t -> int -> Cfg.node option
+(** For the sid of an [If] statement: the control location where its
+    arms rejoin — the branch node's immediate post-dominator — when
+    that is a real statement. [None] when the sid is not a two-way
+    [If] branch in the block, or when the arms never rejoin before
+    [Exit] (an arm returns, or the branch ends the block). *)
+
+val in_loop : t -> int -> bool
+(** Whether the statement sits (at any depth) inside a [while] or
+    [for] body. The explorer unrolls loops, so occurrences of such a
+    branch in different iterations are distinct control locations and
+    must not be merged. *)
+
+val mergeable : t -> int -> bool
+(** [join_of t sid <> None && not (in_loop t sid)] — the structural
+    gate the explorer applies before scheduling a fork's arms into a
+    merge region. *)
+
+val chain_len : t -> int -> int
+(** Length of the maximal {e diamond chain} through this branch:
+    diamond A is followed by diamond B when A's join point is B itself,
+    the exact shape whose naive path count doubles per link. Nested
+    branches (elif ladders) share a join point and therefore sit on
+    separate short chains, matching their linear path count. [0] when
+    the sid is not a mergeable diamond. Merging only pays where it
+    changes asymptotics, so extraction's policy requires a minimum
+    chain length. *)

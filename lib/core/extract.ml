@@ -186,14 +186,43 @@ let slice_stage (p : Nfl.Ast.program) (classes : Statealyzer.Varclass.t) =
     sl_body = sliced_body_of_union p union_slice;
   }
 
-let explore_stage ?(config = Explore.default_config) ~memo (p : Nfl.Ast.program)
-    (classes : Statealyzer.Varclass.t) (sl : slices) =
+(** Join-point merge policy for exploring [body]: merge at branches
+    with a statement join point outside loop bodies, but only on
+    diamond chains of at least [min_chain] sequential branches — the
+    shape whose naive path count is 2^k. Short chains and elif ladders
+    are linear already, and their per-path entries are more useful to
+    downstream analyses (reachability classes, FSM derivation) than an
+    [ite]-folded summary. Only branch atoms free of config/state
+    symbols fold into guards — config splits must stay separate
+    entries (Figure 6 shows one table per [mode]) and state predicates
+    must keep per-path concrete verdicts for the refinement step. *)
+let merge_policy_of ?(min_chain = 5) ~(classes : Statealyzer.Varclass.t)
+    (body : Nfl.Ast.block) =
+  let joins = Joins.of_block body in
+  let banned =
+    List.fold_left
+      (fun acc v -> Sexpr.Sset.add v acc)
+      Sexpr.Sset.empty
+      (Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Cfg_var
+      @ Statealyzer.Varclass.vars_of_category classes Statealyzer.Varclass.Ois_var)
+  in
+  {
+    Explore.mergeable_if =
+      (fun sid -> Joins.mergeable joins sid && Joins.chain_len joins sid >= min_chain);
+    admit_guard =
+      (fun atom ->
+        Sexpr.Sset.is_empty (Sexpr.Sset.inter (Sexpr.syms atom) banned));
+  }
+
+let explore_stage ?(config = Explore.default_config) ?(merge = true) ~memo
+    (p : Nfl.Ast.program) (classes : Statealyzer.Varclass.t) (sl : slices) =
   let body_no_recv =
     List.filter (fun s -> not (Nfl.Builtins.is_pkt_input_stmt s)) sl.sl_body
   in
   let init = Interp.initial_state p in
   let env = symbolic_env ~classes ~init ~pkt_var:classes.Statealyzer.Varclass.pkt_var in
-  Explore.block ~config ~memo ~env body_no_recv
+  let merge = if merge then Some (merge_policy_of ~classes body_no_recv) else None in
+  Explore.block ~config ?merge ~memo ~env body_no_recv
 
 let refine_stage ~name (classes : Statealyzer.Varclass.t) (paths : Explore.path list) =
   let pkt_var = classes.Statealyzer.Varclass.pkt_var in
@@ -251,7 +280,7 @@ let assemble ~model ~classes ~program ~slices:sl ~paths ~stats ~stage_times ~sol
     same stages with fingerprinting and artifact caching). The program
     is canonicalized (structure-normalized and inlined) first, so any
     of the Figure-4 shapes is accepted. *)
-let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
+let run ?(config = Explore.default_config) ?(merge = true) ~name (p : Nfl.Ast.program) =
   let stage_times = ref [] in
   let timed stage f =
     let t0 = Unix.gettimeofday () in
@@ -264,7 +293,7 @@ let run ?(config = Explore.default_config) ~name (p : Nfl.Ast.program) =
   let sl = timed "slice" (fun () -> slice_stage p classes) in
   let solver_memo = Solver.memo_create () in
   let paths, stats =
-    timed "explore" (fun () -> explore_stage ~config ~memo:solver_memo p classes sl)
+    timed "explore" (fun () -> explore_stage ~config ~merge ~memo:solver_memo p classes sl)
   in
   let model = timed "refine" (fun () -> refine_stage ~name classes paths) in
   assemble ~model ~classes ~program:p ~slices:sl ~paths ~stats

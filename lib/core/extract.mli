@@ -78,13 +78,28 @@ val sliced_body_of_union : Nfl.Ast.program -> int list -> Nfl.Ast.block
 
 val slice_stage : Nfl.Ast.program -> Statealyzer.Varclass.t -> slices
 
+val merge_policy_of :
+  ?min_chain:int ->
+  classes:Statealyzer.Varclass.t ->
+  Nfl.Ast.block ->
+  Explore.merge_policy
+(** Join-point merge policy for exploring a (sliced) loop body: merge
+    at branches with a statement join point outside loop bodies, but
+    only on diamond chains of at least [min_chain] (default 5)
+    sequential branches — where the naive path count is exponential.
+    Fold only branch atoms free of config/state symbols into [ite]
+    guards (config splits stay separate entries, state predicates keep
+    per-path concrete verdicts for refinement). *)
+
 val explore_stage :
   ?config:Explore.config ->
+  ?merge:bool ->
   memo:Solver.memo ->
   Nfl.Ast.program ->
   Statealyzer.Varclass.t ->
   slices ->
   Explore.path list * Explore.stats
+(** [merge] (default [true]) explores under {!merge_policy_of}. *)
 
 val refine_stage :
   name:string -> Statealyzer.Varclass.t -> Explore.path list -> Model.t
@@ -101,6 +116,10 @@ val assemble :
   result
 (** Build the {!result} record from stage artifacts. *)
 
-val run : ?config:Explore.config -> name:string -> Nfl.Ast.program -> result
+val run :
+  ?config:Explore.config -> ?merge:bool -> name:string -> Nfl.Ast.program -> result
 (** Run the whole pipeline (uncached stage composition). Accepts any
-    Figure-4 structure (the program is canonicalized first). *)
+    Figure-4 structure (the program is canonicalized first). [merge]
+    (default [true]) enables join-point path merging during
+    exploration; disable it to reproduce the unmerged path
+    enumeration. *)

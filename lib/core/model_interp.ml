@@ -69,6 +69,13 @@ let rec eval_p ~prefix store pkt (e : Sexpr.t) : Value.t =
       match Value.dict_get dict (eval store pkt k) with
       | Some v -> v
       | None -> raise (Unresolved ("missing key in " ^ d.Sexpr.base)))
+  | Sexpr.Ite (g, a, b) -> (
+      (* Only the selected arm is evaluated, so a chain of k merged
+         value summaries replays in O(k) despite nesting. *)
+      match eval store pkt g with
+      | Value.Bool c -> eval store pkt (if c then a else b)
+      | Value.Int n -> eval store pkt (if n <> 0 then a else b)
+      | _ -> raise (Unresolved "non-boolean ite guard"))
 
 (* A dictionary snapshot: the store's value for the base, with the
    snapshot's (chronological) writes applied. *)

@@ -220,6 +220,7 @@ let rec sexp_of_expr e =
   | Sexpr.Ufun (f, args) -> List (Atom "ufun" :: Atom f :: List.map sexp_of_expr args)
   | Sexpr.Mem (d, k) -> List [ Atom "mem"; sexp_of_dict d; sexp_of_expr k ]
   | Sexpr.Dget (d, k) -> List [ Atom "dget"; sexp_of_dict d; sexp_of_expr k ]
+  | Sexpr.Ite (g, a, b) -> List [ Atom "ite"; sexp_of_expr g; sexp_of_expr a; sexp_of_expr b ]
 
 and sexp_of_dict (d : Sexpr.dict_state) =
   List
@@ -247,6 +248,8 @@ let rec expr_of_sexp = function
   | List (Atom "ufun" :: Atom f :: args) -> Sexpr.mk_ufun f (List.map expr_of_sexp args)
   | List [ Atom "mem"; d; k ] -> Sexpr.mk_mem (dict_of_sexp d) (expr_of_sexp k)
   | List [ Atom "dget"; d; k ] -> Sexpr.mk_dget (dict_of_sexp d) (expr_of_sexp k)
+  | List [ Atom "ite"; g; a; b ] ->
+      Sexpr.mk_ite (expr_of_sexp g) (expr_of_sexp a) (expr_of_sexp b)
   | s -> raise (Parse_error ("bad expression: " ^ sexp_to_string s))
 
 and dict_state_of_sexp s = dict_of_sexp s

@@ -114,6 +114,24 @@ let all =
       source = (fun () -> Portknock.source);
       program = Portknock.program;
     };
+    {
+      name = Rangefw.name;
+      description = "range/prefix classifier firewall (six-diamond scoring chain)";
+      structure = "callback";
+      in_paper = false;
+      source = (fun () -> Rangefw.source);
+      program = Rangefw.program;
+    };
+    {
+      name = Dpi.name;
+      description =
+        "DPI-lite signature scorecard: twelve sequential diamonds, 2^12 \
+         naive paths — the path-merging stress subject";
+      structure = "callback";
+      in_paper = false;
+      source = (fun () -> Dpi.source);
+      program = Dpi.program;
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -1,0 +1,56 @@
+(** DPI-style sequential signature matcher — corpus NF in the callback
+    structure (Fig. 4b), added as the worklist explorer's exponential
+    stress subject.
+
+    Each signature is an independent header/flag heuristic that adds
+    its weight to a per-packet suspicion score; the packet is dropped
+    when the accumulated score reaches the configured threshold,
+    mirroring the score-based detection of payload-inspection engines.
+    Because every test is a one-sided diamond that rejoins at the next
+    test, the naive path count is [2^12] before the final threshold
+    branch — a recursive path enumerator must walk all of them (and
+    overflows the default path budget), while join-point merging folds
+    the score into nested [ite] terms and visits the chain in a linear
+    number of states. *)
+
+let name = "dpi"
+
+let source =
+  {|# DPI-lite: per-packet signature scorecard (callback structure).
+# Configuration
+threshold = 8;
+# Log state
+flagged = 0;
+passed = 0;
+
+def dpi_callback(pkt) {
+  score = 0;
+  # Signature chain: twelve pairwise-independent tests (distinct
+  # fields or distinct bits), so every combination is feasible and the
+  # naive path count is exactly 2^12 before the verdict.
+  if (pkt.ip_proto == 6) { score = score + 1; }
+  if (pkt.ip_len > 1200) { score = score + 2; }
+  if (pkt.ip_ttl < 16) { score = score + 2; }
+  if (pkt.sport > 49151) { score = score + 1; }
+  if (pkt.dport == 445) { score = score + 4; }
+  if ((pkt.tcp_flags & 2) != 0) { score = score + 1; }
+  if ((pkt.tcp_flags & 16) != 0) { score = score + 3; }
+  if ((pkt.seq & 1) != 0) { score = score + 2; }
+  if ((pkt.seq & 4096) != 0) { score = score + 1; }
+  if (pkt.ack == 0) { score = score + 2; }
+  if ((pkt.ip_src & 255.0.0.0) == 10.0.0.0) { score = score + 3; }
+  if ((pkt.ip_dst & 255.255.0.0) == 192.168.0.0) { score = score + 4; }
+  if (score >= threshold) {
+    flagged = flagged + 1;
+  } else {
+    passed = passed + 1;
+    send(pkt);
+  }
+}
+
+main {
+  sniff(dpi_callback);
+}
+|}
+
+let program () = Nfl.Parser.program source

@@ -1,0 +1,10 @@
+(** Corpus NF: see the implementation's module comment for what this
+    network function does and why it is in the corpus. *)
+
+val name : string
+
+val source : string
+(** NFL source text. *)
+
+val program : unit -> Nfl.Ast.program
+(** Parsed (but not canonicalized) program. *)

@@ -1,0 +1,46 @@
+(** Range/prefix-classifier firewall — corpus NF in the callback
+    structure (Fig. 4b).
+
+    A straight-line chain of range and prefix tests scores each packet
+    into a trust class; packets that clear the configured class floor
+    are forwarded, the rest are dropped. The classifier chain is six
+    sequential one-sided diamonds over literal ranges and prefixes —
+    the shape the worklist explorer merges at join points — while the
+    final verdict splits on configuration ([min_class]) and therefore
+    stays a separate model entry per configuration region. *)
+
+let name = "rangefw"
+
+let source =
+  {|# Range/prefix classifier firewall (callback structure).
+# Configuration
+min_class = 4;
+# Log state
+passed = 0;
+dropped = 0;
+
+def rangefw_callback(pkt) {
+  cls = 0;
+  # Classifier chain: literal ranges and prefixes only, one class
+  # point each; the diamonds rejoin immediately so the explorer can
+  # fold the class into ite terms instead of enumerating 2^6 paths.
+  if ((pkt.ip_src & 255.0.0.0) == 10.0.0.0) { cls = cls + 1; }
+  if ((pkt.ip_dst & 255.255.0.0) == 192.168.0.0) { cls = cls + 1; }
+  if (pkt.ip_ttl >= 32) { cls = cls + 1; }
+  if (pkt.ip_len <= 1500) { cls = cls + 1; }
+  if (pkt.sport >= 1024) { cls = cls + 1; }
+  if (pkt.dport < 1024) { cls = cls + 1; }
+  if (cls >= min_class) {
+    passed = passed + 1;
+    send(pkt);
+  } else {
+    dropped = dropped + 1;
+  }
+}
+
+main {
+  sniff(rangefw_callback);
+}
+|}
+
+let program () = Nfl.Parser.program source

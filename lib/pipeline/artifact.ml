@@ -177,6 +177,7 @@ let rec eref enc e =
         | Sexpr.Ufun (f, args) -> List (Atom "u" :: Atom f :: List.map (eref enc) args)
         | Sexpr.Mem (d, k) -> List [ Atom "m"; dref enc d; eref enc k ]
         | Sexpr.Dget (d, k) -> List [ Atom "d"; dref enc d; eref enc k ]
+        | Sexpr.Ite (g, a, b) -> List [ Atom "i"; eref enc g; eref enc a; eref enc b ]
       in
       let i = enc.next in
       enc.next <- i + 1;
@@ -235,6 +236,7 @@ let term_dec defs =
         | List (Atom "u" :: Atom f :: args) -> Sexpr.mk_ufun f (List.map (tref dec) args)
         | List [ Atom "m"; d; k ] -> Sexpr.mk_mem (dict_of_def dec d) (tref dec k)
         | List [ Atom "d"; d; k ] -> Sexpr.mk_dget (dict_of_def dec d) (tref dec k)
+        | List [ Atom "i"; g; a; b ] -> Sexpr.mk_ite (tref dec g) (tref dec a) (tref dec b)
         | s -> err "bad term definition" s
       in
       dec.terms.(dec.filled) <- e;
@@ -344,6 +346,8 @@ let sexp_of_stats (s : Explore.stats) =
              (fun (d, n) -> List [ Atom (string_of_int d); Atom (string_of_int n) ])
              (Explore.Imap.bindings s.Explore.fork_depths));
       List [ Atom "overflowed"; Atom (string_of_bool s.Explore.overflowed) ];
+      List [ Atom "merges"; Atom (string_of_int s.Explore.merges) ];
+      List [ Atom "prunes"; Atom (string_of_int s.Explore.prunes) ];
     ]
 
 let stats_of_sexp = function
@@ -361,6 +365,8 @@ let stats_of_sexp = function
         List [ Atom "max-fork-depth"; max_fork_depth ];
         List (Atom "fork-depths" :: fork_depths);
         List [ Atom "overflowed"; overflowed ];
+        List [ Atom "merges"; merges ];
+        List [ Atom "prunes"; prunes ];
       ] ->
       {
         Explore.paths = int_atom paths;
@@ -380,6 +386,8 @@ let stats_of_sexp = function
               | s -> err "bad fork-depth bucket" s)
             Explore.Imap.empty fork_depths;
         overflowed = bool_atom overflowed;
+        merges = int_atom merges;
+        prunes = int_atom prunes;
       }
   | s -> err "bad stats" s
 

@@ -6,7 +6,10 @@ let passes =
 (* Implementation version folded into every pass fingerprint: bump when
    any stage's semantics or artifact encoding changes, so persisted
    caches from older builds read as stale instead of wrong. *)
-let stage_version = 2 (* 2: match compiler v2 — FSM/decision-tree dispatch plans *)
+let stage_version = 3
+(* 2: match compiler v2 — FSM/decision-tree dispatch plans
+   3: worklist explorer — merge/prune stats fields, ite terms in
+      artifacts, join-point merging behind the "merge" param *)
 
 type artifact =
   | A_canon of (Nfl.Ast.program * string)
@@ -74,7 +77,7 @@ let run_pass (type a) t ~nf ~pass ~(fp : Fingerprint.t)
           | _ -> ());
           record Trace.Miss v)
 
-let extract_keyed ?(config = Explore.default_config) t ~name ~src_fp
+let extract_keyed ?(config = Explore.default_config) ?(merge = true) t ~name ~src_fp
     (parse_input : unit -> Nfl.Ast.program) =
   let wall = ref [] in
   let timed pass f =
@@ -130,6 +133,7 @@ let extract_keyed ?(config = Explore.default_config) t ~name ~src_fp
           ("loop_bound", string_of_int config.Explore.loop_bound);
           ("max_paths", string_of_int config.Explore.max_paths);
           ("max_steps", string_of_int config.Explore.max_steps);
+          ("merge", if merge then "on" else "off");
         ]
       [ content_fp; slices_fp ]
   in
@@ -140,7 +144,7 @@ let extract_keyed ?(config = Explore.default_config) t ~name ~src_fp
           ~wrap:(fun ps -> A_paths ps)
           ~unwrap:(function A_paths ps -> Some ps | _ -> None)
           (fun () ->
-            Nfactor.Extract.explore_stage ~config ~memo:t.memo canon classes slices))
+            Nfactor.Extract.explore_stage ~config ~merge ~memo:t.memo canon classes slices))
   in
   let refine_fp =
     Fingerprint.combine ~pass:"refine" ~version:stage_version
@@ -158,8 +162,8 @@ let extract_keyed ?(config = Explore.default_config) t ~name ~src_fp
   Nfactor.Extract.assemble ~model ~classes ~program:canon ~slices ~paths ~stats
     ~stage_times:(List.rev !wall) ~solver_memo:t.memo
 
-let extract ?config t ~name p =
-  extract_keyed ?config t ~name
+let extract ?config ?merge t ~name p =
+  extract_keyed ?config ?merge t ~name
     ~src_fp:(Fingerprint.of_text (Nfl.Pretty.program p))
     (fun () -> p)
 
@@ -168,8 +172,8 @@ let extract ?config t ~name p =
    trade-off is that comment/whitespace edits re-run canonicalize
    (which then content-hits everything downstream), whereas [extract]
    fingerprints the parsed AST and absorbs them one stage earlier. *)
-let extract_source ?config t ~name source =
-  extract_keyed ?config t ~name
+let extract_source ?config ?merge t ~name source =
+  extract_keyed ?config ?merge t ~name
     ~src_fp:(Fingerprint.of_text source)
     (fun () -> Nfl.Parser.program source)
 

@@ -32,17 +32,19 @@ val traces : t -> Trace.t list
 (** Every pass application so far, in chronological order. *)
 
 val extract :
-  ?config:Symexec.Explore.config -> t -> name:string -> Nfl.Ast.program ->
+  ?config:Symexec.Explore.config -> ?merge:bool -> t -> name:string -> Nfl.Ast.program ->
   Nfactor.Extract.result
 (** Run (or replay from cache) canonicalize → classify → slice →
     explore → refine and assemble the classic {!Nfactor.Extract.result}
     view. [result.stage_times] carries this invocation's per-pass
     wall-clock (load time on hits); [result.stats] is the recorded
     exploration's statistics whether computed or cached;
-    [result.solver_memo] is the manager's shared memo. *)
+    [result.solver_memo] is the manager's shared memo. [merge]
+    (default on) enables join-point path merging during exploration
+    and participates in the explore-pass fingerprint. *)
 
 val extract_source :
-  ?config:Symexec.Explore.config -> t -> name:string -> string ->
+  ?config:Symexec.Explore.config -> ?merge:bool -> t -> name:string -> string ->
   Nfactor.Extract.result
 (** Like {!extract} but from NFL source text, keyed on the raw text: a
     warm run replays the canonical program from the cache without even

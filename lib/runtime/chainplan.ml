@@ -51,6 +51,7 @@ let rename_term ~vars ~prefix e =
     | Sexpr.Ufun (f, es) -> Sexpr.mk_ufun f (List.map rn es)
     | Sexpr.Mem (d, k) -> Sexpr.mk_mem (rn_dict d) (rn k)
     | Sexpr.Dget (d, k) -> Sexpr.mk_dget (rn_dict d) (rn k)
+    | Sexpr.Ite (g, a, b) -> Sexpr.mk_ite (rn g) (rn a) (rn b)
   and rn_dict (d : Sexpr.dict_state) =
     {
       Sexpr.base = rn_name d.Sexpr.base;

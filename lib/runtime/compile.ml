@@ -153,6 +153,15 @@ and gen_raw ~wrap ~pkt_var (e : Sexpr.t) : valfn =
       fun st pkt -> Value.apply_pure f (List.map (fun g -> g st pkt) fs)
   | Sexpr.Mem (d, k) -> compile_dict_query ~wrap ~pkt_var `Mem d k
   | Sexpr.Dget (d, k) -> compile_dict_query ~wrap ~pkt_var `Get d k
+  | Sexpr.Ite (g, a, b) ->
+      (* Guard selects one compiled arm per call; agrees with the
+         reference evaluator on Bool and Int-truthiness guards. *)
+      let fg = c g and fa = c a and fb = c b in
+      fun st pkt -> (
+        match fg st pkt with
+        | Value.Bool cond -> if cond then fa st pkt else fb st pkt
+        | Value.Int n -> if n <> 0 then fa st pkt else fb st pkt
+        | v -> raise (Value.Type_error (Fmt.str "ite guard: %a" Value.pp v)))
 
 (* Dictionary atoms, lookup-only. The reference evaluator materializes
    base + writes into a full dict and then queries it; at runtime the
@@ -574,7 +583,11 @@ let compile ?(shared = false) (model : Nfactor.Model.t) ~config =
                 count wk;
                 Option.iter count u)
               d.Sexpr.writes;
-            count k)
+            count k
+        | Sexpr.Ite (g, a, b) ->
+            count g;
+            count a;
+            count b)
   in
   List.iter
     (fun p ->

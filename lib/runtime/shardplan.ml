@@ -108,6 +108,10 @@ let rec walk ~is_field (a : acc) e =
           Option.iter (walk ~is_field a) u)
         d.Sexpr.writes;
       walk ~is_field a k
+  | Sexpr.Ite (g, x, y) ->
+      walk ~is_field a g;
+      walk ~is_field a x;
+      walk ~is_field a y
 
 (* ------------------------------------------------------------------ *)
 (* Key signatures                                                      *)
@@ -123,6 +127,7 @@ let is_static_expr ~is_field ~is_cfg e =
     | Sexpr.Bin (_, a, b) | Sexpr.Get (a, b) -> go a && go b
     | Sexpr.Not a | Sexpr.Neg a -> go a
     | Sexpr.Tup es | Sexpr.Lst es | Sexpr.Ufun (_, es) -> List.for_all go es
+    | Sexpr.Ite (g, x, y) -> go g && go x && go y
     | Sexpr.Mem _ | Sexpr.Dget _ -> false
   in
   go e

@@ -24,6 +24,7 @@ and node =
   | Ufun of string * t list  (** uninterpreted function, e.g. [hash] *)
   | Mem of dict_state * t  (** membership atom: key in dictionary snapshot *)
   | Dget of dict_state * t  (** dictionary read against a snapshot *)
+  | Ite of t * t * t  (** guarded value summary: [if g then a else b] *)
 
 (** A symbolic dictionary: the unknown contents at loop entry ([base])
     plus the strong updates performed on this path, newest first.
@@ -73,6 +74,7 @@ module Node = struct
     | Ufun (f, xs), Ufun (g, ys) -> String.equal f g && List.equal ( == ) xs ys
     | Mem (d1, k1), Mem (d2, k2) | Dget (d1, k1), Dget (d2, k2) ->
         k1 == k2 && equal_dict d1 d2
+    | Ite (g1, a1, b1), Ite (g2, a2, b2) -> g1 == g2 && a1 == a2 && b1 == b2
     | _ -> false
 
   let comb acc h = (acc * 65599) + h
@@ -96,6 +98,7 @@ module Node = struct
     | Ufun (f, es) -> hash_children (comb 9 (Hashtbl.hash f)) es
     | Mem (d, k) -> comb (comb 10 (hash_dict d)) k.id
     | Dget (d, k) -> comb (comb 11 (hash_dict d)) k.id
+    | Ite (g, a, b) -> comb (comb (comb 12 g.id) a.id) b.id
 end
 
 module H = Hashtbl.Make (Node)
@@ -147,6 +150,8 @@ let rec equal_structural a b =
   | Ufun (f, xs), Ufun (g, ys) -> String.equal f g && List.equal equal_structural xs ys
   | Mem (d1, k1), Mem (d2, k2) | Dget (d1, k1), Dget (d2, k2) ->
       equal_structural k1 k2 && equal_structural_dict d1 d2
+  | Ite (g1, a1, b1), Ite (g2, a2, b2) ->
+      equal_structural g1 g2 && equal_structural a1 a2 && equal_structural b1 b2
   | _ -> false
 
 and equal_structural_dict d1 d2 =
@@ -173,6 +178,7 @@ let rec pp ppf e =
   | Ufun (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp) args
   | Mem (d, k) -> Fmt.pf ppf "%a in %a" pp k pp_dict d
   | Dget (d, k) -> Fmt.pf ppf "%a[%a]" pp_dict d pp k
+  | Ite (g, a, b) -> Fmt.pf ppf "ite(%a, %a, %a)" pp g pp a pp b
 
 and pp_dict ppf d =
   if d.writes = [] then Fmt.string ppf d.base
@@ -246,6 +252,12 @@ let mk_not e =
 let mk_neg e =
   match e.node with Const (Value.Int n) -> const (Value.Int (-n)) | _ -> intern (Neg e)
 
+(* Interning makes complement detection O(1): [a] and [¬a] are the only
+   physically-distinct pair related by a single [Not] node. *)
+let is_negation a b =
+  (match b.node with Not x -> x == a | _ -> false)
+  || match a.node with Not x -> x == b | _ -> false
+
 let mk_bin op a b =
   match (a.node, b.node, op) with
   | Const va, Const vb, _ -> (
@@ -258,11 +270,13 @@ let mk_bin op a b =
       if a == tru then b
       else if b == tru then a
       else if a == fls || b == fls then fls
+      else if is_negation a b then fls
       else intern (Bin (op, a, b))
   | _, _, Nfl.Ast.Or ->
       if a == fls then b
       else if b == fls then a
       else if a == tru || b == tru then tru
+      else if is_negation a b then tru
       else intern (Bin (op, a, b))
   | _, _, Nfl.Ast.Add when b == zero -> a
   | _, _, Nfl.Ast.Add when a == zero -> b
@@ -278,6 +292,27 @@ let mk_bin op a b =
       | `Distinct -> if op = Nfl.Ast.Eq then fls else tru
       | `Unknown -> intern (Bin (op, a, b)))
   | _ -> intern (Bin (op, a, b))
+
+(** Guarded value summary [if g then a else b], the merge primitive of
+    join-point path merging. Folds keep summaries small: a constant
+    guard selects an arm, equal arms collapse, a negated guard swaps
+    arms, boolean-constant arms reduce to the guard itself (so merged
+    *conditions* stay plain atoms), and a nested ite under the same
+    guard is pruned to the reachable arm. *)
+let rec mk_ite g a b =
+  if a == b then a
+  else
+    match g.node with
+    | Const (Value.Bool cond) -> if cond then a else b
+    | Const (Value.Int n) -> if n <> 0 then a else b
+    | Not g' -> mk_ite g' b a
+    | _ ->
+        if a == tru && b == fls then g
+        else if a == fls && b == tru then mk_not g
+        else
+          let a = match a.node with Ite (g2, x, _) when g2 == g -> x | _ -> a in
+          let b = match b.node with Ite (g2, _, y) when g2 == g -> y | _ -> b in
+          if a == b then a else intern (Ite (g, a, b))
 
 let mk_tuple es =
   match List.for_all is_const es with
@@ -359,6 +394,7 @@ let rec syms e =
           Sset.empty d.writes
       in
       Sset.add d.base (Sset.union ws (syms k))
+  | Ite (g, a, b) -> Sset.union (syms g) (Sset.union (syms a) (syms b))
 
 (** Substitute free symbolic variables via [f] (used to concretize a
     path condition into test packets, and by the model interpreter). *)
@@ -375,6 +411,7 @@ let rec subst f e =
   | Ufun (g, es) -> mk_ufun g (List.map (subst f) es)
   | Mem (d, k) -> mk_mem (subst_dict f d) (subst f k)
   | Dget (d, k) -> mk_dget (subst_dict f d) (subst f k)
+  | Ite (g, a, b) -> mk_ite (subst f g) (subst f a) (subst f b)
 
 and subst_dict f d =
   {
@@ -398,6 +435,7 @@ let rec subst_sym f e =
   | Ufun (g, es) -> mk_ufun g (List.map (subst_sym f) es)
   | Mem (d, k) -> mk_mem (subst_sym_dict f d) (subst_sym f k)
   | Dget (d, k) -> mk_dget (subst_sym_dict f d) (subst_sym f k)
+  | Ite (g, a, b) -> mk_ite (subst_sym f g) (subst_sym f a) (subst_sym f b)
 
 and subst_sym_dict f d =
   {

@@ -33,6 +33,7 @@ and node =
   | Ufun of string * t list  (** uninterpreted function, e.g. [hash] *)
   | Mem of dict_state * t  (** membership atom against a snapshot *)
   | Dget of dict_state * t  (** dictionary read against a snapshot *)
+  | Ite of t * t * t  (** guarded value summary: [if g then a else b] *)
 
 (** A symbolic dictionary: unknown contents at loop entry ([base])
     plus this path's strong updates, newest first ([Some v] insert,
@@ -114,6 +115,14 @@ val mk_mem : dict_state -> t -> t
     {!empty_base}). *)
 
 val mk_dget : dict_state -> t -> t
+
+val mk_ite : t -> t -> t -> t
+(** [mk_ite g a b] is the guarded value summary [if g then a else b]
+    used by join-point path merging. Folds: constant guard selects an
+    arm, equal arms collapse ([mk_ite g a a = a]), a negated guard
+    swaps arms, boolean-constant arms reduce to the guard or its
+    negation, and a directly nested ite under the same guard prunes to
+    its reachable arm. *)
 
 (** {1 Queries} *)
 

@@ -237,7 +237,7 @@ let check_pending st =
 let is_intish (e : Sexpr.t) =
   match Sexpr.view e with
   | Sexpr.Const (Value.Int _) | Sexpr.Sym _ | Sexpr.Bin _ | Sexpr.Neg _ | Sexpr.Get _
-  | Sexpr.Dget _ | Sexpr.Ufun _ ->
+  | Sexpr.Dget _ | Sexpr.Ufun _ | Sexpr.Ite _ ->
       true
   | _ -> false
 
@@ -313,7 +313,7 @@ let rec assert_atom st (e : Sexpr.t) positive =
   | Sexpr.Bin (Nfl.Ast.Gt, a, b) -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Lt b a) positive
   | Sexpr.Bin (Nfl.Ast.Ge, a, b) -> assert_atom st (Sexpr.mk_bin Nfl.Ast.Le b a) positive
   | Sexpr.Bin (Nfl.Ast.Eq, _, _) -> assert_bool st e positive
-  | Sexpr.Mem _ | Sexpr.Sym _ | Sexpr.Ufun _ | Sexpr.Get _ | Sexpr.Dget _ ->
+  | Sexpr.Mem _ | Sexpr.Sym _ | Sexpr.Ufun _ | Sexpr.Get _ | Sexpr.Dget _ | Sexpr.Ite _ ->
       assert_bool st e positive
   | Sexpr.Bin _ | Sexpr.Const _ | Sexpr.Neg _ | Sexpr.Tup _ | Sexpr.Lst _ ->
       assert_bool st e positive

@@ -83,6 +83,7 @@ let instantiate_expr ?(pkt_var = "pkt") (store : Model_interp.store) (pkt : sym_
     | Sexpr.Lst es -> Sexpr.mk_list (List.map expand es)
     | Sexpr.Get (a, b) -> Sexpr.mk_get (expand a) (expand b)
     | Sexpr.Ufun (f, es) -> Sexpr.mk_ufun f (List.map expand es)
+    | Sexpr.Ite (g, a, b) -> Sexpr.mk_ite (expand g) (expand a) (expand b)
     | Sexpr.Const _ | Sexpr.Sym _ -> e
   and concrete_base (d : Sexpr.dict_state) =
     if d.Sexpr.base = Sexpr.empty_base then Some []

@@ -115,3 +115,15 @@ done
 dune exec bench/main.exe -- --analysis --json BENCH_pr9.json
 grep -q '"analysis_ok": true' BENCH_pr9.json
 grep -q '"redundant_reduction_ok": true' BENCH_pr9.json
+
+# Worklist-explorer gates. With merging on, every NF the PR-9 forker
+# explored must reproduce its recorded path census and solver-call
+# count exactly and synthesize a byte-identical model; the exponential
+# DPI member must collapse from >= 2^12 naive paths to at most 4x its
+# branch count while staying differentially equal to the unmerged
+# enumeration; and the merged exploration must not cost wall-clock
+# against the naive one in the same process.
+dune exec bench/main.exe -- --explore --json BENCH_pr10.json
+grep -q '"explore_ok": true' BENCH_pr10.json
+grep -q '"pr9_counters_reproduced": true' BENCH_pr10.json
+grep -q '"exponential_nf_ok": true' BENCH_pr10.json

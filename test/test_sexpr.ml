@@ -105,6 +105,54 @@ let test_annihilator_folds () =
   | Sexpr.Bin (Nfl.Ast.Sub, _, _) -> ()
   | _ -> Alcotest.fail "x-y must stay symbolic"
 
+(* Boolean annihilators: complement detection is physical thanks to
+   interning, so p ∨ ¬p and p ∧ ¬p fold without a solver. The merge
+   engine relies on the Or fold to keep a merged path condition free
+   of the tautological guard after a complete join. *)
+let test_bool_annihilators () =
+  let p = Sexpr.mk_bin Nfl.Ast.Eq (Sexpr.sym "bx") (Sexpr.int 1) in
+  Alcotest.check se "p or ~p" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Or p (Sexpr.mk_not p));
+  Alcotest.check se "~p or p" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Or (Sexpr.mk_not p) p);
+  Alcotest.check se "p and ~p" Sexpr.fls (Sexpr.mk_bin Nfl.Ast.And p (Sexpr.mk_not p));
+  Alcotest.check se "~p and p" Sexpr.fls (Sexpr.mk_bin Nfl.Ast.And (Sexpr.mk_not p) p);
+  Alcotest.check se "true or p" Sexpr.tru (Sexpr.mk_bin Nfl.Ast.Or Sexpr.tru p);
+  Alcotest.check se "false and p" Sexpr.fls (Sexpr.mk_bin Nfl.Ast.And Sexpr.fls p);
+  (* Distinct atoms are not complements. *)
+  let q = Sexpr.mk_bin Nfl.Ast.Eq (Sexpr.sym "bx") (Sexpr.int 2) in
+  match Sexpr.view (Sexpr.mk_bin Nfl.Ast.Or p (Sexpr.mk_not q)) with
+  | Sexpr.Bin (Nfl.Ast.Or, _, _) -> ()
+  | _ -> Alcotest.fail "p or ~q must stay symbolic"
+
+(* The ite folds the merge engine relies on to keep value summaries
+   small: constant guards select an arm, equal arms collapse, negated
+   guards swap, boolean arms reduce to the guard, nested same-guard
+   summaries prune to the reachable arm. *)
+let test_ite_folds () =
+  let g = Sexpr.mk_bin Nfl.Ast.Eq (Sexpr.sym "ig") (Sexpr.int 0) in
+  let a = Sexpr.sym "ia" and b = Sexpr.sym "ib" in
+  Alcotest.check se "true guard selects then" a (Sexpr.mk_ite Sexpr.tru a b);
+  Alcotest.check se "false guard selects else" b (Sexpr.mk_ite Sexpr.fls a b);
+  Alcotest.check se "nonzero int guard selects then" a (Sexpr.mk_ite (Sexpr.int 1) a b);
+  Alcotest.check se "zero int guard selects else" b (Sexpr.mk_ite (Sexpr.int 0) a b);
+  Alcotest.check se "equal arms collapse" a (Sexpr.mk_ite g a a);
+  Alcotest.check se "negated guard swaps arms" (Sexpr.mk_ite g a b)
+    (Sexpr.mk_ite (Sexpr.mk_not g) b a);
+  Alcotest.check se "boolean arms reduce to guard" g (Sexpr.mk_ite g Sexpr.tru Sexpr.fls);
+  Alcotest.check se "inverted boolean arms negate" (Sexpr.mk_not g)
+    (Sexpr.mk_ite g Sexpr.fls Sexpr.tru);
+  Alcotest.check se "nested same-guard then-arm prunes" (Sexpr.mk_ite g a b)
+    (Sexpr.mk_ite g (Sexpr.mk_ite g a b) b);
+  Alcotest.check se "nested same-guard else-arm prunes" (Sexpr.mk_ite g a b)
+    (Sexpr.mk_ite g a (Sexpr.mk_ite g a b));
+  (* Interning: the summary is a shared physical term. *)
+  Alcotest.(check bool) "ite interned" true (Sexpr.mk_ite g a b == Sexpr.mk_ite g a b);
+  (* Substitution distributes and re-folds: a resolved guard selects. *)
+  let f = function "ig" -> Some (Value.Int 0) | _ -> None in
+  Alcotest.check se "subst resolves the guard" a (Sexpr.subst f (Sexpr.mk_ite g a b));
+  (* Free symbols span guard and both arms. *)
+  let names = Sexpr.Sset.elements (Sexpr.syms (Sexpr.mk_ite g a b)) in
+  Alcotest.(check (slist string compare)) "ite syms" [ "ia"; "ib"; "ig" ] names
+
 (* Hash-consing invariants: structurally equal construction yields the
    same physical term and id; distinct terms get distinct ids. *)
 let test_interning_invariants () =
@@ -152,6 +200,8 @@ let suite =
     Alcotest.test_case "substitution" `Quick test_subst;
     Alcotest.test_case "free symbols" `Quick test_syms;
     Alcotest.test_case "annihilator folds" `Quick test_annihilator_folds;
+    Alcotest.test_case "boolean annihilators" `Quick test_bool_annihilators;
+    Alcotest.test_case "ite folds" `Quick test_ite_folds;
     Alcotest.test_case "interning invariants" `Quick test_interning_invariants;
     Alcotest.test_case "intern count monotone" `Quick test_intern_count_monotone;
   ]
